@@ -1,0 +1,105 @@
+"""Figure 2 — weighted-UCB argmax versus w, and the EasyBO w density.
+
+The paper's Fig. 2 makes two points on a 1-D example:
+
+1. the argmax of ``(1-w) mu + w sigma`` barely moves for small w
+   (exploitation regime) and moves quickly for large w (exploration regime),
+   so a uniform w grid wastes its low-w slots on near-duplicate points;
+2. EasyBO's ``w = kappa/(kappa+1)``, ``kappa ~ U[0, 6]`` sampling piles
+   density near w = 1 to compensate.
+
+This bench regenerates both series: the argmax-location curve over a w sweep
+on a fitted 1-D GP, and the histogram of sampled w against the analytic
+density ``1/(lambda (1-w)^2)``.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.core.acquisition import EASYBO_LAMBDA, WeightedAcquisition, sample_easybo_weight
+from repro.gp import GaussianProcess
+
+GRID = np.linspace(0.0, 1.0, 2001).reshape(-1, 1)
+
+
+def fitted_model() -> GaussianProcess:
+    """The illustrative 1-D posterior: a bumpy function, few samples."""
+    rng = np.random.default_rng(0)
+    X = rng.uniform(0, 1, size=(8, 1))
+    y = np.sin(6 * X[:, 0]) + 0.5 * np.cos(14 * X[:, 0])
+    gp = GaussianProcess(1, noise_variance=1e-6)
+    gp.kernel.lengthscales[:] = 0.08
+    return gp.fit(X, y)
+
+
+def argmax_curve(model, weights) -> np.ndarray:
+    """Location of the acquisition argmax for each w."""
+    locations = np.empty(len(weights))
+    for i, w in enumerate(weights):
+        values = WeightedAcquisition(float(w))(model, GRID)
+        locations[i] = GRID[np.argmax(values), 0]
+    return locations
+
+
+def weight_histogram(n_samples: int = 50_000, bins: int = 10):
+    """Empirical P(w in bin) against the analytic density of Eq. 8."""
+    rng = np.random.default_rng(1)
+    ws = np.array([sample_easybo_weight(rng) for _ in range(n_samples)])
+    w_max = EASYBO_LAMBDA / (EASYBO_LAMBDA + 1.0)
+    edges = np.linspace(0.0, w_max, bins + 1)
+    empirical, _ = np.histogram(ws, bins=edges)
+    empirical = empirical / n_samples
+    # Analytic CDF of w: F(t) = (t / (1 - t)) / lambda on [0, w_max].
+    cdf = (edges / (1.0 - edges)) / EASYBO_LAMBDA
+    analytic = np.diff(cdf)
+    return edges, empirical, analytic
+
+
+def run_fig2(verbose: bool = True):
+    model = fitted_model()
+    weights = np.linspace(0.0, 1.0, 21)
+    locations = argmax_curve(model, weights)
+    edges, empirical, analytic = weight_histogram()
+
+    lines = ["Fig. 2a — argmax location of (1-w) mu + w sigma vs w:"]
+    for w, loc in zip(weights, locations):
+        lines.append(f"  w={w:4.2f}  argmax x = {loc:.3f}")
+    lines.append("")
+    lines.append("Fig. 2b — sampling probability of w (empirical vs analytic):")
+    for k in range(len(empirical)):
+        lines.append(
+            f"  w in [{edges[k]:.3f}, {edges[k + 1]:.3f})  "
+            f"P_emp={empirical[k]:.4f}  P_analytic={analytic[k]:.4f}"
+        )
+    text = "\n".join(lines)
+    if verbose:
+        print("\n" + text)
+    return weights, locations, empirical, analytic, text
+
+
+def check_shape(weights, locations, empirical, analytic) -> None:
+    # Low-w argmaxes cluster: the spread of argmax over w<0.3 is much smaller
+    # than over w>0.6 (paper: "x only has small change when w is small").
+    low = locations[weights < 0.3]
+    high = locations[weights > 0.6]
+    assert np.ptp(low) <= np.ptp(high)
+    # Density increases toward w_max and matches the analytic law.
+    assert empirical[-1] > empirical[0]
+    np.testing.assert_allclose(empirical, analytic, atol=0.01)
+
+
+def test_fig2_acquisition(benchmark):
+    weights, locations, empirical, analytic, text = benchmark.pedantic(
+        lambda: run_fig2(verbose=False), rounds=1, iterations=1
+    )
+    print("\n" + text)
+    check_shape(weights, locations, empirical, analytic)
+
+
+if __name__ == "__main__":
+    argparse.ArgumentParser(description=__doc__).parse_args()
+    weights, locations, empirical, analytic, _ = run_fig2()
+    check_shape(weights, locations, empirical, analytic)

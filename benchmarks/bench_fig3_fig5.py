@@ -1,0 +1,70 @@
+"""Figures 3 and 5 — benchmark-circuit schematics.
+
+The paper's Figs. 3/5 are transistor-level schematics of the two testbenches.
+A text bench cannot draw them, so this reproduces their content: the full
+netlist of each circuit (every device, connection, and nominal value), the
+element inventory, and the design-variable table — everything the schematic
+communicates.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.circuits.classe import build_classe, classe_design_space
+from repro.circuits.opamp import build_opamp, opamp_design_space
+
+
+def nominal_opamp_values() -> dict:
+    space = opamp_design_space()
+    # Geometric mid-point of every (log-scaled) range.
+    mid = space.bounds.mean(axis=1)
+    return space.to_values(mid)
+
+
+def nominal_classe_values() -> dict:
+    space = classe_design_space()
+    mid = space.bounds.mean(axis=1)
+    return space.to_values(mid)
+
+
+def run_fig3_fig5(verbose: bool = True) -> str:
+    opamp = build_opamp(nominal_opamp_values())
+    classe = build_classe(nominal_classe_values())
+    opamp.validate()
+    classe.validate()
+    parts = [
+        "Fig. 3 — operational amplifier (netlist at mid-range sizing):",
+        opamp.summary(),
+        "",
+        "Design variables:",
+        opamp_design_space().describe(),
+        "",
+        "Fig. 5 — class-E power amplifier (netlist at mid-range sizing):",
+        classe.summary(),
+        "",
+        "Design variables:",
+        classe_design_space().describe(),
+    ]
+    text = "\n".join(parts)
+    if verbose:
+        print("\n" + text)
+    return text
+
+
+def test_fig3_fig5_netlists(benchmark):
+    text = benchmark.pedantic(lambda: run_fig3_fig5(verbose=False), rounds=1, iterations=1)
+    print("\n" + text)
+    # The schematic content the paper shows: 8 transistors + Rz/Cc for the
+    # op-amp, a single switch with choke/resonator/match for the class-E.
+    assert "8 Mosfet" in text
+    assert "1 Mosfet" in text
+    assert "rz" in text and "cc" in text
+    assert "lchoke" in text and "c0" in text and "rl" in text
+    # 10 + 12 design variables, as in the paper.
+    assert text.count("log10") + text.count("linear") == 22
+
+
+if __name__ == "__main__":
+    argparse.ArgumentParser(description=__doc__).parse_args()
+    run_fig3_fig5()

@@ -1,0 +1,76 @@
+"""Figure 4 — op-amp best-FOM versus wall-clock time at B = 15.
+
+The paper's Fig. 4 plots the optimization trajectory (best FOM so far
+against simulation wall-clock) for pBO-15, pHCBO-15, and EasyBO-15, and reads
+off that EasyBO reaches the same final FOM 47.3% / 37.4% sooner.  This bench
+regenerates the three mean trajectories from the execution traces and prints
+the time-to-target comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from harness import SCALES, run_grid, time_to_target_report
+
+from repro.circuits import OpAmpProblem
+
+LABELS = ("pBO-15", "pHCBO-15", "EasyBO-15")
+
+
+def mean_curve(results, n_points: int = 40):
+    """Average the per-run step curves onto a common time grid."""
+    t_end = max(r.wall_clock for r in results)
+    grid = np.linspace(0.0, t_end, n_points)
+    curves = []
+    for run in results:
+        times, best = run.trace.best_fom_curve()
+        curves.append(np.interp(grid, times, best, left=best[0]))
+    return grid, np.mean(curves, axis=0)
+
+
+def run_fig4(scale_name: str = "smoke", seed: int = 0, verbose: bool = True):
+    scale = SCALES["table1"][scale_name]
+    grid = run_grid(LABELS, OpAmpProblem, scale, seed=seed, verbose=verbose)
+    lines = ["Fig. 4 — best FOM vs simulation time (mean over repetitions):"]
+    for label in LABELS:
+        t, curve = mean_curve(grid[label])
+        series = "  ".join(f"({ti:5.0f}s, {vi:7.2f})" for ti, vi in
+                           zip(t[:: len(t) // 8], curve[:: len(t) // 8]))
+        lines.append(f"  {label:<10} {series}")
+    lines.append("")
+    lines.append(time_to_target_report(grid, LABELS, reference="EasyBO-15"))
+    text = "\n".join(lines)
+    if verbose:
+        print("\n" + text)
+    return grid, text
+
+
+def check_shape(grid) -> None:
+    """EasyBO-15 must finish its budget in less wall-clock than the sync
+    algorithms (the asynchronous advantage underlying Fig. 4)."""
+    easybo = np.mean([r.wall_clock for r in grid["EasyBO-15"]])
+    pbo = np.mean([r.wall_clock for r in grid["pBO-15"]])
+    phcbo = np.mean([r.wall_clock for r in grid["pHCBO-15"]])
+    assert easybo < pbo
+    assert easybo < phcbo
+
+
+def test_fig4_smoke(benchmark):
+    grid, text = benchmark.pedantic(
+        lambda: run_fig4("smoke", seed=0, verbose=False), rounds=1, iterations=1
+    )
+    print("\n" + text)
+    check_shape(grid)
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=("smoke", "reduced", "paper"),
+                        default="reduced")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+    grid, _ = run_fig4(args.scale, args.seed)
+    check_shape(grid)

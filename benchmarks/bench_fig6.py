@@ -1,0 +1,66 @@
+"""Figure 6 — class-E best-FOM versus wall-clock time at B = 15.
+
+The class-E analogue of Fig. 4: the paper reads off 80.0% / 86.4% time
+reductions (up to 7.35x speed-up) for EasyBO-15 against pBO-15 / pHCBO-15.
+The gap is much larger than on the op-amp because the class-E simulation
+times are far more heterogeneous (sigma ~ 0.35 vs 0.10 in our calibrated
+cost models), so synchronous batches waste more worker time.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from bench_fig4 import mean_curve
+from bench_table2 import TRANSIENT, make_factory
+from harness import SCALES, run_grid, time_to_target_report
+
+LABELS = ("pBO-15", "pHCBO-15", "EasyBO-15")
+
+
+def run_fig6(scale_name: str = "smoke", seed: int = 0, verbose: bool = True):
+    scale = SCALES["table2"][scale_name]
+    grid = run_grid(LABELS, make_factory(scale_name), scale, seed=seed,
+                    verbose=verbose)
+    lines = ["Fig. 6 — best FOM vs simulation time (mean over repetitions):"]
+    for label in LABELS:
+        t, curve = mean_curve(grid[label])
+        series = "  ".join(f"({ti:6.0f}s, {vi:5.2f})" for ti, vi in
+                           zip(t[:: len(t) // 8], curve[:: len(t) // 8]))
+        lines.append(f"  {label:<10} {series}")
+    lines.append("")
+    lines.append(time_to_target_report(grid, LABELS, reference="EasyBO-15"))
+    text = "\n".join(lines)
+    if verbose:
+        print("\n" + text)
+    return grid, text
+
+
+def check_shape(grid) -> None:
+    easybo = np.mean([r.wall_clock for r in grid["EasyBO-15"]])
+    pbo = np.mean([r.wall_clock for r in grid["pBO-15"]])
+    phcbo = np.mean([r.wall_clock for r in grid["pHCBO-15"]])
+    assert easybo < pbo
+    assert easybo < phcbo
+    # The heterogeneous class-E costs should give a large async advantage.
+    assert easybo < 0.85 * min(pbo, phcbo)
+
+
+def test_fig6_smoke(benchmark):
+    grid, text = benchmark.pedantic(
+        lambda: run_fig6("smoke", seed=0, verbose=False), rounds=1, iterations=1
+    )
+    print("\n" + text)
+    check_shape(grid)
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=("smoke", "reduced", "paper"),
+                        default="reduced")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+    grid, _ = run_fig6(args.scale, args.seed)
+    check_shape(grid)

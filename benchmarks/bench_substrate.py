@@ -1,0 +1,88 @@
+"""Micro-benchmarks of the substrates: simulator throughput and GP costs.
+
+These are classic pytest-benchmark timings (multiple rounds), useful for
+tracking performance regressions of the pieces every experiment leans on:
+
+* op-amp evaluation (DC + AC sweep + Bode extraction),
+* class-E evaluation (switching transient + Fourier power),
+* GP fit (ML-II, 150 points, 10-D) and prediction,
+* one asynchronous proposal (hallucinate pending + maximize acquisition).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import ClassEProblem, OpAmpProblem
+from repro.core.acquisition import WeightedAcquisition
+from repro.core.optimizers import maximize_acquisition
+from repro.core.surrogate import SurrogateSession
+from repro.gp import GaussianProcess, fit_hyperparameters
+
+
+@pytest.fixture(scope="module")
+def opamp():
+    return OpAmpProblem()
+
+
+@pytest.fixture(scope="module")
+def classe():
+    return ClassEProblem(settle_periods=8, measure_periods=2, steps_per_period=40)
+
+
+def test_opamp_evaluation(benchmark, opamp):
+    x = opamp.space.sample(1, np.random.default_rng(0))[0]
+    result = benchmark(opamp.evaluate, x)
+    assert np.isfinite(result.fom)
+
+
+def test_classe_evaluation(benchmark, classe):
+    x = classe.space.sample(1, np.random.default_rng(1))[0]
+    result = benchmark.pedantic(classe.evaluate, args=(x,), rounds=3, iterations=1)
+    assert np.isfinite(result.fom)
+
+
+def test_gp_fit_150x10(benchmark):
+    rng = np.random.default_rng(0)
+    X = rng.uniform(size=(150, 10))
+    y = np.sin(3 * X[:, 0]) + X[:, 1] ** 2 + 0.1 * rng.standard_normal(150)
+
+    def fit():
+        gp = GaussianProcess(10).fit(X, y)
+        fit_hyperparameters(gp, n_restarts=1, rng=0)
+        return gp
+
+    gp = benchmark.pedantic(fit, rounds=3, iterations=1)
+    assert gp.n_train == 150
+
+
+def test_gp_predict_2048(benchmark):
+    rng = np.random.default_rng(0)
+    X = rng.uniform(size=(150, 10))
+    y = rng.standard_normal(150)
+    gp = GaussianProcess(10).fit(X, y)
+    candidates = rng.uniform(size=(2048, 10))
+    mu, sigma = benchmark(gp.predict, candidates)
+    assert mu.shape == (2048,)
+
+
+def test_async_proposal(benchmark):
+    """One Alg. 1 step: hallucinate 14 pending points, maximize Eq. 9."""
+    rng = np.random.default_rng(0)
+    bounds = np.array([[0.0, 1.0]] * 10)
+    session = SurrogateSession(bounds, rng=rng)
+    X = rng.uniform(size=(120, 10))
+    session.add_batch(X, np.sin(4 * X[:, 0]) + X[:, 1])
+    session.refit()
+    pending = rng.uniform(size=(14, 10))
+
+    def propose():
+        model = session.model_with_pending(pending)
+        scorer = session.acquisition_on_unit(WeightedAcquisition(0.8), model=model)
+        return maximize_acquisition(
+            scorer, session.unit_bounds(), rng=rng, n_candidates=1024, n_restarts=2
+        )
+
+    x = benchmark.pedantic(propose, rounds=3, iterations=1)
+    assert x.shape == (10,)

@@ -1,0 +1,78 @@
+"""Table I — operational-amplifier optimization grid.
+
+Reproduces the paper's Table I: Best/Worst/Mean/Std of the final FOM and the
+total simulation time for DE, LCB, EI, sequential EasyBO, and the six batch
+algorithms (pBO, pHCBO, EasyBO-S/A/SP, EasyBO) across batch sizes.
+
+Run standalone for larger scales::
+
+    python benchmarks/bench_table1.py --scale reduced --seed 0
+
+Under pytest-benchmark the smoke scale runs once and the table is printed
+into the bench log; the assertions check the *shape* of the paper's claims
+(EasyBO's async variants save wall-clock; penalized variants don't lose FOM).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from harness import SCALES, grid_labels, grid_table, run_grid, speedup_report, summaries
+
+from repro.circuits import OpAmpProblem
+
+
+def problem_factory():
+    return OpAmpProblem()
+
+
+def run_table1(scale_name: str = "smoke", seed: int = 0, verbose: bool = True):
+    """Run the Table I grid; returns (grid, rendered table)."""
+    scale = SCALES["table1"][scale_name]
+    labels = grid_labels(scale)
+    if verbose:
+        print(f"Table I grid at scale {scale.name!r}: {len(labels)} algorithms x "
+              f"{scale.repetitions} repetitions, {scale.max_evals} sims each "
+              f"(DE: {scale.de_evals})")
+    grid = run_grid(labels, problem_factory, scale, seed=seed, verbose=verbose)
+    table = grid_table(grid, "TABLE I: operational amplifier (reproduction)")
+    report = speedup_report(grid, scale.batch_sizes)
+    return grid, table + "\n\n" + report
+
+
+def check_shape(grid) -> None:
+    """Assert the paper's qualitative claims on the completed grid."""
+    stats = summaries(grid)
+    for b in (5, 15):
+        sync = stats.get(f"EasyBO-SP-{b}")
+        async_ = stats.get(f"EasyBO-{b}")
+        if sync and async_:
+            # Async must finish the same number of simulations faster.
+            assert async_.mean_time < sync.mean_time, (
+                f"B={b}: async {async_.mean_time} !< sync {sync.mean_time}"
+            )
+    # DE burns far more simulation time than any BO row.
+    de_time = stats["DE"].mean_time
+    bo_time = stats["EasyBO"].mean_time
+    assert de_time > 2 * bo_time
+
+
+def test_table1_smoke(benchmark):
+    grid, rendered = benchmark.pedantic(
+        lambda: run_table1("smoke", seed=0, verbose=False),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + rendered)
+    check_shape(grid)
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=("smoke", "reduced", "paper"),
+                        default="reduced")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+    grid, rendered = run_table1(args.scale, args.seed)
+    print("\n" + rendered)
+    check_shape(grid)

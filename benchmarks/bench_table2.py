@@ -1,0 +1,82 @@
+"""Table II — class-E power-amplifier optimization grid.
+
+Reproduces the paper's Table II layout on our class-E testbench.  The
+transient simulation is the expensive part, so the smoke/reduced scales
+shorten the settling run (the FOM surface keeps its shape; absolute PAE drops
+a little when not fully settled, identically for every algorithm).
+
+Run standalone::
+
+    python benchmarks/bench_table2.py --scale reduced --seed 0
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from harness import SCALES, grid_labels, grid_table, run_grid, speedup_report, summaries
+
+from repro.circuits import ClassEProblem
+
+#: Transient sizing per scale: (settle_periods, measure_periods, steps/period).
+TRANSIENT = {
+    "smoke": (8, 2, 40),
+    "reduced": (12, 3, 48),
+    "paper": (20, 5, 64),
+}
+
+
+def make_factory(scale_name: str):
+    settle, measure, steps = TRANSIENT[scale_name]
+
+    def factory():
+        return ClassEProblem(
+            settle_periods=settle, measure_periods=measure, steps_per_period=steps
+        )
+
+    return factory
+
+
+def run_table2(scale_name: str = "smoke", seed: int = 0, verbose: bool = True):
+    """Run the Table II grid; returns (grid, rendered report)."""
+    scale = SCALES["table2"][scale_name]
+    labels = grid_labels(scale)
+    if verbose:
+        print(f"Table II grid at scale {scale.name!r}: {len(labels)} algorithms x "
+              f"{scale.repetitions} repetitions, {scale.max_evals} sims each "
+              f"(DE: {scale.de_evals})")
+    grid = run_grid(labels, make_factory(scale_name), scale, seed=seed, verbose=verbose)
+    table = grid_table(grid, "TABLE II: class-E power amplifier (reproduction)")
+    report = speedup_report(grid, scale.batch_sizes)
+    return grid, table + "\n\n" + report
+
+
+def check_shape(grid) -> None:
+    stats = summaries(grid)
+    for b in (5, 15):
+        sync = stats.get(f"EasyBO-SP-{b}")
+        async_ = stats.get(f"EasyBO-{b}")
+        if sync and async_:
+            assert async_.mean_time < sync.mean_time
+    assert stats["DE"].mean_time > 2 * stats["EasyBO"].mean_time
+
+
+def test_table2_smoke(benchmark):
+    grid, rendered = benchmark.pedantic(
+        lambda: run_table2("smoke", seed=0, verbose=False),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + rendered)
+    check_shape(grid)
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=("smoke", "reduced", "paper"),
+                        default="reduced")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+    grid, rendered = run_table2(args.scale, args.seed)
+    print("\n" + rendered)
+    check_shape(grid)

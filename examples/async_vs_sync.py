@@ -1,0 +1,67 @@
+"""Why asynchronous batching wins: a scheduling walkthrough (paper Fig. 1).
+
+Uses the deterministic worker-pool simulator to show, for growing batch
+sizes, how much wall-clock a synchronous barrier wastes when simulation
+times vary — and how the gap matches the paper's measured 9-40% reductions.
+
+Run::
+
+    python examples/async_vs_sync.py
+"""
+
+import numpy as np
+
+from repro.core.problem import FunctionProblem
+from repro.sched.durations import LognormalCostModel
+from repro.sched.workers import VirtualWorkerPool
+
+
+def run_discipline(problem, points, batch, asynchronous: bool):
+    pool = VirtualWorkerPool(problem, batch)
+    if asynchronous:
+        for x in points[:batch]:
+            pool.submit(x)
+        for x in points[batch:]:
+            pool.wait_next()
+            pool.submit(x)
+        pool.wait_all()
+    else:
+        for start in range(0, len(points), batch):
+            for x in points[start:start + batch]:
+                pool.submit(x)
+            pool.wait_all()
+    return pool.trace
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    n_evals = 300
+
+    for name, sigma, paper_gap in (
+        ("op-amp-like (sigma=0.10)", 0.10, "9.2-13.7%"),
+        ("class-E-like (sigma=0.35)", 0.35, "26.7-40.0%"),
+    ):
+        cost = LognormalCostModel(mean_seconds=40.0, sigma=sigma, seed=1)
+        problem = FunctionProblem(lambda x: 0.0, [[0.0, 1.0]], cost_model=cost)
+        points = rng.uniform(size=(n_evals, 1))
+        print(f"\n{name} — {n_evals} simulations "
+              f"(paper's measured reduction: {paper_gap})")
+        print(f"  {'B':>3} {'sync':>10} {'async':>10} {'saved':>7} "
+              f"{'sync util':>10} {'async util':>10}")
+        for batch in (5, 10, 15):
+            sync = run_discipline(problem, points, batch, asynchronous=False)
+            async_ = run_discipline(problem, points, batch, asynchronous=True)
+            saved = 1.0 - async_.makespan / sync.makespan
+            print(f"  {batch:>3} {sync.makespan:>9.0f}s {async_.makespan:>9.0f}s "
+                  f"{saved:>6.1%} {sync.utilization():>10.1%} "
+                  f"{async_.utilization():>10.1%}")
+
+    print(
+        "\nThe saving grows with the batch size and with the spread of the\n"
+        "simulation times — exactly the paper's argument for issuing new\n"
+        "query points the moment a worker goes idle."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Size the two-stage Miller op-amp with asynchronous batch BO (paper §IV-A).
+
+This is the paper's first benchmark at a laptop-friendly budget: maximize
+
+    FOM = 1.2 * GAIN(dB) + 10 * UGF(10 MHz) + 1.6 * PM(deg)
+
+over 10 design variables (transistor geometry, nulling resistor, Miller
+capacitor).  The script prints the best sizing in physical units, its
+measured AC performance, and the async-vs-sync wall-clock comparison.
+
+Run::
+
+    python examples/opamp_sizing.py [--budget 100] [--batch 5] [--seed 0]
+"""
+
+import argparse
+
+from repro import EasyBO
+from repro.circuits import OpAmpProblem
+from repro.spice import format_eng
+from repro.utils.tables import format_duration
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--budget", type=int, default=100,
+                        help="total simulations (paper: 150)")
+    parser.add_argument("--batch", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    problem = OpAmpProblem()
+    print(f"Sizing the op-amp: {problem.dim} variables, "
+          f"{args.budget} simulations, batch size {args.batch}\n")
+
+    runs = {}
+    for mode in ("async", "sync"):
+        result = EasyBO(
+            problem,
+            batch_size=args.batch,
+            mode=mode,
+            n_init=20,
+            max_evals=args.budget,
+            rng=args.seed,
+        ).optimize()
+        runs[mode] = result
+        print(f"{mode:<6} best FOM {result.best_fom:8.2f}   "
+              f"simulation time {format_duration(result.wall_clock)}   "
+              f"worker utilization {result.trace.utilization():.0%}")
+
+    best = max(runs.values(), key=lambda r: r.best_fom)
+    check = problem.evaluate(best.best_x)
+    values = problem.space.to_values(best.best_x)
+
+    print("\nBest design found:")
+    for name, value in values.items():
+        unit = {"rz": "Ohm", "cc": "F"}.get(name, "m")
+        print(f"  {name:<4} = {format_eng(value, unit)}")
+    print("\nMeasured performance:")
+    print(f"  DC gain       {check.metrics['gain_db']:.1f} dB")
+    print(f"  UGF           {check.metrics['ugf_mhz']:.1f} MHz")
+    print(f"  phase margin  {check.metrics['pm_deg']:.1f} deg")
+    print(f"  FOM           {check.fom:.2f}")
+
+    saving = 1.0 - runs["async"].wall_clock / runs["sync"].wall_clock
+    print(f"\nAsynchronous issue saved {saving:.1%} of simulation time at the "
+          f"same budget (paper reports 9-14% on this circuit).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""EasyBO: Efficient Asynchronous Batch Bayesian Optimization for Analog
+Circuit Synthesis — a full reproduction of Zhang et al., DAC 2020.
+
+Quick start::
+
+    from repro import EasyBO
+    from repro.circuits import OpAmpProblem
+
+    result = EasyBO(OpAmpProblem(), batch_size=5, rng=0).optimize()
+    print(result.best_fom)
+
+Subpackages
+-----------
+``repro.core``
+    The BO algorithms: EasyBO (async, Alg. 1), synchronous batch variants
+    (pBO, pHCBO, EasyBO-S/SP, BUCB, LP), sequential baselines (EI/LCB/PI).
+``repro.gp``
+    Gaussian-process regression built from scratch (SE-ARD kernel, ML-II).
+``repro.spice``
+    A from-scratch MNA circuit simulator (DC / AC / transient) standing in
+    for HSPICE.
+``repro.circuits``
+    The paper's two testbenches (op-amp, class-E PA) and synthetic functions.
+``repro.sched``
+    Worker pools: deterministic simulated clock and real thread backend.
+``repro.baselines``
+    Differential evolution and random search.
+"""
+
+from repro.core import (
+    AsynchronousBatchBO,
+    EasyBO,
+    EvaluationResult,
+    Problem,
+    RunResult,
+    SequentialBO,
+    SynchronousBatchBO,
+    make_algorithm,
+    summarize_runs,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "EasyBO",
+    "make_algorithm",
+    "SequentialBO",
+    "SynchronousBatchBO",
+    "AsynchronousBatchBO",
+    "Problem",
+    "EvaluationResult",
+    "RunResult",
+    "summarize_runs",
+    "__version__",
+]

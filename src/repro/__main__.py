@@ -1,0 +1,110 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Print the library version and the available algorithms/problems.
+``demo``
+    Run a 30-second EasyBO demonstration on a synthetic benchmark.
+``opamp`` / ``classe``
+    Size one of the paper's circuits at a small budget.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def cmd_info(_args) -> int:
+    import repro
+    from repro.core.easybo import ALGORITHM_FAMILIES
+
+    print(f"repro {repro.__version__} — EasyBO (DAC 2020) reproduction")
+    print("\nalgorithm families (use with repro.make_algorithm):")
+    for name in sorted(ALGORITHM_FAMILIES):
+        print(f"  {name}")
+    print("\nbenchmark problems:")
+    print("  repro.circuits.OpAmpProblem        (10 vars, Eq. 10 FOM)")
+    print("  repro.circuits.ClassEProblem       (12 vars, Eq. 11 FOM)")
+    print("  repro.circuits.ConstrainedOpAmpProblem")
+    print("  repro.circuits.branin / hartmann6 / ackley / ...")
+    return 0
+
+
+def cmd_demo(args) -> int:
+    from repro import EasyBO
+    from repro.circuits import hartmann6
+
+    problem = hartmann6()
+    print(f"EasyBO on Hartmann-6 (optimum {problem.optimum:.3f}), "
+          f"batch size {args.batch}, {args.budget} evaluations...")
+    result = EasyBO(
+        problem, batch_size=args.batch, n_init=15, max_evals=args.budget,
+        rng=args.seed,
+    ).optimize()
+    print(f"best value {result.best_fom:.4f} "
+          f"(regret {problem.regret(result.best_fom):.4f})")
+    print(f"simulated wall-clock {result.wall_clock:.0f} s at "
+          f"{result.trace.utilization():.0%} worker utilization")
+    return 0
+
+
+def cmd_opamp(args) -> int:
+    from repro import EasyBO
+    from repro.circuits import OpAmpProblem
+
+    result = EasyBO(
+        OpAmpProblem(), batch_size=args.batch, n_init=15,
+        max_evals=args.budget, rng=args.seed,
+    ).optimize()
+    check = OpAmpProblem().evaluate(result.best_x)
+    print(f"best FOM {result.best_fom:.2f}")
+    for key, value in check.metrics.items():
+        print(f"  {key:<8} {value:.2f}")
+    print(f"design: {np.array2string(result.best_x, precision=3)}")
+    return 0
+
+
+def cmd_classe(args) -> int:
+    from repro import EasyBO
+    from repro.circuits import ClassEProblem
+
+    problem = ClassEProblem(settle_periods=12, measure_periods=3,
+                            steps_per_period=48)
+    result = EasyBO(
+        problem, batch_size=args.batch, n_init=15, max_evals=args.budget,
+        rng=args.seed,
+    ).optimize()
+    check = problem.evaluate(result.best_x)
+    print(f"best FOM {result.best_fom:.3f}")
+    print(f"  PAE  {check.metrics['pae']:.1%}")
+    print(f"  Pout {1e3 * check.metrics['p_out_w']:.1f} mW")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="library and algorithm inventory")
+    for name, default_budget in (("demo", 50), ("opamp", 60), ("classe", 40)):
+        p = sub.add_parser(name)
+        p.add_argument("--budget", type=int, default=default_budget)
+        p.add_argument("--batch", type=int, default=5)
+        p.add_argument("--seed", type=int, default=0)
+
+    args = parser.parse_args(argv)
+    handler = {
+        "info": cmd_info,
+        "demo": cmd_demo,
+        "opamp": cmd_opamp,
+        "classe": cmd_classe,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,6 @@
+"""Non-BO baselines and batch-BO extensions used in the paper's tables."""
+
+from repro.baselines.de import DifferentialEvolution
+from repro.baselines.random_search import RandomSearch
+
+__all__ = ["DifferentialEvolution", "RandomSearch"]

@@ -1,0 +1,59 @@
+"""Pure random search — the sanity-check floor for every other algorithm."""
+
+from __future__ import annotations
+
+from repro.core.doe import random_design
+from repro.core.problem import Problem
+from repro.core.results import RunResult
+from repro.sched.workers import VirtualWorkerPool
+from repro.utils.rng import as_generator
+
+__all__ = ["RandomSearch"]
+
+
+class RandomSearch:
+    """Evaluate ``max_evals`` uniform points, ``n_workers`` at a time."""
+
+    algorithm_name = "Random"
+
+    def __init__(
+        self,
+        problem: Problem,
+        *,
+        max_evals: int,
+        rng=None,
+        n_workers: int = 1,
+        pool_factory=None,
+    ):
+        if max_evals < 1:
+            raise ValueError("max_evals must be >= 1")
+        self.problem = problem
+        self.max_evals = int(max_evals)
+        self.rng = as_generator(rng)
+        self.n_workers = int(n_workers)
+        self.pool_factory = pool_factory or VirtualWorkerPool
+
+    def run(self) -> RunResult:
+        pool = self.pool_factory(self.problem, self.n_workers)
+        X = random_design(self.problem.bounds, self.max_evals, self.rng)
+        submitted = 0
+        while submitted < self.max_evals and pool.idle_count > 0:
+            pool.submit(X[submitted])
+            submitted += 1
+        done = 0
+        while done < self.max_evals:
+            pool.wait_next()
+            done += 1
+            if submitted < self.max_evals:
+                pool.submit(X[submitted])
+                submitted += 1
+        best = pool.trace.best_record()
+        return RunResult(
+            algorithm=self.algorithm_name,
+            problem=self.problem.name,
+            trace=pool.trace,
+            best_x=best.x.copy(),
+            best_fom=best.fom,
+            n_evaluations=len(pool.trace),
+            wall_clock=pool.trace.makespan,
+        )

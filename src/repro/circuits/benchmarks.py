@@ -1,0 +1,178 @@
+"""Synthetic optimization benchmarks with heterogeneous evaluation costs.
+
+These stand in for the circuit testbenches in fast tests, examples, and
+algorithm-level benchmarks.  All functions are expressed as *maximization*
+problems (the standard minimization forms are negated) on their canonical
+domains, and each problem carries a design-dependent lognormal cost model so
+the asynchronous scheduling machinery can be exercised cheaply.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.problem import EvaluationResult, Problem
+from repro.sched.durations import CostModel, LognormalCostModel
+from repro.utils.validation import check_bounds
+
+__all__ = [
+    "SyntheticProblem",
+    "branin",
+    "hartmann6",
+    "ackley",
+    "rastrigin",
+    "levy",
+    "sphere",
+    "by_name",
+]
+
+
+class SyntheticProblem(Problem):
+    """A closed-form test function with known optimum.
+
+    Attributes
+    ----------
+    optimum:
+        The known global maximum value (for regret computations).
+    """
+
+    def __init__(self, name, func, bounds, optimum, *, cost_model: CostModel | None = None):
+        self.name = name
+        self._func = func
+        self._bounds = check_bounds(bounds)
+        self.optimum = float(optimum)
+        self.cost_model = (
+            cost_model
+            if cost_model is not None
+            else LognormalCostModel(mean_seconds=10.0, sigma=0.3, seed=7)
+        )
+
+    @property
+    def bounds(self) -> np.ndarray:
+        return self._bounds
+
+    def evaluate(self, x: np.ndarray) -> EvaluationResult:
+        x = self.validate_point(x)
+        return EvaluationResult(
+            fom=float(self._func(x)), cost=self.cost_model.duration(x)
+        )
+
+    def regret(self, best_fom: float) -> float:
+        """Simple regret ``optimum - best_fom`` (non-negative near zero)."""
+        return self.optimum - best_fom
+
+
+def branin(cost_model: CostModel | None = None) -> SyntheticProblem:
+    """Branin-Hoo on [-5,10]x[0,15]; maximum 0 after negation is -0.397887."""
+
+    def f(x):
+        a, b, c = 1.0, 5.1 / (4 * np.pi**2), 5.0 / np.pi
+        r, s, t = 6.0, 10.0, 1.0 / (8 * np.pi)
+        val = a * (x[1] - b * x[0] ** 2 + c * x[0] - r) ** 2
+        val += s * (1 - t) * np.cos(x[0]) + s
+        return -val
+
+    return SyntheticProblem(
+        "branin", f, [[-5.0, 10.0], [0.0, 15.0]], optimum=-0.397887, cost_model=cost_model
+    )
+
+
+def hartmann6(cost_model: CostModel | None = None) -> SyntheticProblem:
+    """6-D Hartmann on [0,1]^6; maximum 3.32237."""
+    A = np.array(
+        [
+            [10, 3, 17, 3.5, 1.7, 8],
+            [0.05, 10, 17, 0.1, 8, 14],
+            [3, 3.5, 1.7, 10, 17, 8],
+            [17, 8, 0.05, 10, 0.1, 14],
+        ]
+    )
+    P = 1e-4 * np.array(
+        [
+            [1312, 1696, 5569, 124, 8283, 5886],
+            [2329, 4135, 8307, 3736, 1004, 9991],
+            [2348, 1451, 3522, 2883, 3047, 6650],
+            [4047, 8828, 8732, 5743, 1091, 381],
+        ]
+    )
+    alpha = np.array([1.0, 1.2, 3.0, 3.2])
+
+    def f(x):
+        inner = np.sum(A * (x[None, :] - P) ** 2, axis=1)
+        return float(np.sum(alpha * np.exp(-inner)))
+
+    return SyntheticProblem(
+        "hartmann6", f, [[0.0, 1.0]] * 6, optimum=3.32237, cost_model=cost_model
+    )
+
+
+def ackley(dim: int = 5, cost_model: CostModel | None = None) -> SyntheticProblem:
+    """d-D Ackley on [-32.768, 32.768]^d; maximum 0 at the origin."""
+
+    def f(x):
+        n = len(x)
+        term1 = -20.0 * np.exp(-0.2 * np.sqrt(np.sum(x**2) / n))
+        term2 = -np.exp(np.sum(np.cos(2 * np.pi * x)) / n)
+        return -(term1 + term2 + 20.0 + np.e)
+
+    return SyntheticProblem(
+        f"ackley{dim}", f, [[-32.768, 32.768]] * dim, optimum=0.0, cost_model=cost_model
+    )
+
+
+def rastrigin(dim: int = 4, cost_model: CostModel | None = None) -> SyntheticProblem:
+    """d-D Rastrigin on [-5.12, 5.12]^d; maximum 0 at the origin."""
+
+    def f(x):
+        return -float(10 * len(x) + np.sum(x**2 - 10 * np.cos(2 * np.pi * x)))
+
+    return SyntheticProblem(
+        f"rastrigin{dim}", f, [[-5.12, 5.12]] * dim, optimum=0.0, cost_model=cost_model
+    )
+
+
+def levy(dim: int = 4, cost_model: CostModel | None = None) -> SyntheticProblem:
+    """d-D Levy on [-10, 10]^d; maximum 0 at x = 1."""
+
+    def f(x):
+        w = 1 + (x - 1) / 4
+        term1 = np.sin(np.pi * w[0]) ** 2
+        term3 = (w[-1] - 1) ** 2 * (1 + np.sin(2 * np.pi * w[-1]) ** 2)
+        middle = np.sum((w[:-1] - 1) ** 2 * (1 + 10 * np.sin(np.pi * w[:-1] + 1) ** 2))
+        return -float(term1 + middle + term3)
+
+    return SyntheticProblem(
+        f"levy{dim}", f, [[-10.0, 10.0]] * dim, optimum=0.0, cost_model=cost_model
+    )
+
+
+def sphere(dim: int = 3, cost_model: CostModel | None = None) -> SyntheticProblem:
+    """d-D sphere on [-5, 5]^d; maximum 0 at the origin (sanity baseline)."""
+
+    def f(x):
+        return -float(np.sum(x**2))
+
+    return SyntheticProblem(
+        f"sphere{dim}", f, [[-5.0, 5.0]] * dim, optimum=0.0, cost_model=cost_model
+    )
+
+
+_FACTORIES = {
+    "branin": branin,
+    "hartmann6": hartmann6,
+    "ackley": ackley,
+    "rastrigin": rastrigin,
+    "levy": levy,
+    "sphere": sphere,
+}
+
+
+def by_name(name: str, **kwargs) -> SyntheticProblem:
+    """Look up a synthetic benchmark factory by name."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {sorted(_FACTORIES)}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,183 @@
+"""Class-E power amplifier testbench (paper §IV-B).
+
+The paper sizes a 180 nm class-E PA with 12 design parameters under
+
+    FOM = 3 * PAE + Pout                              (Eq. 11)
+
+Our stand-in is the textbook class-E stage: an NMOS switch with pulse gate
+drive through a small gate resistor, an RF choke from the supply, a shunt
+capacitor at the drain, a series L0-C0 resonator, and an L-section match into
+a 50-ohm load.  The carrier is 100 MHz (the topology scales with frequency;
+only steps-per-period matters to the simulator).
+
+Metrics from the switching transient (last ``measure_periods`` periods after
+a settling run): Pout is the fundamental power delivered to the load, PAE is
+``(Pout - Pin) / Pdc`` with Pin the gate-drive power.  In Eq. 11 Pout is
+expressed in units of 100 mW so both terms share the paper's ~0-3 range and
+the FOM lands in the same few-unit band as Table II.
+
+Failed transients (non-convergent switching) and degenerate power draws are
+penalized with ``FAILURE_FOM``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.spec import DesignSpace, Parameter
+from repro.core.problem import EvaluationResult, Problem
+from repro.sched.durations import CostModel, LognormalCostModel
+from repro.spice import (
+    Circuit,
+    PulseWave,
+    SpiceError,
+    average_power,
+    fundamental_power,
+    transient_analysis,
+)
+from repro.spice.mosfet import nmos_180
+
+__all__ = ["ClassEProblem", "build_classe", "classe_design_space", "FAILURE_FOM", "F0"]
+
+#: FOM assigned to designs whose simulation fails.
+FAILURE_FOM = 0.0
+
+#: Switching frequency of the testbench.
+F0 = 100e6
+
+#: Load resistance (fixed, as for a 50-ohm antenna).
+RLOAD = 50.0
+
+#: Series gate resistance modelling the driver output impedance.
+RGATE = 2.0
+
+#: Paper-calibrated per-simulation HSPICE cost (see sched.durations).
+DEFAULT_COST = LognormalCostModel(mean_seconds=52.7, sigma=0.35, seed=2)
+
+
+def classe_design_space() -> DesignSpace:
+    """The 12-variable class-E sizing space."""
+    return DesignSpace(
+        [
+            Parameter("w", 200e-6, 5000e-6, unit="m", log=True),      # switch width
+            Parameter("l", 0.18e-6, 0.5e-6, unit="m", log=True),      # switch length
+            Parameter("l_choke", 100e-9, 10e-6, unit="H", log=True),  # RF choke
+            Parameter("c_shunt", 2e-12, 100e-12, unit="F", log=True),  # drain shunt
+            Parameter("l0", 20e-9, 500e-9, unit="H", log=True),       # resonator L
+            Parameter("c0", 2e-12, 100e-12, unit="F", log=True),      # resonator C
+            Parameter("l_match", 2e-9, 100e-9, unit="H", log=True),   # match series L
+            Parameter("c_match", 2e-12, 100e-12, unit="F", log=True),  # match shunt C
+            Parameter("duty", 0.25, 0.75),                            # drive duty cycle
+            Parameter("rise_frac", 0.02, 0.25),                       # edge / period
+            Parameter("vdd", 1.0, 2.4, unit="V"),                     # supply
+            Parameter("v_gate", 1.2, 2.0, unit="V"),                  # drive high level
+        ]
+    )
+
+
+def build_classe(values: dict[str, float]) -> Circuit:
+    """Construct the class-E PA netlist for one set of physical values."""
+    period = 1.0 / F0
+    rise = values["rise_frac"] * period
+    # Keep rise + width + fall inside one period with a minimum on-time.
+    width = period * max(values["duty"] - values["rise_frac"], 0.05)
+    drive = PulseWave(
+        v1=0.0, v2=values["v_gate"], delay=0.0, rise=rise, fall=rise,
+        width=width, period=period,
+    )
+    c = Circuit("class-E power amplifier (reproduction of paper Fig. 5)")
+    c.V("vdd", "vdd", "0", dc=values["vdd"])
+    c.V("vg", "gdrv", "0", waveform=drive)
+    c.R("rg", "gdrv", "g", RGATE)
+    c.L("lchoke", "vdd", "drain", values["l_choke"])
+    c.M("m1", "drain", "g", "0", "0", nmos_180(), w=values["w"], l=values["l"])
+    c.C("csh", "drain", "0", values["c_shunt"])
+    c.L("l0", "drain", "n1", values["l0"])
+    c.C("c0", "n1", "n2", values["c0"])
+    c.L("lm", "n2", "out", values["l_match"])
+    c.C("cm", "out", "0", values["c_match"])
+    c.R("rl", "out", "0", RLOAD)
+    return c
+
+
+class ClassEProblem(Problem):
+    """Class-E PA sizing as a :class:`~repro.core.problem.Problem`.
+
+    Parameters
+    ----------
+    cost_model:
+        Duration model charged per evaluation.
+    settle_periods / measure_periods:
+        Transient length: the circuit runs ``settle + measure`` carrier
+        periods and the power metrics integrate over the final window.
+    steps_per_period:
+        Fixed integration grid density.
+    """
+
+    name = "classe"
+
+    def __init__(
+        self,
+        *,
+        cost_model: CostModel | None = None,
+        settle_periods: int = 20,
+        measure_periods: int = 5,
+        steps_per_period: int = 64,
+    ):
+        if settle_periods < 1 or measure_periods < 1:
+            raise ValueError("settle_periods and measure_periods must be >= 1")
+        self.space = classe_design_space()
+        self.cost_model = cost_model if cost_model is not None else DEFAULT_COST
+        self.settle_periods = int(settle_periods)
+        self.measure_periods = int(measure_periods)
+        self.steps_per_period = int(steps_per_period)
+
+    @property
+    def bounds(self) -> np.ndarray:
+        return self.space.bounds
+
+    def evaluate(self, x: np.ndarray) -> EvaluationResult:
+        x = self.validate_point(x)
+        cost = self.cost_model.duration(x)
+        values = self.space.to_values(x)
+        period = 1.0 / F0
+        t_stop = (self.settle_periods + self.measure_periods) * period
+        dt = period / self.steps_per_period
+        try:
+            circuit = build_classe(values)
+            result = transient_analysis(circuit, t_stop, dt)
+        except SpiceError:
+            return EvaluationResult(fom=FAILURE_FOM, metrics={}, cost=cost, feasible=False)
+
+        window = result.window(self.settle_periods * period)
+        t = result.t[window]
+        v_out = result.v("out")[window]
+        p_out = fundamental_power(t, v_out, F0, RLOAD)
+        # Source branch currents flow + -> - inside the source, so the power
+        # *delivered* by a source is v * (-i).
+        p_dc = average_power(t, np.full_like(t, values["vdd"]), -result.i("vdd")[window])
+        v_drive = result.v("gdrv")[window]
+        p_in = average_power(t, v_drive, -result.i("vg")[window])
+        if p_dc <= 1e-9:
+            return EvaluationResult(
+                fom=FAILURE_FOM,
+                metrics={"p_out_w": p_out, "p_dc_w": p_dc, "p_in_w": p_in},
+                cost=cost,
+                feasible=False,
+            )
+        pae = max(0.0, (p_out - max(p_in, 0.0)) / p_dc)
+        # Drain efficiency cannot exceed 1; a PAE above 1 signals a transient
+        # that has not reached steady state (energy still stored in the
+        # resonator).  Clamp for bookkeeping.
+        pae = min(pae, 1.0)
+        fom = 3.0 * pae + p_out / 0.1
+        return EvaluationResult(
+            fom=float(fom),
+            metrics={
+                "pae": pae,
+                "p_out_w": p_out,
+                "p_dc_w": p_dc,
+                "p_in_w": p_in,
+            },
+            cost=cost,
+        )

@@ -1,0 +1,117 @@
+"""Five-transistor OTA testbench — the small third benchmark circuit.
+
+A single-stage operational transconductance amplifier: NMOS differential
+pair, PMOS current-mirror load, NMOS tail source mirrored from a bias leg.
+Six design variables (pair and load geometries, tail width, bias current)
+under the same Eq. 10-style figure of merit as the two-stage op-amp.
+
+It is included as a fast, well-conditioned sizing problem: a single AC sweep
+per evaluation and a landscape gentle enough that every optimizer in the
+library makes visible progress within tens of simulations — handy for demos,
+tutorials, and algorithm debugging, where the paper's 10-variable op-amp is
+overkill.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.spec import DesignSpace, Parameter
+from repro.core.problem import EvaluationResult, Problem
+from repro.sched.durations import CostModel, LognormalCostModel
+from repro.spice import (
+    Circuit,
+    SpiceError,
+    ac_analysis,
+    bode_metrics,
+    dc_operating_point,
+    logspace_frequencies,
+    nmos_180,
+    pmos_180,
+)
+
+__all__ = ["OtaProblem", "build_ota", "ota_design_space", "FAILURE_FOM"]
+
+#: FOM assigned to failed simulations.
+FAILURE_FOM = 0.0
+
+#: Supply, common mode, and load for the testbench.
+VDD = 1.8
+VCM = 0.9
+CLOAD = 1e-12
+
+#: Lighter cost model than the op-amp (single-stage AC is quick in HSPICE).
+DEFAULT_COST = LognormalCostModel(mean_seconds=12.0, sigma=0.15, seed=3)
+
+
+def ota_design_space() -> DesignSpace:
+    """The 6-variable OTA sizing space."""
+    return DesignSpace(
+        [
+            Parameter("w12", 2e-6, 60e-6, unit="m", log=True),    # input pair
+            Parameter("l12", 0.18e-6, 1.5e-6, unit="m", log=True),
+            Parameter("w34", 2e-6, 60e-6, unit="m", log=True),    # mirror load
+            Parameter("l34", 0.18e-6, 1.5e-6, unit="m", log=True),
+            Parameter("w5", 2e-6, 80e-6, unit="m", log=True),     # tail source
+            Parameter("ibias", 5e-6, 100e-6, unit="A", log=True),  # bias leg
+        ]
+    )
+
+
+def build_ota(values: dict[str, float]) -> Circuit:
+    """Construct the 5T OTA netlist for one set of physical sizes."""
+    nmos = nmos_180()
+    pmos = pmos_180()
+    c = Circuit("five-transistor OTA")
+    c.V("vdd", "vdd", "0", dc=VDD)
+    c.V("vip", "ip", "0", dc=VCM, ac=+0.5)
+    c.V("vim", "im", "0", dc=VCM, ac=-0.5)
+    c.I("ibias", "vdd", "bn", dc=values["ibias"])
+    c.M("m6", "bn", "bn", "0", "0", nmos, w=4e-6, l=0.5e-6)
+    c.M("m5", "tail", "bn", "0", "0", nmos, w=values["w5"], l=0.5e-6)
+    c.M("m1", "x", "ip", "tail", "0", nmos, w=values["w12"], l=values["l12"])
+    c.M("m2", "out", "im", "tail", "0", nmos, w=values["w12"], l=values["l12"])
+    c.M("m3", "x", "x", "vdd", "vdd", pmos, w=values["w34"], l=values["l34"])
+    c.M("m4", "out", "x", "vdd", "vdd", pmos, w=values["w34"], l=values["l34"])
+    c.C("cl", "out", "0", CLOAD)
+    return c
+
+
+class OtaProblem(Problem):
+    """OTA sizing with ``FOM = 1.2 GAIN + 10 UGF(10 MHz) + 1.6 PM``.
+
+    A single-stage OTA is unconditionally stable into a capacitive load, so
+    no phase-margin gate is needed; PM simply contributes its term.
+    """
+
+    name = "ota"
+
+    def __init__(self, *, cost_model: CostModel | None = None):
+        self.space = ota_design_space()
+        self.cost_model = cost_model if cost_model is not None else DEFAULT_COST
+        self.freqs = logspace_frequencies(10.0, 10e9, 12)
+
+    @property
+    def bounds(self) -> np.ndarray:
+        return self.space.bounds
+
+    def evaluate(self, x: np.ndarray) -> EvaluationResult:
+        x = self.validate_point(x)
+        cost = self.cost_model.duration(x)
+        values = self.space.to_values(x)
+        try:
+            circuit = build_ota(values)
+            op = dc_operating_point(circuit)
+            ac = ac_analysis(circuit, self.freqs, op=op)
+            metrics = bode_metrics(ac.freqs, ac.v("out"))
+        except SpiceError:
+            return EvaluationResult(fom=FAILURE_FOM, metrics={}, cost=cost, feasible=False)
+        gain_db = metrics.dc_gain_db
+        ugf_mhz = metrics.ugf_hz / 1e6
+        pm_deg = metrics.phase_margin_deg
+        fom = 1.2 * gain_db + 10.0 * (ugf_mhz / 10.0) + 1.6 * min(max(pm_deg, 0.0), 120.0)
+        return EvaluationResult(
+            fom=max(float(fom), FAILURE_FOM),
+            metrics={"gain_db": gain_db, "ugf_mhz": ugf_mhz, "pm_deg": pm_deg},
+            cost=cost,
+        )

@@ -1,0 +1,128 @@
+"""Design-space plumbing for circuit sizing problems.
+
+A :class:`DesignSpace` maps between the optimizer's coordinates and physical
+component values.  Parameters that span decades (widths, capacitances,
+inductances) are searched in log10 space — the standard trick that makes GP
+lengthscales meaningful for sizing problems.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from repro.utils.validation import check_vector
+
+__all__ = ["Parameter", "DesignSpace"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Parameter:
+    """One sizing variable.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in value dictionaries.
+    low, high:
+        Physical bounds (inclusive).
+    unit:
+        Display unit, e.g. ``"m"`` or ``"F"``.
+    log:
+        If True the optimizer searches log10(value) between log10(low) and
+        log10(high).
+    """
+
+    name: str
+    low: float
+    high: float
+    unit: str = ""
+    log: bool = False
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("parameter name must be non-empty")
+        if not (math.isfinite(self.low) and math.isfinite(self.high)):
+            raise ValueError(f"{self.name}: bounds must be finite")
+        if self.low >= self.high:
+            raise ValueError(f"{self.name}: low must be < high")
+        if self.log and self.low <= 0:
+            raise ValueError(f"{self.name}: log-scale parameters need low > 0")
+
+    @property
+    def optimizer_bounds(self) -> tuple[float, float]:
+        """Bounds in the optimizer's coordinate for this parameter."""
+        if self.log:
+            return (math.log10(self.low), math.log10(self.high))
+        return (self.low, self.high)
+
+    def to_physical(self, coord: float) -> float:
+        """Map an optimizer coordinate to the physical value (clipped)."""
+        lo, hi = self.optimizer_bounds
+        coord = min(max(coord, lo), hi)
+        return 10.0**coord if self.log else coord
+
+    def to_optimizer(self, value: float) -> float:
+        """Map a physical value to the optimizer coordinate."""
+        if self.log:
+            if value <= 0:
+                raise ValueError(f"{self.name}: log parameter needs positive value")
+            return math.log10(value)
+        return value
+
+
+class DesignSpace:
+    """Ordered collection of :class:`Parameter` with coordinate mapping."""
+
+    def __init__(self, parameters):
+        parameters = list(parameters)
+        if not parameters:
+            raise ValueError("design space needs at least one parameter")
+        names = [p.name for p in parameters]
+        if len(set(names)) != len(names):
+            raise ValueError("parameter names must be unique")
+        self.parameters = parameters
+
+    @property
+    def dim(self) -> int:
+        return len(self.parameters)
+
+    @property
+    def names(self) -> list[str]:
+        return [p.name for p in self.parameters]
+
+    @property
+    def bounds(self) -> np.ndarray:
+        """Optimizer-space box bounds, shape ``(d, 2)``."""
+        return np.asarray([p.optimizer_bounds for p in self.parameters])
+
+    def to_values(self, x) -> dict[str, float]:
+        """Optimizer coordinates -> named physical values."""
+        x = check_vector(x, "x", size=self.dim)
+        return {p.name: p.to_physical(float(c)) for p, c in zip(self.parameters, x)}
+
+    def to_vector(self, values: dict[str, float]) -> np.ndarray:
+        """Named physical values -> optimizer coordinates."""
+        missing = set(self.names) - set(values)
+        if missing:
+            raise KeyError(f"missing values for parameters: {sorted(missing)}")
+        return np.asarray(
+            [p.to_optimizer(float(values[p.name])) for p in self.parameters]
+        )
+
+    def sample(self, n: int, rng) -> np.ndarray:
+        """Uniform random designs in optimizer space, shape ``(n, d)``."""
+        bounds = self.bounds
+        return rng.uniform(bounds[:, 0], bounds[:, 1], size=(n, self.dim))
+
+    def describe(self) -> str:
+        """Table of parameters and their physical ranges."""
+        lines = [f"{'parameter':<12} {'low':>12} {'high':>12} scale"]
+        for p in self.parameters:
+            scale = "log10" if p.log else "linear"
+            lines.append(
+                f"{p.name:<12} {p.low:>12.4g} {p.high:>12.4g} {scale} {p.unit}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,212 @@
+"""Process variation: corner and Monte-Carlo analysis of sized designs.
+
+Sizing results are only useful if they survive process spread.  This module
+models global process variation by perturbing the MOSFET model cards:
+
+* **corners** — the classic FF/SS/FS/SF/TT grid, shifting threshold voltage
+  and transconductance of NMOS/PMOS together (fast = lower vt0, higher kp);
+* **Monte Carlo** — Gaussian perturbations of (vt0, kp) per run.
+
+Both wrap any circuit problem whose netlist builder accepts model cards via
+:func:`build_with_models`, and a :class:`RobustOpAmpProblem` is provided that
+scores a design by its *worst-corner* FOM — turning EasyBO into a robust
+(minimax) sizing loop.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.circuits.opamp import (
+    CLOAD,
+    DEFAULT_COST,
+    FAILURE_FOM,
+    IBIAS,
+    MIN_PHASE_MARGIN,
+    PM_PENALTY_PER_DEG,
+    VCM,
+    VDD,
+    opamp_design_space,
+)
+from repro.core.problem import EvaluationResult, Problem
+from repro.sched.durations import CostModel
+from repro.spice import (
+    Circuit,
+    MosfetParams,
+    SpiceError,
+    ac_analysis,
+    bode_metrics,
+    dc_operating_point,
+    logspace_frequencies,
+    nmos_180,
+    pmos_180,
+)
+from repro.utils.rng import as_generator
+
+__all__ = [
+    "ProcessShift",
+    "CORNERS",
+    "shift_params",
+    "build_opamp_with_models",
+    "evaluate_opamp_at_corner",
+    "RobustOpAmpProblem",
+    "monte_carlo_foms",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class ProcessShift:
+    """Multiplicative/additive shifts applied to a model card.
+
+    ``dvt`` is added to vt0 (volts); ``kp_scale`` multiplies kp.
+    """
+
+    name: str
+    nmos_dvt: float
+    nmos_kp_scale: float
+    pmos_dvt: float
+    pmos_kp_scale: float
+
+
+#: The standard five-corner set (fast/slow per device polarity).
+CORNERS = (
+    ProcessShift("TT", 0.0, 1.0, 0.0, 1.0),
+    ProcessShift("FF", -0.05, 1.12, -0.05, 1.12),
+    ProcessShift("SS", +0.05, 0.88, +0.05, 0.88),
+    ProcessShift("FS", -0.05, 1.12, +0.05, 0.88),
+    ProcessShift("SF", +0.05, 0.88, -0.05, 1.12),
+)
+
+
+def shift_params(base: MosfetParams, dvt: float, kp_scale: float) -> MosfetParams:
+    """A model card with shifted threshold and transconductance."""
+    if kp_scale <= 0:
+        raise ValueError("kp_scale must be positive")
+    return dataclasses.replace(base, vt0=base.vt0 + dvt, kp=base.kp * kp_scale)
+
+
+def build_opamp_with_models(
+    values: dict[str, float], nmos: MosfetParams, pmos: MosfetParams
+) -> Circuit:
+    """The op-amp netlist with explicit (possibly shifted) model cards.
+
+    Mirrors :func:`repro.circuits.opamp.build_opamp`, which uses the nominal
+    cards.
+    """
+    c = Circuit("two-stage Miller op-amp (process-shifted)")
+    c.V("vdd", "vdd", "0", dc=VDD)
+    c.V("vip", "ip", "0", dc=VCM, ac=+0.5)
+    c.V("vim", "im", "0", dc=VCM, ac=-0.5)
+    c.I("ibias", "vdd", "bn", dc=IBIAS)
+    c.M("m8", "bn", "bn", "0", "0", nmos, w=4e-6, l=0.5e-6)
+    c.M("m5", "tail", "bn", "0", "0", nmos, w=values["w5"], l=0.5e-6)
+    c.M("m1", "x1", "ip", "tail", "0", nmos, w=values["w12"], l=values["l12"])
+    c.M("m2", "x2", "im", "tail", "0", nmos, w=values["w12"], l=values["l12"])
+    c.M("m3", "x1", "x1", "vdd", "vdd", pmos, w=values["w34"], l=values["l34"])
+    c.M("m4", "x2", "x1", "vdd", "vdd", pmos, w=values["w34"], l=values["l34"])
+    c.M("m6", "out", "x2", "vdd", "vdd", pmos, w=values["w6"], l=values["l6"])
+    c.M("m7", "out", "bn", "0", "0", nmos, w=values["w7"], l=0.5e-6)
+    c.R("rz", "x2", "cz", values["rz"])
+    c.C("cc", "cz", "out", values["cc"])
+    c.C("cl", "out", "0", CLOAD)
+    return c
+
+
+_FREQS = logspace_frequencies(10.0, 10e9, 12)
+
+
+def evaluate_opamp_at_corner(
+    values: dict[str, float], nmos: MosfetParams, pmos: MosfetParams
+) -> tuple[float, dict[str, float]]:
+    """Eq. 10 FOM of a sizing under the given model cards."""
+    try:
+        circuit = build_opamp_with_models(values, nmos, pmos)
+        op = dc_operating_point(circuit)
+        ac = ac_analysis(circuit, _FREQS, op=op)
+        metrics = bode_metrics(ac.freqs, ac.v("out"))
+    except SpiceError:
+        return FAILURE_FOM, {}
+    gain_db = metrics.dc_gain_db
+    ugf_mhz = metrics.ugf_hz / 1e6
+    pm_deg = metrics.phase_margin_deg
+    fom = 1.2 * gain_db + 10.0 * (ugf_mhz / 10.0) + 1.6 * min(pm_deg, 120.0)
+    if pm_deg < MIN_PHASE_MARGIN:
+        fom -= PM_PENALTY_PER_DEG * (MIN_PHASE_MARGIN - max(pm_deg, 0.0))
+    fom = max(float(fom), FAILURE_FOM)
+    return fom, {"gain_db": gain_db, "ugf_mhz": ugf_mhz, "pm_deg": pm_deg}
+
+
+class RobustOpAmpProblem(Problem):
+    """Worst-corner op-amp sizing: maximize ``min over corners FOM``.
+
+    Each evaluation simulates every corner (its cost scales accordingly,
+    matching how a corner sweep multiplies HSPICE time).
+    """
+
+    name = "opamp-robust"
+
+    def __init__(self, corners=CORNERS, *, cost_model: CostModel | None = None):
+        corners = tuple(corners)
+        if not corners:
+            raise ValueError("need at least one corner")
+        self.corners = corners
+        self.space = opamp_design_space()
+        self.cost_model = cost_model if cost_model is not None else DEFAULT_COST
+
+    @property
+    def bounds(self) -> np.ndarray:
+        return self.space.bounds
+
+    def evaluate(self, x: np.ndarray) -> EvaluationResult:
+        x = self.validate_point(x)
+        cost = self.cost_model.duration(x) * len(self.corners)
+        values = self.space.to_values(x)
+        foms = {}
+        for corner in self.corners:
+            nmos = shift_params(nmos_180(), corner.nmos_dvt, corner.nmos_kp_scale)
+            pmos = shift_params(pmos_180(), corner.pmos_dvt, corner.pmos_kp_scale)
+            foms[corner.name], _ = evaluate_opamp_at_corner(values, nmos, pmos)
+        worst_corner = min(foms, key=foms.get)
+        worst = foms[worst_corner]
+        metrics = {f"fom_{name}": fom for name, fom in foms.items()}
+        metrics["worst_corner_fom"] = worst
+        return EvaluationResult(
+            fom=float(worst),
+            metrics=metrics,
+            cost=cost,
+            feasible=worst > FAILURE_FOM,
+        )
+
+
+def monte_carlo_foms(
+    values: dict[str, float],
+    n_runs: int,
+    *,
+    sigma_vt: float = 0.02,
+    sigma_kp: float = 0.05,
+    rng=None,
+) -> np.ndarray:
+    """Monte-Carlo FOM distribution of one op-amp sizing.
+
+    Draws global Gaussian shifts (vt0 additive, kp lognormal-ish via a
+    multiplicative factor) independently for NMOS and PMOS per run.
+    """
+    if n_runs < 1:
+        raise ValueError("n_runs must be >= 1")
+    rng = as_generator(rng)
+    foms = np.empty(n_runs)
+    for k in range(n_runs):
+        nmos = shift_params(
+            nmos_180(),
+            rng.normal(0.0, sigma_vt),
+            float(np.exp(rng.normal(0.0, sigma_kp))),
+        )
+        pmos = shift_params(
+            pmos_180(),
+            rng.normal(0.0, sigma_vt),
+            float(np.exp(rng.normal(0.0, sigma_kp))),
+        )
+        foms[k], _ = evaluate_opamp_at_corner(values, nmos, pmos)
+    return foms

@@ -1,0 +1,78 @@
+"""EasyBO core: the paper's asynchronous batch BO plus every compared driver.
+
+Public surface:
+
+* :class:`EasyBO` — high-level facade (async / sync / ablations).
+* Drivers: :class:`SequentialBO`, :class:`SynchronousBatchBO`,
+  :class:`AsynchronousBatchBO`.
+* Acquisitions (§II-B/III-B): UCB, EI, PI, the weighted rule (Eq. 7-9), the
+  EasyBO weight sampler, the pHCBO coverage penalty.
+* :func:`make_algorithm` — paper-label registry used by the benches.
+* Plumbing: :class:`Problem`, :class:`EvaluationResult`, :class:`RunResult`,
+  :func:`summarize_runs`, initial designs, the acquisition maximizer, and
+  :class:`SurrogateSession`.
+"""
+
+from repro.core.acquisition import (
+    EASYBO_LAMBDA,
+    Acquisition,
+    ExpectedImprovement,
+    HighCoveragePenalty,
+    ProbabilityOfImprovement,
+    UpperConfidenceBound,
+    WeightedAcquisition,
+    pbo_weights,
+    sample_easybo_weight,
+)
+from repro.core.async_batch import AsynchronousBatchBO
+from repro.core.bo import BODriverBase, SequentialBO
+from repro.core.constrained import ConstrainedEasyBO, ConstrainedProblem, ConstraintSpec
+from repro.core.cost_aware import CostAwareEasyBO
+from repro.core.doe import latin_hypercube, random_design
+from repro.core.easybo import ALGORITHM_FAMILIES, EasyBO, make_algorithm
+from repro.core.optimizers import maximize_acquisition
+from repro.core.persistence import load_runs, run_from_dict, run_to_dict, save_runs
+from repro.core.portfolio import PortfolioBO
+from repro.core.problem import EvaluationResult, FunctionProblem, Problem
+from repro.core.results import RunResult, RunSummary, summarize_runs
+from repro.core.surrogate import SurrogateSession
+from repro.core.sync_batch import SYNC_STRATEGIES, SynchronousBatchBO
+
+__all__ = [
+    "EasyBO",
+    "make_algorithm",
+    "ALGORITHM_FAMILIES",
+    "SequentialBO",
+    "SynchronousBatchBO",
+    "AsynchronousBatchBO",
+    "BODriverBase",
+    "SYNC_STRATEGIES",
+    "Acquisition",
+    "UpperConfidenceBound",
+    "ExpectedImprovement",
+    "ProbabilityOfImprovement",
+    "WeightedAcquisition",
+    "HighCoveragePenalty",
+    "sample_easybo_weight",
+    "pbo_weights",
+    "EASYBO_LAMBDA",
+    "ConstrainedEasyBO",
+    "ConstrainedProblem",
+    "ConstraintSpec",
+    "CostAwareEasyBO",
+    "Problem",
+    "FunctionProblem",
+    "EvaluationResult",
+    "RunResult",
+    "RunSummary",
+    "summarize_runs",
+    "SurrogateSession",
+    "maximize_acquisition",
+    "PortfolioBO",
+    "save_runs",
+    "load_runs",
+    "run_to_dict",
+    "run_from_dict",
+    "random_design",
+    "latin_hypercube",
+]

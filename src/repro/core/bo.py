@@ -1,0 +1,173 @@
+"""Sequential Bayesian optimization (paper §II-B baselines + EasyBO B=1).
+
+:class:`BODriverBase` holds everything the sequential, synchronous-batch, and
+asynchronous drivers share: the surrogate session, the initial design, the
+evaluation pool, and result packaging.  :class:`SequentialBO` is the classic
+one-point-at-a-time loop with a pluggable acquisition (EI / LCB / UCB / PI /
+EasyBO's randomized-weight rule).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.acquisition import (
+    EASYBO_LAMBDA,
+    ExpectedImprovement,
+    ProbabilityOfImprovement,
+    UpperConfidenceBound,
+    WeightedAcquisition,
+    sample_easybo_weight,
+)
+from repro.core.doe import random_design
+from repro.core.optimizers import maximize_acquisition
+from repro.core.problem import Problem
+from repro.core.results import RunResult
+from repro.core.surrogate import SurrogateSession
+from repro.sched.workers import Completion, VirtualWorkerPool
+from repro.utils.rng import as_generator
+
+__all__ = ["BODriverBase", "SequentialBO"]
+
+
+class BODriverBase:
+    """Shared machinery for all BO drivers.
+
+    Parameters
+    ----------
+    problem:
+        The black-box maximization problem.
+    n_init:
+        Random initial samples (the paper uses 20).
+    max_evals:
+        Total evaluation budget, *including* the initial design.
+    rng:
+        Seed or generator; the whole run is deterministic given it.
+    pool_factory:
+        Callable ``(problem, n_workers) -> pool``; defaults to the
+        simulated-clock :class:`VirtualWorkerPool`.  Pass
+        :class:`~repro.sched.executor.ThreadWorkerPool` for real concurrency.
+    """
+
+    #: Subclasses set their display name (used in result rows).
+    algorithm_name = "bo"
+
+    def __init__(
+        self,
+        problem: Problem,
+        *,
+        n_init: int = 20,
+        max_evals: int = 150,
+        rng=None,
+        pool_factory=None,
+        acq_candidates: int = 2048,
+        acq_restarts: int = 4,
+    ):
+        if n_init < 2:
+            raise ValueError("n_init must be >= 2 (the GP needs data)")
+        if max_evals < n_init:
+            raise ValueError("max_evals must be >= n_init")
+        self.problem = problem
+        self.n_init = int(n_init)
+        self.max_evals = int(max_evals)
+        self.rng = as_generator(rng)
+        self.pool_factory = pool_factory or VirtualWorkerPool
+        self.acq_candidates = int(acq_candidates)
+        self.acq_restarts = int(acq_restarts)
+        self.session = SurrogateSession(problem.bounds, rng=self.rng)
+
+    # ------------------------------------------------------------- helpers
+    def _initial_design(self) -> np.ndarray:
+        return random_design(self.problem.bounds, self.n_init, self.rng)
+
+    def _absorb(self, completion: Completion) -> None:
+        """Fold a finished evaluation into the surrogate dataset."""
+        self.session.add(completion.x, completion.result.fom)
+
+    def _propose(self, acquisition, model=None) -> np.ndarray:
+        """Maximize an acquisition on the unit cube; return a physical point."""
+        scorer = self.session.acquisition_on_unit(acquisition, model=model)
+        u_best = maximize_acquisition(
+            scorer,
+            self.session.unit_bounds(),
+            rng=self.rng,
+            n_candidates=self.acq_candidates,
+            n_restarts=self.acq_restarts,
+        )
+        return self.session.to_physical(u_best.reshape(1, -1))[0]
+
+    def _standardized_best(self) -> float:
+        """Incumbent best in the GP's standardized output scale."""
+        return float(self.session.output.transform(np.array([self.session.best_y]))[0])
+
+    def _package(self, pool) -> RunResult:
+        best = pool.trace.best_record()
+        return RunResult(
+            algorithm=self.algorithm_name,
+            problem=self.problem.name,
+            trace=pool.trace,
+            best_x=best.x.copy(),
+            best_fom=best.fom,
+            n_evaluations=len(pool.trace),
+            wall_clock=pool.trace.makespan,
+        )
+
+    def run(self) -> RunResult:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class SequentialBO(BODriverBase):
+    """One-at-a-time BO with a pluggable acquisition rule.
+
+    ``acquisition`` is one of:
+
+    * ``"easybo"`` — the paper's randomized-weight rule (Eq. 8); this is
+      EasyBO in sequential mode (Table I/II top blocks).
+    * ``"ei"`` / ``"pi"`` — improvement-based baselines.
+    * ``"lcb"`` / ``"ucb"`` — the optimistic baseline (identical here: the
+      paper's LCB is the minimization spelling of UCB).
+    """
+
+    def __init__(
+        self,
+        problem: Problem,
+        *,
+        acquisition: str = "easybo",
+        lam: float = EASYBO_LAMBDA,
+        ucb_kappa: float = 2.0,
+        ei_xi: float = 0.0,
+        **kwargs,
+    ):
+        super().__init__(problem, **kwargs)
+        acquisition = acquisition.lower()
+        if acquisition not in ("easybo", "ei", "pi", "lcb", "ucb"):
+            raise ValueError(f"unknown acquisition {acquisition!r}")
+        self.acquisition = acquisition
+        self.lam = float(lam)
+        self.ucb_kappa = float(ucb_kappa)
+        self.ei_xi = float(ei_xi)
+        self.algorithm_name = {"easybo": "EasyBO", "ei": "EI", "pi": "PI",
+                               "lcb": "LCB", "ucb": "UCB"}[acquisition]
+
+    def _make_acquisition(self):
+        if self.acquisition == "easybo":
+            return WeightedAcquisition(sample_easybo_weight(self.rng, self.lam))
+        if self.acquisition == "ei":
+            return ExpectedImprovement(self._standardized_best(), xi=self.ei_xi)
+        if self.acquisition == "pi":
+            return ProbabilityOfImprovement(self._standardized_best(), xi=self.ei_xi)
+        return UpperConfidenceBound(self.ucb_kappa)
+
+    def run(self) -> RunResult:
+        pool = self.pool_factory(self.problem, 1)
+        for x in self._initial_design():
+            pool.submit(x)
+            self._absorb(pool.wait_next())
+        evaluations = self.n_init
+        while evaluations < self.max_evals:
+            self.session.refit()
+            x_next = self._propose(self._make_acquisition())
+            pool.submit(x_next)
+            self._absorb(pool.wait_next())
+            evaluations += 1
+        return self._package(pool)

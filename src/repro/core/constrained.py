@@ -1,0 +1,183 @@
+"""Constrained asynchronous batch BO — the paper's announced future work.
+
+§II-A of the paper notes that EasyBO "can also be easily extended to handle
+constrained optimization".  This module supplies that extension using the
+standard probability-of-feasibility weighting [Gardner et al. 2014,
+Gelbart et al. 2014]:
+
+* each constraint ``c_i(x) >= 0`` gets its own GP surrogate, fitted on the
+  same observations as the objective;
+* the EasyBO acquisition (Eq. 9, including the busy-point hallucination) is
+  multiplied by ``prod_i P(c_i(x) >= 0)`` computed from the constraint
+  posteriors;
+* the incumbent is the best *feasible* observation.
+
+A :class:`ConstrainedProblem` reports constraint slacks alongside the FOM;
+positive slack means satisfied.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+
+import numpy as np
+from scipy import stats
+
+from repro.core.acquisition import EASYBO_LAMBDA, WeightedAcquisition, sample_easybo_weight
+from repro.core.async_batch import AsynchronousBatchBO
+from repro.core.problem import EvaluationResult, Problem
+from repro.core.surrogate import SurrogateSession
+from repro.gp import GaussianProcess, HyperparameterBounds, SquaredExponential, fit_hyperparameters
+from repro.gp.standardize import OutputStandardizer
+
+__all__ = ["ConstraintSpec", "ConstrainedProblem", "ConstrainedEasyBO"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ConstraintSpec:
+    """Declares one inequality constraint by name.
+
+    The problem's ``evaluate`` must return ``constraints[name] = slack`` with
+    the convention *slack >= 0 means satisfied* (e.g. ``gain_db - 60``).
+    """
+
+    name: str
+    description: str = ""
+
+
+class ConstrainedProblem(Problem):
+    """A problem whose evaluations also report constraint slacks."""
+
+    @property
+    @abc.abstractmethod
+    def constraint_specs(self) -> tuple[ConstraintSpec, ...]:
+        """The declared constraints, in a fixed order."""
+
+    def constraint_vector(self, result: EvaluationResult) -> np.ndarray:
+        """Extract the slack vector from an evaluation, in spec order."""
+        try:
+            return np.asarray(
+                [result.metrics[f"slack_{spec.name}"] for spec in self.constraint_specs]
+            )
+        except KeyError as exc:
+            raise KeyError(
+                f"evaluation is missing constraint slack {exc}; constrained "
+                f"problems must report metrics['slack_<name>'] for every spec"
+            ) from None
+
+
+class _ConstraintModel:
+    """GP surrogate of one constraint slack over the unit cube."""
+
+    def __init__(self, dim: int, rng):
+        self.dim = dim
+        self.rng = rng
+        self.output = OutputStandardizer()
+        self.model: GaussianProcess | None = None
+        self._bounds = HyperparameterBounds(dim)
+
+    def fit(self, U: np.ndarray, slack: np.ndarray) -> None:
+        z = self.output.fit_transform(slack)
+        if self.model is None:
+            self.model = GaussianProcess(
+                kernel=SquaredExponential(self.dim, lengthscales=0.3),
+                noise_variance=1e-4,
+            )
+            restarts = 2
+        else:
+            restarts = 1
+        self.model.fit(U, z)
+        fit_hyperparameters(self.model, bounds=self._bounds, n_restarts=restarts, rng=self.rng)
+
+    def feasibility_probability(self, U: np.ndarray) -> np.ndarray:
+        """``P(slack(x) >= 0)`` under the GP posterior."""
+        mu, sigma = self.model.predict(U)
+        # Standardized threshold for slack = 0.
+        threshold = self.output.transform(np.zeros(1))[0]
+        return stats.norm.cdf((mu - threshold) / np.maximum(sigma, 1e-12))
+
+
+class ConstrainedEasyBO(AsynchronousBatchBO):
+    """EasyBO with probability-of-feasibility constraint handling.
+
+    The driver tracks a GP per constraint; the Eq. 9 acquisition value is
+    shifted to be positive and multiplied by the joint feasibility
+    probability, so infeasible regions are suppressed smoothly while the
+    asynchronous machinery (busy-point hallucination included) is unchanged.
+    """
+
+    def __init__(self, problem: ConstrainedProblem, **kwargs):
+        if not isinstance(problem, ConstrainedProblem):
+            raise TypeError("ConstrainedEasyBO needs a ConstrainedProblem")
+        super().__init__(problem, **kwargs)
+        base = "cEasyBO"
+        self.algorithm_name = (
+            base if self.batch_size == 1 else f"{base}-{self.batch_size}"
+        )
+        self._constraint_models = [
+            _ConstraintModel(self.session.dim, self.rng)
+            for _ in problem.constraint_specs
+        ]
+        self._slacks: list[np.ndarray] = []
+
+    # -------------------------------------------------------------- dataset
+    def _absorb(self, completion) -> None:
+        super()._absorb(completion)
+        slack = self.problem.constraint_vector(completion.result)
+        self._slacks.append(slack)
+
+    def _fit_constraints(self) -> None:
+        U = self.session.transform.to_unit(self.session.X)
+        slacks = np.vstack(self._slacks)
+        for i, model in enumerate(self._constraint_models):
+            model.fit(U, slacks[:, i])
+
+    # ------------------------------------------------------------- proposal
+    def _propose_async(self, pool) -> np.ndarray:
+        if self.session.n_observations < 2:
+            from repro.core.doe import random_design
+
+            return random_design(self.problem.bounds, 1, self.rng)[0]
+        self.session.refit()
+        self._fit_constraints()
+        if self.penalized:
+            model = self.session.model_with_pending(pool.pending_points())
+        else:
+            model = self.session.require_model()
+        w = sample_easybo_weight(self.rng, self.lam)
+        base = WeightedAcquisition(w)
+
+        def scorer(U: np.ndarray) -> np.ndarray:
+            values = base(model, U)
+            # Shift to positive before weighting by feasibility, so the
+            # product cannot reward infeasibility via negative values.
+            values = values - values.min() + 1e-9
+            for constraint in self._constraint_models:
+                values = values * constraint.feasibility_probability(U)
+            return values
+
+        from repro.core.optimizers import maximize_acquisition
+
+        u_best = maximize_acquisition(
+            scorer,
+            self.session.unit_bounds(),
+            rng=self.rng,
+            n_candidates=self.acq_candidates,
+            n_restarts=self.acq_restarts,
+        )
+        return self.session.to_physical(u_best.reshape(1, -1))[0]
+
+    # --------------------------------------------------------------- report
+    def best_feasible(self) -> tuple[np.ndarray, float] | None:
+        """Best observation with every constraint satisfied, if any."""
+        if not self._slacks:
+            return None
+        slacks = np.vstack(self._slacks)
+        feasible = np.all(slacks >= 0.0, axis=1)
+        if not feasible.any():
+            return None
+        y = self.session.y
+        X = self.session.X
+        idx = int(np.argmax(np.where(feasible, y, -np.inf)))
+        return X[idx].copy(), float(y[idx])

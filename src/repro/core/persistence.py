@@ -1,0 +1,102 @@
+"""Save and load experiment results as JSON.
+
+The bench harness runs for hours at paper scale; persisting each
+:class:`~repro.core.results.RunResult` (including the full execution trace)
+lets tables and figures be re-rendered, compared across commits, and resumed
+without recomputation.  The format is plain JSON — stable, diffable, and free
+of pickle's versioning hazards.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.core.results import RunResult
+from repro.sched.trace import EvalRecord, ExecutionTrace
+
+__all__ = ["run_to_dict", "run_from_dict", "save_runs", "load_runs"]
+
+_FORMAT_VERSION = 1
+
+
+def run_to_dict(run: RunResult) -> dict:
+    """JSON-serializable representation of one run."""
+    return {
+        "version": _FORMAT_VERSION,
+        "algorithm": run.algorithm,
+        "problem": run.problem,
+        "best_x": run.best_x.tolist(),
+        "best_fom": run.best_fom,
+        "n_evaluations": run.n_evaluations,
+        "wall_clock": run.wall_clock,
+        "n_workers": run.trace.n_workers,
+        "records": [
+            {
+                "index": r.index,
+                "worker": r.worker,
+                "x": r.x.tolist(),
+                "fom": r.fom,
+                "issue_time": r.issue_time,
+                "finish_time": r.finish_time,
+                "feasible": r.feasible,
+                "batch": r.batch,
+            }
+            for r in run.trace.records
+        ],
+    }
+
+
+def run_from_dict(data: dict) -> RunResult:
+    """Rebuild a :class:`RunResult` from :func:`run_to_dict` output."""
+    version = data.get("version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported run format version {version!r}")
+    trace = ExecutionTrace(int(data["n_workers"]))
+    for r in data["records"]:
+        trace.add(
+            EvalRecord(
+                index=int(r["index"]),
+                worker=int(r["worker"]),
+                x=np.asarray(r["x"], dtype=float),
+                fom=float(r["fom"]),
+                issue_time=float(r["issue_time"]),
+                finish_time=float(r["finish_time"]),
+                feasible=bool(r["feasible"]),
+                batch=r["batch"] if r["batch"] is None else int(r["batch"]),
+            )
+        )
+    return RunResult(
+        algorithm=str(data["algorithm"]),
+        problem=str(data["problem"]),
+        trace=trace,
+        best_x=np.asarray(data["best_x"], dtype=float),
+        best_fom=float(data["best_fom"]),
+        n_evaluations=int(data["n_evaluations"]),
+        wall_clock=float(data["wall_clock"]),
+    )
+
+
+def save_runs(path, grid: dict[str, list[RunResult]]) -> None:
+    """Write a label -> repetitions grid to a JSON file."""
+    payload = {
+        "version": _FORMAT_VERSION,
+        "grid": {
+            label: [run_to_dict(run) for run in runs] for label, runs in grid.items()
+        },
+    }
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(payload))
+
+
+def load_runs(path) -> dict[str, list[RunResult]]:
+    """Read back a grid written by :func:`save_runs`."""
+    payload = json.loads(pathlib.Path(path).read_text())
+    if payload.get("version") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported grid format version {payload.get('version')!r}")
+    return {
+        label: [run_from_dict(d) for d in runs]
+        for label, runs in payload["grid"].items()
+    }

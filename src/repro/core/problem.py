@@ -1,0 +1,113 @@
+"""Black-box problem interface shared by optimizers and testbenches.
+
+The BO drivers, DE baseline, and schedulers all see a problem through this
+interface: a box-bounded design space plus an ``evaluate`` that returns a
+scalar figure of merit to *maximize*, the raw performance metrics, and the
+simulation cost in seconds (the currency of the paper's "Time" columns).
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+
+import numpy as np
+
+from repro.utils.validation import check_bounds, check_vector
+
+__all__ = ["EvaluationResult", "Problem", "FunctionProblem"]
+
+
+@dataclasses.dataclass
+class EvaluationResult:
+    """Outcome of one simulator call.
+
+    Attributes
+    ----------
+    fom:
+        Figure of merit (higher is better).  Failed simulations must be
+        encoded as a finite penalty value, never NaN.
+    metrics:
+        Raw performance numbers behind the FOM (gain/UGF/PM, PAE/Pout...).
+    cost:
+        Simulation time in seconds charged to the worker that ran it.
+    feasible:
+        False when the design failed to simulate or missed a hard validity
+        check; the FOM then holds the penalty value.
+    """
+
+    fom: float
+    metrics: dict[str, float] = dataclasses.field(default_factory=dict)
+    cost: float = 1.0
+    feasible: bool = True
+
+    def __post_init__(self):
+        if not np.isfinite(self.fom):
+            raise ValueError(f"fom must be finite, got {self.fom}")
+        if self.cost < 0:
+            raise ValueError(f"cost must be non-negative, got {self.cost}")
+
+
+class Problem(abc.ABC):
+    """A box-bounded maximization problem with per-evaluation costs."""
+
+    #: Human-readable problem name (set by subclasses).
+    name: str = "problem"
+
+    @property
+    @abc.abstractmethod
+    def bounds(self) -> np.ndarray:
+        """Box bounds of shape ``(d, 2)`` in the optimizer's coordinates."""
+
+    @property
+    def dim(self) -> int:
+        return self.bounds.shape[0]
+
+    @abc.abstractmethod
+    def evaluate(self, x: np.ndarray) -> EvaluationResult:
+        """Evaluate one design point (optimizer coordinates)."""
+
+    def evaluate_batch(self, X: np.ndarray) -> list[EvaluationResult]:
+        """Evaluate several points sequentially (convenience for tests)."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        return [self.evaluate(x) for x in X]
+
+    def validate_point(self, x) -> np.ndarray:
+        """Check shape and clip into bounds (guards optimizer round-off)."""
+        x = check_vector(x, "x", size=self.dim)
+        bounds = self.bounds
+        return np.clip(x, bounds[:, 0], bounds[:, 1])
+
+
+class FunctionProblem(Problem):
+    """Wrap a plain Python function as a :class:`Problem`.
+
+    Parameters
+    ----------
+    func:
+        Maps a 1-D design vector to a scalar FOM (maximized).
+    bounds:
+        Box bounds, shape ``(d, 2)``.
+    cost_model:
+        Optional callable ``x -> seconds``; defaults to unit cost.
+    name:
+        Label used in reports.
+    """
+
+    def __init__(self, func, bounds, *, cost_model=None, name: str = "function"):
+        self._func = func
+        self._bounds = check_bounds(bounds)
+        self._cost_model = cost_model
+        self.name = name
+
+    @property
+    def bounds(self) -> np.ndarray:
+        return self._bounds
+
+    def evaluate(self, x: np.ndarray) -> EvaluationResult:
+        x = self.validate_point(x)
+        fom = float(self._func(x))
+        cost = 1.0 if self._cost_model is None else float(self._cost_model(x))
+        return EvaluationResult(fom=fom, cost=cost)

@@ -1,0 +1,90 @@
+"""Run results and multi-repetition summaries.
+
+The paper reports each algorithm as Best/Worst/Mean/Std of the final FOM over
+20 repetitions plus the total simulation time; :func:`summarize_runs` computes
+exactly those columns from a list of :class:`RunResult`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.sched.trace import ExecutionTrace
+from repro.utils.tables import format_duration
+
+__all__ = ["RunResult", "RunSummary", "summarize_runs"]
+
+
+@dataclasses.dataclass
+class RunResult:
+    """Outcome of one optimization run."""
+
+    algorithm: str
+    problem: str
+    trace: ExecutionTrace
+    best_x: np.ndarray
+    best_fom: float
+    n_evaluations: int
+    wall_clock: float  # simulated (or real) seconds spent on evaluation
+
+    @property
+    def best_curve(self):
+        """Best-FOM-versus-time step curve from the trace."""
+        return self.trace.best_fom_curve()
+
+    def __post_init__(self):
+        if self.n_evaluations < 0:
+            raise ValueError("n_evaluations must be non-negative")
+        if self.wall_clock < 0:
+            raise ValueError("wall_clock must be non-negative")
+
+
+@dataclasses.dataclass
+class RunSummary:
+    """The paper's table row: Best / Worst / Mean / Std / Time."""
+
+    algorithm: str
+    best: float
+    worst: float
+    mean: float
+    std: float
+    mean_time: float
+    n_runs: int
+
+    def as_row(self) -> list:
+        """Row in the layout of Tables I/II."""
+        return [
+            self.algorithm,
+            f"{self.best:.2f}",
+            f"{self.worst:.2f}",
+            f"{self.mean:.2f}",
+            f"{self.std:.2f}",
+            format_duration(self.mean_time),
+        ]
+
+
+def summarize_runs(results: list[RunResult]) -> RunSummary:
+    """Aggregate repetitions of one algorithm into a table row.
+
+    All results must come from the same algorithm; the time column is the
+    mean evaluation wall-clock across repetitions (the paper averages its 20
+    repeats the same way).
+    """
+    if not results:
+        raise ValueError("need at least one run")
+    algorithms = {r.algorithm for r in results}
+    if len(algorithms) != 1:
+        raise ValueError(f"mixed algorithms in summary: {sorted(algorithms)}")
+    foms = np.asarray([r.best_fom for r in results])
+    times = np.asarray([r.wall_clock for r in results])
+    return RunSummary(
+        algorithm=results[0].algorithm,
+        best=float(foms.max()),
+        worst=float(foms.min()),
+        mean=float(foms.mean()),
+        std=float(foms.std(ddof=1)) if len(foms) > 1 else 0.0,
+        mean_time=float(times.mean()),
+        n_runs=len(results),
+    )

@@ -1,0 +1,170 @@
+"""Surrogate-model session: transforms + GP + hyperparameter schedule.
+
+Every BO driver owns one :class:`SurrogateSession`.  It normalizes the design
+space to the unit cube and the observations to zero-mean/unit-variance, fits
+the SE-ARD GP by ML-II (warm-started across refits), and exposes the pending-
+point hallucination used by the paper's penalization scheme — all in one
+place so the sequential, synchronous, and asynchronous drivers share exactly
+the same modelling behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gp import (
+    BoxTransform,
+    GaussianProcess,
+    HyperparameterBounds,
+    OutputStandardizer,
+    SquaredExponential,
+    fit_hyperparameters,
+)
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_matrix, check_vector
+
+__all__ = ["SurrogateSession"]
+
+
+class SurrogateSession:
+    """Owns the GP surrogate over a physical design box.
+
+    Parameters
+    ----------
+    bounds:
+        Physical (optimizer-space) box bounds of the problem.
+    rng:
+        Stream used for hyperparameter restarts.
+    n_restarts_first / n_restarts_refit:
+        ML-II restarts for the very first fit and for warm-started refits.
+    """
+
+    def __init__(self, bounds, *, rng=None, n_restarts_first: int = 3,
+                 n_restarts_refit: int = 1):
+        self.transform = BoxTransform(bounds)
+        self.rng = as_generator(rng)
+        self.n_restarts_first = int(n_restarts_first)
+        self.n_restarts_refit = int(n_restarts_refit)
+        self.output = OutputStandardizer()
+        self.model: GaussianProcess | None = None
+        self._hyper_bounds = HyperparameterBounds(self.transform.dim)
+        self._X = np.empty((0, self.transform.dim))
+        self._y = np.empty(0)
+
+    # ------------------------------------------------------------- dataset
+    @property
+    def dim(self) -> int:
+        return self.transform.dim
+
+    @property
+    def n_observations(self) -> int:
+        return len(self._y)
+
+    @property
+    def X(self) -> np.ndarray:
+        """Observed designs in physical (optimizer-space) coordinates."""
+        return self._X.copy()
+
+    @property
+    def y(self) -> np.ndarray:
+        return self._y.copy()
+
+    @property
+    def best_index(self) -> int:
+        if not len(self._y):
+            raise RuntimeError("no observations yet")
+        return int(np.argmax(self._y))
+
+    @property
+    def best_y(self) -> float:
+        return float(self._y[self.best_index])
+
+    @property
+    def best_x(self) -> np.ndarray:
+        return self._X[self.best_index].copy()
+
+    def add(self, x, y_value: float) -> None:
+        """Record one observation (does not refit — call :meth:`refit`)."""
+        x = check_vector(x, "x", size=self.dim)
+        self._X = np.vstack([self._X, x])
+        self._y = np.append(self._y, float(y_value))
+
+    def add_batch(self, X, y) -> None:
+        X = check_matrix(X, "X", cols=self.dim)
+        y = check_vector(y, "y", size=X.shape[0])
+        self._X = np.vstack([self._X, X])
+        self._y = np.concatenate([self._y, y])
+
+    # ------------------------------------------------------------- fitting
+    def refit(self) -> GaussianProcess:
+        """(Re)fit the GP on all observations, tuning hyperparameters.
+
+        Warm-starts from the previous kernel so per-iteration refits are one
+        cheap L-BFGS run; the first fit uses extra random restarts.
+        """
+        if self.n_observations < 2:
+            raise RuntimeError("need at least two observations to fit the GP")
+        U = self.transform.to_unit(self._X)
+        z = self.output.fit_transform(self._y)
+        if self.model is None:
+            kernel = SquaredExponential(self.dim, lengthscales=0.3)
+            self.model = GaussianProcess(kernel=kernel, noise_variance=1e-4)
+            restarts = self.n_restarts_first
+        else:
+            restarts = self.n_restarts_refit
+        self.model.fit(U, z)
+        fit_hyperparameters(
+            self.model,
+            bounds=self._hyper_bounds,
+            n_restarts=restarts,
+            rng=self.rng,
+        )
+        return self.model
+
+    def require_model(self) -> GaussianProcess:
+        if self.model is None or not self.model.is_fitted:
+            raise RuntimeError("call refit() before using the surrogate")
+        return self.model
+
+    # ------------------------------------------------- pending hallucination
+    def model_with_pending(self, X_pending) -> GaussianProcess:
+        """GP with pending points hallucinated at their predictive means.
+
+        This is lines 5-6 of Algorithm 1: the returned model's sigma-hat is
+        collapsed around the busy locations, providing the diversity
+        penalization of Eq. 9.  With no pending points the fitted model is
+        returned unchanged.
+        """
+        model = self.require_model()
+        X_pending = np.asarray(X_pending, dtype=float)
+        if X_pending.size == 0:
+            return model
+        U_pending = self.transform.to_unit(check_matrix(X_pending, "X_pending", cols=self.dim))
+        return model.condition_on_pending(U_pending)
+
+    # ------------------------------------------------------------ predict
+    def predict_physical(self, X, model: GaussianProcess | None = None):
+        """Posterior in physical units at physical-coordinate points."""
+        model = model if model is not None else self.require_model()
+        U = self.transform.to_unit(check_matrix(X, "X", cols=self.dim))
+        mu, sigma = model.predict(U)
+        return self.output.inverse_mean(mu), self.output.inverse_std(sigma)
+
+    def acquisition_on_unit(self, acquisition, model: GaussianProcess | None = None):
+        """Wrap an :class:`Acquisition` as a unit-cube candidate scorer.
+
+        Returns a callable suitable for
+        :func:`repro.core.optimizers.maximize_acquisition` over the unit cube.
+        """
+        model = model if model is not None else self.require_model()
+
+        def scorer(U: np.ndarray) -> np.ndarray:
+            return acquisition(model, U)
+
+        return scorer
+
+    def unit_bounds(self) -> np.ndarray:
+        return np.column_stack([np.zeros(self.dim), np.ones(self.dim)])
+
+    def to_physical(self, U) -> np.ndarray:
+        return self.transform.to_physical(U)

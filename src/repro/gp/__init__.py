@@ -1,0 +1,33 @@
+"""Gaussian-process regression substrate (paper §II-B).
+
+Public surface:
+
+* :class:`GaussianProcess` — exact GP with Eq. 2 posterior and the
+  pending-point hallucination used by EasyBO's penalization scheme.
+* Kernels: :class:`SquaredExponential` (the paper's choice), :class:`Matern52`.
+* :func:`fit_hyperparameters` — ML-II fitting with analytic gradients.
+* :class:`BoxTransform` / :class:`OutputStandardizer` — scaling helpers.
+"""
+
+from repro.gp.diagnostics import LooResult, leave_one_out
+from repro.gp.gp import GaussianProcess
+from repro.gp.hyperopt import HyperparameterBounds, fit_hyperparameters
+from repro.gp.kernels import Kernel, Matern52, SquaredExponential
+from repro.gp.mean import ConstantMean, MeanFunction, ZeroMean
+from repro.gp.standardize import BoxTransform, OutputStandardizer
+
+__all__ = [
+    "GaussianProcess",
+    "HyperparameterBounds",
+    "fit_hyperparameters",
+    "LooResult",
+    "leave_one_out",
+    "Kernel",
+    "SquaredExponential",
+    "Matern52",
+    "MeanFunction",
+    "ZeroMean",
+    "ConstantMean",
+    "BoxTransform",
+    "OutputStandardizer",
+]

@@ -1,0 +1,66 @@
+"""Surrogate-quality diagnostics.
+
+Leave-one-out (LOO) cross-validation in closed form [Rasmussen & Williams,
+§5.4.2]: with ``K^{-1}`` available, the LOO predictive mean and variance at
+training point i are
+
+    mu_i    = y_i - [K^{-1} y]_i / [K^{-1}]_ii
+    sigma_i^2 = 1 / [K^{-1}]_ii
+
+These power the model checks used when debugging a stalled optimization: a
+healthy surrogate has LOO standardized residuals ~ N(0, 1); residuals with
+huge magnitude mean the kernel (or its lengthscale floor) cannot explain the
+landscape.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.gp import linalg
+from repro.gp.gp import GaussianProcess
+
+__all__ = ["LooResult", "leave_one_out"]
+
+
+@dataclasses.dataclass
+class LooResult:
+    """Closed-form leave-one-out predictions on the training set."""
+
+    mean: np.ndarray
+    std: np.ndarray
+    residuals: np.ndarray  # y - mu, per point
+
+    @property
+    def standardized_residuals(self) -> np.ndarray:
+        """``(y_i - mu_i) / sigma_i`` — should look standard normal."""
+        return self.residuals / self.std
+
+    @property
+    def rmse(self) -> float:
+        return float(np.sqrt(np.mean(self.residuals**2)))
+
+    def log_predictive_density(self) -> float:
+        """Sum of LOO log densities — the CV analogue of the LML."""
+        z2 = self.standardized_residuals**2
+        return float(
+            -0.5 * np.sum(z2 + np.log(2.0 * np.pi * self.std**2))
+        )
+
+
+def leave_one_out(model: GaussianProcess) -> LooResult:
+    """Compute closed-form LOO predictions for a fitted GP."""
+    if not model.is_fitted:
+        raise RuntimeError("fit the GP before running diagnostics")
+    n = model.n_train
+    K = model.kernel(model.X) + model.noise_variance * np.eye(n)
+    lower, _ = linalg.jittered_cholesky(K)
+    K_inv = linalg.cholesky_solve(lower, np.eye(n))
+    alpha = linalg.cholesky_solve(lower, model.y - model.mean(model.X))
+    diag = np.diag(K_inv)
+    residuals = alpha / diag
+    mean = model.y - residuals
+    std = np.sqrt(1.0 / diag)
+    return LooResult(mean=mean, std=std, residuals=residuals)

@@ -1,0 +1,122 @@
+"""ML-II (type-II maximum likelihood) hyperparameter fitting.
+
+The kernel lengthscales, signal variance, and noise level are chosen by
+maximizing the log marginal likelihood with multi-restart L-BFGS-B using the
+analytic gradient from :meth:`repro.gp.gp.GaussianProcess.log_marginal_likelihood`.
+
+Bounds are set for *standardized* data (inputs in the unit cube, outputs
+zero-mean unit-variance), which is how the BO drivers call this module.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import optimize
+
+from repro.gp.gp import GaussianProcess
+from repro.utils.rng import as_generator
+
+__all__ = ["HyperparameterBounds", "fit_hyperparameters"]
+
+
+class HyperparameterBounds:
+    """Log-space box bounds for ``[log l_1..d, log sigma_f, log sigma_n]``.
+
+    Defaults suit unit-cube inputs and standardized outputs: lengthscales in
+    ``[0.05, 20]``, signal std in ``[0.05, 20]``, noise std in
+    ``[1e-5, 0.5]`` (circuit simulators are deterministic, so the noise term
+    mostly absorbs model mismatch).  The lengthscale floor matters: sizing
+    landscapes have bias cliffs, and letting ML-II shrink a dimension's
+    lengthscale to ~0 turns the posterior into a white-noise interpolator
+    that stalls the optimization.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        lengthscale: tuple[float, float] = (5e-2, 20.0),
+        signal_std: tuple[float, float] = (5e-2, 20.0),
+        noise_std: tuple[float, float] = (1e-5, 0.5),
+    ):
+        for name, (lo, hi) in (
+            ("lengthscale", lengthscale),
+            ("signal_std", signal_std),
+            ("noise_std", noise_std),
+        ):
+            if not (0 < lo < hi):
+                raise ValueError(f"invalid {name} bounds ({lo}, {hi})")
+        self.dim = int(dim)
+        self.lengthscale = lengthscale
+        self.signal_std = signal_std
+        self.noise_std = noise_std
+
+    def as_log_bounds(self) -> np.ndarray:
+        """Bounds array of shape ``(dim + 2, 2)`` in log space."""
+        rows = [np.log(self.lengthscale)] * self.dim
+        rows.append(np.log(self.signal_std))
+        rows.append(np.log(self.noise_std))
+        return np.asarray(rows, dtype=float)
+
+    def sample(self, rng) -> np.ndarray:
+        """Draw a random log-space hyperparameter vector within the bounds."""
+        bounds = self.as_log_bounds()
+        return rng.uniform(bounds[:, 0], bounds[:, 1])
+
+
+def fit_hyperparameters(
+    model: GaussianProcess,
+    *,
+    bounds: HyperparameterBounds | None = None,
+    n_restarts: int = 2,
+    rng=None,
+    maxiter: int = 200,
+) -> GaussianProcess:
+    """Fit ``model`` hyperparameters in place by multi-restart L-BFGS-B.
+
+    The current hyperparameters seed the first start (warm start across BO
+    iterations); additional starts are sampled uniformly in the log-space box.
+    The model is left refactorized at the best hyperparameters found.
+
+    Returns the same ``model`` for chaining.
+    """
+    if not model.is_fitted:
+        raise RuntimeError("fit the GP on data before optimizing hyperparameters")
+    if bounds is None:
+        bounds = HyperparameterBounds(model.dim)
+    if bounds.dim != model.dim:
+        raise ValueError(f"bounds.dim={bounds.dim} does not match model.dim={model.dim}")
+    rng = as_generator(rng)
+    log_bounds = bounds.as_log_bounds()
+
+    def objective(theta: np.ndarray):
+        try:
+            lml, grad = model.log_marginal_likelihood(theta, return_grad=True)
+        except np.linalg.LinAlgError:
+            return 1e25, np.zeros_like(theta)
+        if not np.isfinite(lml):
+            return 1e25, np.zeros_like(theta)
+        return -lml, -grad
+
+    starts = [np.clip(model.get_theta(), log_bounds[:, 0], log_bounds[:, 1])]
+    starts.extend(bounds.sample(rng) for _ in range(max(0, n_restarts - 1)))
+
+    best_theta = None
+    best_nll = np.inf
+    for theta0 in starts:
+        result = optimize.minimize(
+            objective,
+            theta0,
+            jac=True,
+            method="L-BFGS-B",
+            bounds=log_bounds,
+            options={"maxiter": maxiter},
+        )
+        if result.fun < best_nll:
+            best_nll = float(result.fun)
+            best_theta = result.x
+
+    if best_theta is None:  # every start failed; keep current hyperparameters
+        model.log_marginal_likelihood(model.get_theta())
+        return model
+    model.log_marginal_likelihood(best_theta)
+    return model

@@ -1,0 +1,107 @@
+"""Numerically robust linear algebra for Gaussian-process regression.
+
+Everything in :mod:`repro.gp` funnels its matrix work through these helpers so
+that the jitter policy (how much diagonal noise to add when a kernel matrix is
+numerically singular) lives in exactly one place.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg as sla
+
+__all__ = [
+    "jittered_cholesky",
+    "cholesky_solve",
+    "cholesky_update",
+    "solve_lower",
+    "log_det_from_cholesky",
+]
+
+#: First jitter magnitude tried when a Cholesky factorization fails.
+INITIAL_JITTER = 1e-10
+
+#: Jitter is escalated by this factor on each failed attempt.
+JITTER_GROWTH = 10.0
+
+#: Number of escalation attempts before giving up.
+MAX_ATTEMPTS = 10
+
+
+def jittered_cholesky(matrix: np.ndarray) -> tuple[np.ndarray, float]:
+    """Lower Cholesky factor of ``matrix``, adding diagonal jitter if needed.
+
+    Returns ``(L, jitter)`` where ``L @ L.T == matrix + jitter * I`` and
+    ``jitter`` is the smallest value from an escalating schedule that made the
+    factorization succeed (``0.0`` when none was needed).
+
+    Raises
+    ------
+    numpy.linalg.LinAlgError
+        If the matrix is not positive definite even after the maximum jitter.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"matrix must be square, got shape {matrix.shape}")
+    if not np.all(np.isfinite(matrix)):
+        raise np.linalg.LinAlgError("matrix contains non-finite entries")
+
+    jitter = 0.0
+    scale = float(np.mean(np.diag(matrix))) if matrix.shape[0] else 1.0
+    scale = max(scale, 1.0)
+    for attempt in range(MAX_ATTEMPTS + 1):
+        try:
+            lower = np.linalg.cholesky(
+                matrix if jitter == 0.0 else matrix + jitter * np.eye(matrix.shape[0])
+            )
+            return lower, jitter
+        except np.linalg.LinAlgError:
+            jitter = scale * INITIAL_JITTER * (JITTER_GROWTH**attempt)
+    raise np.linalg.LinAlgError(
+        f"matrix not positive definite even with jitter {jitter:.3e}"
+    )
+
+
+def solve_lower(lower: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Solve ``L x = rhs`` for lower-triangular ``L``."""
+    return sla.solve_triangular(lower, rhs, lower=True)
+
+
+def cholesky_solve(lower: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Solve ``(L L^T) x = rhs`` given the lower Cholesky factor ``L``."""
+    return sla.cho_solve((lower, True), rhs)
+
+
+def log_det_from_cholesky(lower: np.ndarray) -> float:
+    """``log det(L L^T)`` computed stably from the factor's diagonal."""
+    return 2.0 * float(np.sum(np.log(np.diag(lower))))
+
+
+def cholesky_update(
+    lower: np.ndarray, cross: np.ndarray, corner: float
+) -> np.ndarray:
+    """Extend a Cholesky factor by one row/column.
+
+    Given ``L`` with ``L L^T = K`` and a new point whose covariance against the
+    existing points is ``cross`` (length n) with self-covariance ``corner``,
+    return the factor of the bordered matrix ``[[K, cross], [cross^T, corner]]``.
+
+    This is the O(n^2) incremental update used when hallucinating busy points
+    one at a time during batch selection.
+    """
+    lower = np.asarray(lower, dtype=float)
+    cross = np.asarray(cross, dtype=float).ravel()
+    n = lower.shape[0]
+    if cross.shape[0] != n:
+        raise ValueError(f"cross must have length {n}, got {cross.shape[0]}")
+    row = solve_lower(lower, cross) if n else np.empty(0)
+    diag2 = float(corner) - float(row @ row)
+    if diag2 <= 0.0:
+        # The new point is (numerically) linearly dependent on existing ones;
+        # clamp to a small positive value so the factor stays usable.
+        diag2 = max(float(corner) * 1e-12, 1e-12)
+    out = np.zeros((n + 1, n + 1))
+    out[:n, :n] = lower
+    out[n, :n] = row
+    out[n, n] = np.sqrt(diag2)
+    return out

@@ -1,0 +1,42 @@
+"""Prior mean functions for Gaussian-process regression.
+
+The paper's GP uses a zero mean on standardized observations; a constant mean
+is provided for users who prefer to model the offset explicitly.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.utils.validation import check_matrix
+
+__all__ = ["MeanFunction", "ZeroMean", "ConstantMean"]
+
+
+class MeanFunction(abc.ABC):
+    """Base class for prior means ``m(x)``."""
+
+    @abc.abstractmethod
+    def __call__(self, X: np.ndarray) -> np.ndarray:
+        """Evaluate the mean at each row of ``X``; returns shape ``(n,)``."""
+
+
+class ZeroMean(MeanFunction):
+    """``m(x) = 0`` — the default when observations are standardized."""
+
+    def __call__(self, X: np.ndarray) -> np.ndarray:
+        X = check_matrix(X, "X")
+        return np.zeros(X.shape[0])
+
+
+class ConstantMean(MeanFunction):
+    """``m(x) = c`` for a fixed constant ``c``."""
+
+    def __init__(self, value: float = 0.0):
+        self.value = float(value)
+
+    def __call__(self, X: np.ndarray) -> np.ndarray:
+        X = check_matrix(X, "X")
+        return np.full(X.shape[0], self.value)

@@ -1,0 +1,81 @@
+"""Input and output standardization for GP training.
+
+Circuit design variables span wildly different scales (transistor widths in
+micrometres, capacitances in picofarads); fitting the GP in a normalized space
+makes the ARD lengthscale optimization well conditioned.  The BO drivers work
+in the unit cube internally and only map back to physical units at the
+simulator boundary, but these transforms are also exposed for direct GP use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_bounds, check_matrix, check_vector
+
+__all__ = ["BoxTransform", "OutputStandardizer"]
+
+
+class BoxTransform:
+    """Affine map between a physical box ``[lo, hi]^d`` and the unit cube."""
+
+    def __init__(self, bounds):
+        self.bounds = check_bounds(bounds)
+        self.lo = self.bounds[:, 0]
+        self.span = self.bounds[:, 1] - self.bounds[:, 0]
+
+    @property
+    def dim(self) -> int:
+        return self.bounds.shape[0]
+
+    def to_unit(self, X) -> np.ndarray:
+        """Map physical coordinates into ``[0, 1]^d``."""
+        X = check_matrix(X, "X", cols=self.dim)
+        return (X - self.lo) / self.span
+
+    def to_physical(self, U) -> np.ndarray:
+        """Map unit-cube coordinates back to physical units."""
+        U = check_matrix(U, "U", cols=self.dim)
+        return self.lo + U * self.span
+
+    def clip_unit(self, U) -> np.ndarray:
+        """Clamp unit-cube coordinates into ``[0, 1]^d``."""
+        U = check_matrix(U, "U", cols=self.dim)
+        return np.clip(U, 0.0, 1.0)
+
+
+class OutputStandardizer:
+    """Remove mean and scale of the observations before GP fitting.
+
+    The inverse transform restores predictive means and standard deviations to
+    the original units.  Degenerate datasets (constant y) fall back to unit
+    scale so the transform stays invertible.
+    """
+
+    def __init__(self):
+        self.mean_ = 0.0
+        self.scale_ = 1.0
+
+    def fit(self, y) -> "OutputStandardizer":
+        y = check_vector(y, "y")
+        if y.size == 0:
+            raise ValueError("cannot standardize an empty observation vector")
+        self.mean_ = float(np.mean(y))
+        scale = float(np.std(y))
+        self.scale_ = scale if scale > 1e-12 else 1.0
+        return self
+
+    def transform(self, y) -> np.ndarray:
+        y = check_vector(y, "y")
+        return (y - self.mean_) / self.scale_
+
+    def fit_transform(self, y) -> np.ndarray:
+        return self.fit(y).transform(y)
+
+    def inverse_mean(self, mu) -> np.ndarray:
+        """Map standardized predictive means back to original units."""
+        return np.asarray(mu, dtype=float) * self.scale_ + self.mean_
+
+    def inverse_std(self, sigma) -> np.ndarray:
+        """Map standardized predictive standard deviations back."""
+        return np.asarray(sigma, dtype=float) * self.scale_

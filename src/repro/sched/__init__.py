@@ -1,0 +1,28 @@
+"""Evaluation scheduling: the wall-clock side of the reproduction.
+
+* :class:`VirtualWorkerPool` — deterministic simulated-clock pool; the
+  backend behind every Table/Figure bench (see DESIGN.md §2 for why).
+* :class:`ThreadWorkerPool` — real concurrent backend with the same protocol.
+* :class:`ExecutionTrace` — per-evaluation records and derived statistics
+  (makespan, utilization, best-FOM-versus-time, Gantt rows).
+* Cost models calibrated to the paper's tables (:mod:`repro.sched.durations`).
+"""
+
+from repro.sched.durations import ConstantCostModel, CostModel, LognormalCostModel
+from repro.sched.events import Event, EventQueue
+from repro.sched.executor import ThreadWorkerPool
+from repro.sched.trace import EvalRecord, ExecutionTrace
+from repro.sched.workers import Completion, VirtualWorkerPool
+
+__all__ = [
+    "CostModel",
+    "ConstantCostModel",
+    "LognormalCostModel",
+    "Event",
+    "EventQueue",
+    "EvalRecord",
+    "ExecutionTrace",
+    "Completion",
+    "VirtualWorkerPool",
+    "ThreadWorkerPool",
+]

@@ -1,0 +1,81 @@
+"""Per-evaluation simulation-duration models.
+
+The paper's wall-clock results hinge on one physical fact: *different design
+points take different amounts of HSPICE time*, so synchronous batches leave
+workers idle waiting for the slowest member.  We cannot re-run HSPICE, so the
+testbenches charge each evaluation a duration drawn from a deterministic,
+design-dependent lognormal model calibrated to the paper's own tables:
+
+* op-amp: mean 38.8 s/sim (150 sims in ~1h37m sequential), small spread —
+  the paper's sync/async gap at B=15 is ~13.7%, matching sigma ~ 0.10;
+* class-E PA: mean 52.7 s/sim (450 sims in ~6h35m), large spread — the
+  paper's 40% gap at B=15 implies max-of-15/mean ~ 1.67, i.e. sigma ~ 0.35.
+
+The draw is a pure function of the design vector (hash-seeded), so a given
+design always costs the same and whole experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["CostModel", "ConstantCostModel", "LognormalCostModel"]
+
+
+class CostModel:
+    """Base class mapping a design vector to a simulation duration (s)."""
+
+    def duration(self, x: np.ndarray) -> float:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> float:
+        return self.duration(x)
+
+
+class ConstantCostModel(CostModel):
+    """Every evaluation costs the same — the degenerate case where
+    synchronous and asynchronous batching have identical wall-clock."""
+
+    def __init__(self, seconds: float):
+        if seconds <= 0:
+            raise ValueError("seconds must be positive")
+        self.seconds = float(seconds)
+
+    def duration(self, x: np.ndarray) -> float:
+        return self.seconds
+
+
+class LognormalCostModel(CostModel):
+    """Deterministic design-dependent lognormal duration.
+
+    ``duration(x) = mean * exp(sigma * z(x) - sigma^2 / 2)`` where ``z(x)``
+    is a standard-normal deviate derived from a SHA-256 hash of the design
+    vector (and ``seed``), so E[duration] = mean exactly and the same design
+    always costs the same.
+    """
+
+    def __init__(self, mean_seconds: float, sigma: float, seed: int = 0):
+        if mean_seconds <= 0:
+            raise ValueError("mean_seconds must be positive")
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        self.mean_seconds = float(mean_seconds)
+        self.sigma = float(sigma)
+        self.seed = int(seed)
+
+    def duration(self, x: np.ndarray) -> float:
+        z = self._deviate(np.asarray(x, dtype=float))
+        return self.mean_seconds * float(
+            np.exp(self.sigma * z - 0.5 * self.sigma**2)
+        )
+
+    def _deviate(self, x: np.ndarray) -> float:
+        """Standard-normal deviate that is a pure function of ``x``."""
+        payload = x.astype(np.float64).tobytes() + self.seed.to_bytes(8, "little")
+        digest = hashlib.sha256(payload).digest()
+        # Two 64-bit uniforms -> one Gaussian via Box-Muller.
+        u1 = (int.from_bytes(digest[:8], "little") + 1) / (2**64 + 2)
+        u2 = int.from_bytes(digest[8:16], "little") / 2**64
+        return float(np.sqrt(-2.0 * np.log(u1)) * np.cos(2.0 * np.pi * u2))

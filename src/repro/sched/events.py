@@ -1,0 +1,56 @@
+"""Minimal discrete-event machinery.
+
+A stable priority queue of timestamped events.  Ties are broken by insertion
+order, which makes every simulation in this package fully deterministic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import itertools
+from typing import Any
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Event:
+    """A payload scheduled at a simulated time."""
+
+    time: float
+    payload: Any
+
+
+class EventQueue:
+    """Stable min-heap of :class:`Event`."""
+
+    def __init__(self):
+        self._heap: list[tuple[float, int, Any]] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, payload) -> None:
+        """Schedule ``payload`` at ``time`` (must be finite)."""
+        time = float(time)
+        if not (time == time and abs(time) != float("inf")):  # NaN/inf guard
+            raise ValueError(f"event time must be finite, got {time}")
+        heapq.heappush(self._heap, (time, next(self._counter), payload))
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event (FIFO among ties)."""
+        if not self._heap:
+            raise IndexError("pop from empty EventQueue")
+        time, _, payload = heapq.heappop(self._heap)
+        return Event(time, payload)
+
+    def peek_time(self) -> float:
+        """Time of the earliest event without removing it."""
+        if not self._heap:
+            raise IndexError("peek on empty EventQueue")
+        return self._heap[0][0]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,144 @@
+"""Real thread-pool evaluation backend.
+
+Same protocol as :class:`~repro.sched.workers.VirtualWorkerPool` — ``submit``
+/ ``wait_next`` / ``wait_all`` / ``pending_points`` — but evaluations run
+concurrently in OS threads and the trace records real wall-clock timestamps.
+
+This is the backend to use when the evaluation function releases the GIL or
+performs genuine I/O (e.g. shelling out to an external simulator).  The pure-
+Python testbenches in this repository are GIL-bound, so for *experiments* the
+virtual pool is both faster and deterministic; the thread pool exists to
+demonstrate the asynchronous mechanism end to end and to host user problems
+that wrap real simulators.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import threading
+import time
+
+import numpy as np
+
+from repro.sched.trace import EvalRecord, ExecutionTrace
+from repro.sched.workers import Completion
+
+__all__ = ["ThreadWorkerPool"]
+
+
+class ThreadWorkerPool:
+    """Concurrent evaluation pool backed by ``ThreadPoolExecutor``."""
+
+    def __init__(self, problem, n_workers: int):
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.problem = problem
+        self.n_workers = int(n_workers)
+        self.trace = ExecutionTrace(n_workers)
+        self._executor = concurrent.futures.ThreadPoolExecutor(max_workers=n_workers)
+        self._lock = threading.Lock()
+        self._t0 = time.monotonic()
+        self._next_index = 0
+        self._futures: dict[concurrent.futures.Future, dict] = {}
+        self._free_workers = list(range(n_workers - 1, -1, -1))
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def now(self) -> float:
+        """Seconds since pool creation (real time)."""
+        return time.monotonic() - self._t0
+
+    @property
+    def idle_count(self) -> int:
+        with self._lock:
+            return len(self._free_workers)
+
+    @property
+    def busy_count(self) -> int:
+        with self._lock:
+            return len(self._futures)
+
+    def pending_points(self) -> np.ndarray:
+        with self._lock:
+            metas = sorted(self._futures.values(), key=lambda m: m["index"])
+        if not metas:
+            return np.empty((0, 0))
+        return np.vstack([m["x"] for m in metas])
+
+    # ------------------------------------------------------------- operation
+    def submit(self, x: np.ndarray, *, batch: int | None = None) -> int:
+        """Dispatch ``x`` to a free worker thread; returns the index."""
+        with self._lock:
+            if not self._free_workers:
+                raise RuntimeError("no idle worker; call wait_next() first")
+            worker = self._free_workers.pop()
+            index = self._next_index
+            self._next_index += 1
+        x = np.asarray(x, dtype=float).copy()
+        issue_time = self.now
+        future = self._executor.submit(self.problem.evaluate, x)
+        with self._lock:
+            self._futures[future] = {
+                "index": index,
+                "worker": worker,
+                "x": x,
+                "issue_time": issue_time,
+                "batch": batch,
+            }
+        return index
+
+    def wait_next(self) -> Completion:
+        """Block until any in-flight evaluation finishes and return it."""
+        with self._lock:
+            futures = list(self._futures)
+        if not futures:
+            raise RuntimeError("nothing is running")
+        done, _ = concurrent.futures.wait(
+            futures, return_when=concurrent.futures.FIRST_COMPLETED
+        )
+        # Among simultaneously-done futures pick the lowest issue index so
+        # behaviour is reproducible.
+        with self._lock:
+            future = min(done, key=lambda f: self._futures[f]["index"])
+            meta = self._futures.pop(future)
+            self._free_workers.append(meta["worker"])
+            self._free_workers.sort(reverse=True)
+        result = future.result()  # propagate evaluation exceptions
+        finish_time = self.now
+        completion = Completion(
+            index=meta["index"],
+            worker=meta["worker"],
+            x=meta["x"],
+            result=result,
+            issue_time=meta["issue_time"],
+            finish_time=finish_time,
+        )
+        self.trace.add(
+            EvalRecord(
+                index=meta["index"],
+                worker=meta["worker"],
+                x=meta["x"],
+                fom=result.fom,
+                issue_time=meta["issue_time"],
+                finish_time=finish_time,
+                feasible=result.feasible,
+                batch=meta["batch"],
+            )
+        )
+        return completion
+
+    def wait_all(self) -> list[Completion]:
+        """Drain every outstanding evaluation (synchronous barrier)."""
+        completions = []
+        while self.busy_count:
+            completions.append(self.wait_next())
+        return completions
+
+    def shutdown(self) -> None:
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "ThreadWorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

@@ -1,0 +1,123 @@
+"""Execution traces: what ran where, when, and how well.
+
+Every scheduler (virtual or real) produces an :class:`ExecutionTrace`, from
+which the benches derive all of the paper's wall-clock quantities: total
+simulation time (Table I/II "Time" columns), best-FOM-versus-time curves
+(Figs. 4 and 6), worker utilization, and Gantt rows (Fig. 1).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+__all__ = ["EvalRecord", "ExecutionTrace"]
+
+
+@dataclasses.dataclass
+class EvalRecord:
+    """One completed evaluation."""
+
+    index: int
+    worker: int
+    x: np.ndarray
+    fom: float
+    issue_time: float
+    finish_time: float
+    feasible: bool = True
+    batch: int | None = None
+
+    @property
+    def duration(self) -> float:
+        return self.finish_time - self.issue_time
+
+    def __post_init__(self):
+        if self.finish_time < self.issue_time:
+            raise ValueError(
+                f"finish_time {self.finish_time} earlier than issue {self.issue_time}"
+            )
+
+
+class ExecutionTrace:
+    """Ordered collection of :class:`EvalRecord` with derived statistics."""
+
+    def __init__(self, n_workers: int):
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.n_workers = int(n_workers)
+        self.records: list[EvalRecord] = []
+
+    def add(self, record: EvalRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def makespan(self) -> float:
+        """Wall-clock span from first issue to last finish."""
+        if not self.records:
+            return 0.0
+        start = min(r.issue_time for r in self.records)
+        end = max(r.finish_time for r in self.records)
+        return end - start
+
+    @property
+    def total_busy_time(self) -> float:
+        """Sum of evaluation durations across all workers."""
+        return float(sum(r.duration for r in self.records))
+
+    def utilization(self) -> float:
+        """Busy fraction of ``n_workers * makespan`` (1.0 = no idle time)."""
+        span = self.makespan
+        if span <= 0:
+            return 1.0
+        return self.total_busy_time / (self.n_workers * span)
+
+    def best_fom_curve(self) -> tuple[np.ndarray, np.ndarray]:
+        """Step curve of the best FOM seen versus completion time.
+
+        Returns ``(times, best)`` sorted by completion time; ``best[i]`` is
+        the running maximum after the evaluation finishing at ``times[i]``.
+        This is the data behind the paper's Figs. 4 and 6.
+        """
+        if not self.records:
+            return np.empty(0), np.empty(0)
+        order = sorted(self.records, key=lambda r: r.finish_time)
+        times = np.asarray([r.finish_time for r in order])
+        best = np.maximum.accumulate(np.asarray([r.fom for r in order]))
+        return times, best
+
+    def time_to_reach(self, target_fom: float) -> float:
+        """Earliest completion time at which the best FOM reaches ``target``.
+
+        Returns ``inf`` if the target is never reached — callers compare
+        algorithms by this number, and infinity orders correctly.
+        """
+        times, best = self.best_fom_curve()
+        hit = np.nonzero(best >= target_fom)[0]
+        if len(hit) == 0:
+            return float("inf")
+        return float(times[hit[0]])
+
+    def best_record(self) -> EvalRecord:
+        if not self.records:
+            raise ValueError("trace is empty")
+        return max(self.records, key=lambda r: r.fom)
+
+    def gantt_rows(self) -> list[list[tuple[float, float]]]:
+        """Per-worker lists of (issue, finish) intervals (Fig. 1 data)."""
+        rows: list[list[tuple[float, float]]] = [[] for _ in range(self.n_workers)]
+        for record in sorted(self.records, key=lambda r: r.issue_time):
+            rows[record.worker].append((record.issue_time, record.finish_time))
+        return rows
+
+    def as_dataset(self) -> tuple[np.ndarray, np.ndarray]:
+        """All evaluated points and FOMs in completion order: ``(X, y)``."""
+        if not self.records:
+            raise ValueError("trace is empty")
+        order = sorted(self.records, key=lambda r: r.finish_time)
+        X = np.vstack([r.x for r in order])
+        y = np.asarray([r.fom for r in order])
+        return X, y

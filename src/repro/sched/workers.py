@@ -1,0 +1,171 @@
+"""Virtual worker pool — the simulated-clock evaluation backend.
+
+The paper's "Time" columns count only simulator (HSPICE) time; given each
+evaluation's duration, synchronous/asynchronous wall-clock is a deterministic
+scheduling computation.  :class:`VirtualWorkerPool` performs it exactly:
+
+* ``submit(x, result)`` starts an evaluation on a free worker at the current
+  simulated time; the evaluation occupies the worker for ``result.cost``
+  seconds of simulated time.
+* ``wait_next()`` advances the clock to the earliest completion and returns
+  it — the heartbeat of the asynchronous BO loop (Alg. 1 line 3).
+* ``wait_all()`` drains every outstanding evaluation — the synchronous batch
+  barrier.
+
+The BO drivers use one pool per run; the pool records an
+:class:`~repro.sched.trace.ExecutionTrace` as it goes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.problem import EvaluationResult
+from repro.sched.events import EventQueue
+from repro.sched.trace import EvalRecord, ExecutionTrace
+
+__all__ = ["Completion", "VirtualWorkerPool"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Completion:
+    """A finished evaluation handed back to the driver."""
+
+    index: int
+    worker: int
+    x: np.ndarray
+    result: EvaluationResult
+    issue_time: float
+    finish_time: float
+
+
+@dataclasses.dataclass
+class _Running:
+    index: int
+    worker: int
+    x: np.ndarray
+    result: EvaluationResult
+    issue_time: float
+    batch: int | None
+
+
+class VirtualWorkerPool:
+    """Deterministic simulated pool of ``n_workers`` identical workers.
+
+    Parameters
+    ----------
+    problem:
+        The problem whose ``evaluate`` supplies FOM and duration.  The
+        evaluation itself runs inline (it is cheap); only its *visibility* is
+        delayed on the simulated clock by ``result.cost`` seconds.
+    n_workers:
+        Batch size B of the paper.
+    """
+
+    def __init__(self, problem, n_workers: int):
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.problem = problem
+        self.n_workers = int(n_workers)
+        self.now = 0.0
+        self.trace = ExecutionTrace(n_workers)
+        self._events = EventQueue()
+        self._free = list(range(n_workers - 1, -1, -1))  # pop() yields worker 0 first
+        self._running: dict[int, _Running] = {}
+        self._next_index = 0
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def idle_count(self) -> int:
+        return len(self._free)
+
+    @property
+    def busy_count(self) -> int:
+        return len(self._running)
+
+    def pending_points(self) -> np.ndarray:
+        """Design points currently under evaluation, in issue order.
+
+        This is the ``X-hat`` of the paper's penalization scheme (§III-C).
+        Returns an empty ``(0, d?)`` array when nothing is running.
+        """
+        if not self._running:
+            return np.empty((0, 0))
+        running = sorted(self._running.values(), key=lambda r: r.index)
+        return np.vstack([r.x for r in running])
+
+    # ------------------------------------------------------------- operation
+    def submit(self, x: np.ndarray, *, batch: int | None = None) -> int:
+        """Start evaluating ``x`` on a free worker at the current time.
+
+        Returns the evaluation index.  Raises if every worker is busy — the
+        driver must ``wait_next()`` first (Alg. 1 line 3).
+        """
+        result = self.problem.evaluate(np.asarray(x, dtype=float))
+        return self.submit_result(x, result, batch=batch)
+
+    def submit_result(
+        self, x: np.ndarray, result: EvaluationResult, *, batch: int | None = None
+    ) -> int:
+        """Like :meth:`submit` but with a precomputed evaluation outcome."""
+        if not self._free:
+            raise RuntimeError("no idle worker; call wait_next() first")
+        worker = self._free.pop()
+        index = self._next_index
+        self._next_index += 1
+        task = _Running(
+            index=index,
+            worker=worker,
+            x=np.asarray(x, dtype=float).copy(),
+            result=result,
+            issue_time=self.now,
+            batch=batch,
+        )
+        self._running[index] = task
+        self._events.push(self.now + max(result.cost, 0.0), index)
+        return index
+
+    def wait_next(self) -> Completion:
+        """Advance the clock to the earliest completion and return it."""
+        if not self._events:
+            raise RuntimeError("nothing is running")
+        event = self._events.pop()
+        self.now = max(self.now, event.time)
+        task = self._running.pop(event.payload)
+        self._free.append(task.worker)
+        # Keep worker reuse deterministic: lowest-numbered worker first.
+        self._free.sort(reverse=True)
+        completion = Completion(
+            index=task.index,
+            worker=task.worker,
+            x=task.x,
+            result=task.result,
+            issue_time=task.issue_time,
+            finish_time=event.time,
+        )
+        self.trace.add(
+            EvalRecord(
+                index=task.index,
+                worker=task.worker,
+                x=task.x,
+                fom=task.result.fom,
+                issue_time=task.issue_time,
+                finish_time=event.time,
+                feasible=task.result.feasible,
+                batch=task.batch,
+            )
+        )
+        return completion
+
+    def wait_all(self) -> list[Completion]:
+        """Drain all outstanding evaluations (synchronous batch barrier).
+
+        The clock ends at the *latest* completion — the waiting-for-the-
+        slowest effect the paper's asynchronous scheme removes.
+        """
+        completions = []
+        while self._events:
+            completions.append(self.wait_next())
+        return completions

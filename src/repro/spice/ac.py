@@ -1,0 +1,173 @@
+"""Small-signal AC analysis.
+
+Linearizes every nonlinear device around a DC operating point and solves the
+complex MNA system ``(G + jwC) x = z`` at each requested frequency.  The AC
+stimulus is the ``ac`` magnitude of the independent sources (DC-only sources
+are stamped with zero AC value, i.e. shorts/opens as appropriate).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.spice.dc import OperatingPoint, dc_operating_point
+from repro.spice.diode import Diode
+from repro.spice.elements import (
+    Capacitor,
+    CurrentSource,
+    Inductor,
+    Resistor,
+    Vccs,
+    Vcvs,
+    VoltageSource,
+)
+from repro.spice.exceptions import SingularMatrixError
+from repro.spice.mosfet import Mosfet
+from repro.spice.netlist import Circuit
+from repro.spice.stamps import MnaAssembler
+
+__all__ = ["AcResult", "ac_analysis", "logspace_frequencies"]
+
+
+def logspace_frequencies(f_start: float, f_stop: float, points_per_decade: int = 20) -> np.ndarray:
+    """Logarithmically spaced analysis frequencies, SPICE ``.AC DEC`` style."""
+    if f_start <= 0 or f_stop <= f_start:
+        raise ValueError("need 0 < f_start < f_stop")
+    decades = np.log10(f_stop / f_start)
+    n = max(2, int(round(decades * points_per_decade)) + 1)
+    return np.logspace(np.log10(f_start), np.log10(f_stop), n)
+
+
+@dataclasses.dataclass
+class AcResult:
+    """Complex node voltages/branch currents across a frequency sweep."""
+
+    freqs: np.ndarray
+    node_index: dict[str, int]
+    branch_index: dict[str, int]
+    solution: np.ndarray  # shape (n_freqs, n_unknowns), complex
+    op: OperatingPoint
+
+    def v(self, node: str) -> np.ndarray:
+        """Complex voltage phasor at ``node`` across the sweep."""
+        if Circuit.is_ground(node):
+            return np.zeros(len(self.freqs), dtype=complex)
+        return self.solution[:, self.node_index[node]]
+
+    def i(self, branch_element: str) -> np.ndarray:
+        """Complex branch current through a group-2 element."""
+        return self.solution[:, self.branch_index[branch_element]]
+
+    def transfer(self, out_node: str, in_node: str | None = None) -> np.ndarray:
+        """Voltage transfer function ``v(out)/v(in)`` (or ``v(out)`` if the
+        stimulus had unit amplitude and ``in_node`` is omitted)."""
+        out = self.v(out_node)
+        if in_node is None:
+            return out
+        vin = self.v(in_node)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.where(np.abs(vin) > 0, out / vin, np.inf + 0j)
+
+
+def ac_analysis(
+    circuit: Circuit,
+    freqs: np.ndarray,
+    *,
+    op: OperatingPoint | None = None,
+    gmin: float = 1e-12,
+) -> AcResult:
+    """Run an AC sweep; computes the operating point first if not supplied."""
+    freqs = np.asarray(freqs, dtype=float)
+    if freqs.ndim != 1 or len(freqs) == 0:
+        raise ValueError("freqs must be a non-empty 1-D array")
+    if np.any(freqs <= 0):
+        raise ValueError("AC frequencies must be positive")
+    if op is None:
+        op = dc_operating_point(circuit)
+
+    node_idx = circuit.node_index()
+    branch_idx = circuit.branch_index()
+    n = circuit.n_unknowns
+    solution = np.zeros((len(freqs), n), dtype=complex)
+
+    def idx(node: str) -> int:
+        return -1 if Circuit.is_ground(node) else node_idx[node]
+
+    for k, freq in enumerate(freqs):
+        omega = 2.0 * np.pi * freq
+        asm = MnaAssembler(n, dtype=complex)
+        for element in circuit.elements:
+            if isinstance(element, Resistor):
+                asm.conductance(idx(element.n_plus), idx(element.n_minus), element.conductance)
+            elif isinstance(element, Capacitor):
+                asm.conductance(
+                    idx(element.n_plus), idx(element.n_minus), 1j * omega * element.capacitance
+                )
+            elif isinstance(element, Inductor):
+                asm.branch_impedance(
+                    idx(element.n_plus),
+                    idx(element.n_minus),
+                    branch_idx[element.name],
+                    1j * omega * element.inductance,
+                )
+            elif isinstance(element, VoltageSource):
+                asm.voltage_source(
+                    idx(element.n_plus),
+                    idx(element.n_minus),
+                    branch_idx[element.name],
+                    element.ac,
+                )
+            elif isinstance(element, CurrentSource):
+                asm.current_source(idx(element.n_plus), idx(element.n_minus), element.ac)
+            elif isinstance(element, Vcvs):
+                asm.vcvs(
+                    idx(element.n_plus),
+                    idx(element.n_minus),
+                    idx(element.ctrl_plus),
+                    idx(element.ctrl_minus),
+                    branch_idx[element.name],
+                    element.gain,
+                )
+            elif isinstance(element, Vccs):
+                asm.vccs(
+                    idx(element.n_plus),
+                    idx(element.n_minus),
+                    idx(element.ctrl_plus),
+                    idx(element.ctrl_minus),
+                    element.gm,
+                )
+            elif isinstance(element, Mosfet):
+                _stamp_mosfet_ac(asm, element, op, idx, omega)
+            elif isinstance(element, Diode):
+                a, c = idx(element.anode), idx(element.cathode)
+                bias = op.v(element.anode) - op.v(element.cathode)
+                small_signal = element.evaluate(bias)
+                asm.conductance(a, c, small_signal.gd)
+                asm.conductance(a, c, 1j * omega * element.params.cj0)
+            else:
+                raise TypeError(f"unsupported element type {type(element).__name__}")
+        asm.gmin_to_ground(len(node_idx), gmin)
+        try:
+            solution[k] = np.linalg.solve(asm.A, asm.z)
+        except np.linalg.LinAlgError:
+            raise SingularMatrixError(
+                f"singular AC MNA matrix at f={freq:g} Hz in {circuit.title!r}"
+            ) from None
+    return AcResult(freqs, node_idx, branch_idx, solution, op)
+
+
+def _stamp_mosfet_ac(asm: MnaAssembler, mosfet: Mosfet, op: OperatingPoint, idx, omega: float):
+    """Small-signal model: gm/gds/gmb plus Meyer + junction capacitances."""
+    device_op = op.mosfet_ops[mosfet.name]
+    d, g, s, b = (idx(mosfet.drain), idx(mosfet.gate), idx(mosfet.source), idx(mosfet.bulk))
+    asm.vccs(d, s, g, s, device_op.gm)
+    asm.conductance(d, s, device_op.gds)
+    asm.vccs(d, s, b, s, device_op.gmb)
+    caps = mosfet.capacitances(device_op)
+    asm.conductance(g, s, 1j * omega * caps["cgs"])
+    asm.conductance(g, d, 1j * omega * caps["cgd"])
+    asm.conductance(g, b, 1j * omega * caps["cgb"])
+    asm.conductance(d, b, 1j * omega * caps["cdb"])
+    asm.conductance(s, b, 1j * omega * caps["csb"])

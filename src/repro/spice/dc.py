@@ -1,0 +1,292 @@
+"""DC operating-point analysis.
+
+Newton–Raphson on the MNA equations with two convergence aids used by every
+production SPICE: *gmin stepping* (start with a large conductance from every
+node to ground and relax it) and *source stepping* (ramp all independent
+sources from zero).  A plain Newton attempt from the supplied guess is tried
+first because it is the cheapest and usually succeeds for well-biased
+circuits.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.spice.elements import (
+    Capacitor,
+    CurrentSource,
+    Inductor,
+    Resistor,
+    Vccs,
+    Vcvs,
+    VoltageSource,
+)
+from repro.spice.diode import Diode
+from repro.spice.exceptions import ConvergenceError, SingularMatrixError
+from repro.spice.mosfet import Mosfet, MosfetOp
+from repro.spice.netlist import Circuit
+from repro.spice.stamps import MnaAssembler
+
+__all__ = ["OperatingPoint", "dc_operating_point"]
+
+#: Default Newton iteration limit per solve.
+MAX_ITER = 120
+
+#: Maximum per-iteration voltage step (volts) — Newton damping.
+MAX_STEP = 0.5
+
+#: Node-voltage convergence tolerance (volts).
+VTOL = 1e-9
+
+#: Residual (KCL) convergence tolerance (amperes).
+ITOL = 1e-9
+
+#: Final gmin left in the system (SPICE default).
+GMIN = 1e-12
+
+
+@dataclasses.dataclass
+class OperatingPoint:
+    """Solved DC state of a circuit."""
+
+    node_voltages: dict[str, float]
+    branch_currents: dict[str, float]
+    mosfet_ops: dict[str, MosfetOp]
+    iterations: int
+
+    def v(self, node: str) -> float:
+        """Voltage at ``node`` (ground aliases return 0)."""
+        if Circuit.is_ground(node):
+            return 0.0
+        return self.node_voltages[node]
+
+    def i(self, branch_element: str) -> float:
+        """Branch current through a group-2 element (V source or inductor)."""
+        return self.branch_currents[branch_element]
+
+
+def dc_operating_point(
+    circuit: Circuit,
+    *,
+    v_guess: np.ndarray | None = None,
+    max_iter: int = MAX_ITER,
+    gmin: float = GMIN,
+) -> OperatingPoint:
+    """Solve the DC operating point of ``circuit``.
+
+    Raises :class:`ConvergenceError` if Newton fails even with gmin and
+    source stepping, and :class:`SingularMatrixError` for structurally
+    singular systems.
+    """
+    circuit.validate()
+    n_nodes = len(circuit.nodes)
+    n = circuit.n_unknowns
+    x = np.zeros(n) if v_guess is None else np.asarray(v_guess, dtype=float).copy()
+    if x.shape != (n,):
+        raise ValueError(f"v_guess must have shape ({n},), got {x.shape}")
+
+    # Attempt 1: plain Newton.
+    solution = _newton(circuit, x, gmin=gmin, source_scale=1.0, max_iter=max_iter)
+    if solution is None:
+        # Attempt 2: gmin stepping.
+        solution = _gmin_stepping(circuit, x, gmin_final=gmin, max_iter=max_iter)
+    if solution is None:
+        # Attempt 3: source stepping.
+        solution = _source_stepping(circuit, x, gmin=gmin, max_iter=max_iter)
+    if solution is None:
+        raise ConvergenceError(
+            f"DC operating point of {circuit.title!r} did not converge"
+        )
+    x, iterations = solution
+    return _package(circuit, x, iterations, n_nodes)
+
+
+# ------------------------------------------------------------------ internals
+def _package(circuit: Circuit, x: np.ndarray, iterations: int, n_nodes: int) -> OperatingPoint:
+    node_idx = circuit.node_index()
+    branch_idx = circuit.branch_index()
+    voltages = {name: float(x[i]) for name, i in node_idx.items()}
+    currents = {name: float(x[i]) for name, i in branch_idx.items()}
+    mosfet_ops = {}
+    for mosfet in circuit.mosfets():
+        vd, vg, vs, vb = (
+            _node_voltage(x, node_idx, mosfet.drain),
+            _node_voltage(x, node_idx, mosfet.gate),
+            _node_voltage(x, node_idx, mosfet.source),
+            _node_voltage(x, node_idx, mosfet.bulk),
+        )
+        mosfet_ops[mosfet.name] = mosfet.evaluate(vd, vg, vs, vb)
+    return OperatingPoint(voltages, currents, mosfet_ops, iterations)
+
+
+def _node_voltage(x: np.ndarray, node_idx: dict[str, int], node: str) -> float:
+    if Circuit.is_ground(node):
+        return 0.0
+    return float(x[node_idx[node]])
+
+
+def _gmin_stepping(circuit, x0, *, gmin_final, max_iter):
+    x = x0.copy()
+    total_iterations = 0
+    gmin = 1e-2
+    while gmin >= gmin_final:
+        solution = _newton(circuit, x, gmin=gmin, source_scale=1.0, max_iter=max_iter)
+        if solution is None:
+            return None
+        x, iters = solution
+        total_iterations += iters
+        if gmin == gmin_final:
+            return x, total_iterations
+        gmin = max(gmin / 10.0, gmin_final)
+    return x, total_iterations
+
+
+def _source_stepping(circuit, x0, *, gmin, max_iter):
+    x = np.zeros_like(x0)
+    total_iterations = 0
+    for scale in (0.1, 0.25, 0.5, 0.75, 0.9, 1.0):
+        solution = _newton(circuit, x, gmin=gmin, source_scale=scale, max_iter=max_iter)
+        if solution is None:
+            return None
+        x, iters = solution
+        total_iterations += iters
+    return x, total_iterations
+
+
+def _newton(circuit, x0, *, gmin, source_scale, max_iter):
+    """Newton iteration; returns ``(x, iterations)`` or ``None`` on failure."""
+    node_idx = circuit.node_index()
+    branch_idx = circuit.branch_index()
+    n_nodes = len(node_idx)
+    # Step damping exists to keep the exponential/square-law devices inside
+    # their basin of convergence; a linear circuit solves in one full step
+    # (and damping would need unbounded iterations for large node voltages).
+    nonlinear = bool(circuit.mosfets()) or bool(circuit.elements_of(Diode))
+    x = x0.copy()
+    for iteration in range(1, max_iter + 1):
+        asm = assemble_dc(circuit, x, node_idx, branch_idx, gmin, source_scale)
+        try:
+            x_new = np.linalg.solve(asm.A, asm.z)
+        except np.linalg.LinAlgError:
+            raise SingularMatrixError(
+                f"singular MNA matrix in {circuit.title!r} (floating node or "
+                f"voltage-source loop?)"
+            ) from None
+        if not np.all(np.isfinite(x_new)):
+            return None
+        dx = x_new - x
+        max_dv = float(np.max(np.abs(dx[:n_nodes]))) if n_nodes else 0.0
+        if nonlinear and max_dv > MAX_STEP:
+            x = x + dx * (MAX_STEP / max_dv)
+        else:
+            x = x_new
+            if max_dv < VTOL and _residual_ok(asm, x):
+                return x, iteration
+    return None
+
+
+def _residual_ok(asm: MnaAssembler, x: np.ndarray) -> bool:
+    residual = asm.A @ x - asm.z
+    return bool(np.max(np.abs(residual)) < ITOL * max(1.0, float(np.max(np.abs(x)))))
+
+
+def assemble_dc(
+    circuit: Circuit,
+    x: np.ndarray,
+    node_idx: dict[str, int],
+    branch_idx: dict[str, int],
+    gmin: float,
+    source_scale: float,
+    skip_reactive: bool = False,
+) -> MnaAssembler:
+    """Assemble the linearized DC MNA system at state ``x``.
+
+    Shared with :mod:`repro.spice.transient`, which passes
+    ``skip_reactive=True`` and stamps its own companion models for capacitors
+    and inductors on top.
+    """
+    asm = MnaAssembler(circuit.n_unknowns)
+
+    def idx(node: str) -> int:
+        return -1 if Circuit.is_ground(node) else node_idx[node]
+
+    for element in circuit.elements:
+        if isinstance(element, Resistor):
+            asm.conductance(idx(element.n_plus), idx(element.n_minus), element.conductance)
+        elif isinstance(element, Capacitor):
+            continue  # open circuit at DC; transient adds its companion
+        elif isinstance(element, Inductor):
+            if skip_reactive:
+                continue  # transient adds the companion branch stamp
+            asm.branch_impedance(
+                idx(element.n_plus), idx(element.n_minus), branch_idx[element.name], 0.0
+            )
+        elif isinstance(element, VoltageSource):
+            asm.voltage_source(
+                idx(element.n_plus),
+                idx(element.n_minus),
+                branch_idx[element.name],
+                source_scale * element.dc_value,
+            )
+        elif isinstance(element, CurrentSource):
+            asm.current_source(
+                idx(element.n_plus), idx(element.n_minus), source_scale * element.dc_value
+            )
+        elif isinstance(element, Vcvs):
+            asm.vcvs(
+                idx(element.n_plus),
+                idx(element.n_minus),
+                idx(element.ctrl_plus),
+                idx(element.ctrl_minus),
+                branch_idx[element.name],
+                element.gain,
+            )
+        elif isinstance(element, Vccs):
+            asm.vccs(
+                idx(element.n_plus),
+                idx(element.n_minus),
+                idx(element.ctrl_plus),
+                idx(element.ctrl_minus),
+                element.gm,
+            )
+        elif isinstance(element, Mosfet):
+            _stamp_mosfet(asm, element, x, idx)
+        elif isinstance(element, Diode):
+            _stamp_diode(asm, element, x, idx)
+        else:
+            raise TypeError(f"unsupported element type {type(element).__name__}")
+
+    asm.gmin_to_ground(len(node_idx), gmin)
+    return asm
+
+
+def _stamp_mosfet(asm: MnaAssembler, mosfet: Mosfet, x: np.ndarray, idx) -> None:
+    """Linearized companion stamp: i_d = gm vgs + gds vds + gmb vbs + ieq."""
+    d, g, s, b = (idx(mosfet.drain), idx(mosfet.gate), idx(mosfet.source), idx(mosfet.bulk))
+
+    def volt(i: int) -> float:
+        return 0.0 if i < 0 else float(x[i])
+
+    op = mosfet.evaluate(volt(d), volt(g), volt(s), volt(b))
+    # gm * vgs: current d->s controlled by (g, s)
+    asm.vccs(d, s, g, s, op.gm)
+    # gds * vds: conductance between d and s
+    asm.conductance(d, s, op.gds)
+    # gmb * vbs: current d->s controlled by (b, s)
+    asm.vccs(d, s, b, s, op.gmb)
+    # Companion current source ieq flowing d -> s.
+    asm.current_source(d, s, op.ieq)
+
+
+def _stamp_diode(asm: MnaAssembler, diode: Diode, x: np.ndarray, idx) -> None:
+    """Linearized companion stamp: i = gd * v + ieq, anode -> cathode."""
+    a, c = idx(diode.anode), idx(diode.cathode)
+
+    def volt(i: int) -> float:
+        return 0.0 if i < 0 else float(x[i])
+
+    op = diode.evaluate(volt(a) - volt(c))
+    asm.conductance(a, c, op.gd)
+    asm.current_source(a, c, op.ieq)

@@ -1,0 +1,96 @@
+"""Junction diode with the standard SPICE exponential model.
+
+    i(v) = IS * (exp(v / (n * Vt)) - 1)
+
+The exponential is linearized above a critical voltage (the classic SPICE
+junction limiting) so Newton iterations cannot overflow; a constant junction
+capacitance loads the transient analysis.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.spice.elements import Element
+from repro.spice.units import format_eng
+
+__all__ = ["DiodeParams", "DiodeOp", "Diode"]
+
+#: Thermal voltage at room temperature.
+VT = 0.02585
+
+
+@dataclasses.dataclass(frozen=True)
+class DiodeParams:
+    """Model card: saturation current, ideality factor, junction cap."""
+
+    i_s: float = 1e-14
+    n: float = 1.0
+    cj0: float = 1e-12
+
+    def __post_init__(self):
+        if self.i_s <= 0 or self.n <= 0 or self.cj0 < 0:
+            raise ValueError("i_s and n must be positive, cj0 non-negative")
+
+
+@dataclasses.dataclass
+class DiodeOp:
+    """Linearization of the diode at a bias point: i = gd*v + ieq."""
+
+    current: float
+    gd: float
+    v: float
+
+    @property
+    def ieq(self) -> float:
+        return self.current - self.gd * self.v
+
+
+class Diode(Element):
+    """Two-terminal junction diode; current flows anode -> cathode."""
+
+    def __init__(self, name, anode, cathode, params: DiodeParams | None = None):
+        super().__init__(name, (anode, cathode))
+        self.params = params if params is not None else DiodeParams()
+
+    @property
+    def anode(self) -> str:
+        return self.nodes[0]
+
+    @property
+    def cathode(self) -> str:
+        return self.nodes[1]
+
+    @property
+    def _nvt(self) -> float:
+        return self.params.n * VT
+
+    @property
+    def v_crit(self) -> float:
+        """Voltage above which the exponential is linearized."""
+        return self._nvt * math.log(self._nvt / (math.sqrt(2.0) * self.params.i_s))
+
+    def evaluate(self, v: float) -> DiodeOp:
+        """Current and small-signal conductance at junction voltage ``v``."""
+        nvt = self._nvt
+        i_s = self.params.i_s
+        v_crit = self.v_crit
+        if v <= v_crit:
+            expo = math.exp(max(v / nvt, -100.0))
+            current = i_s * (expo - 1.0)
+            gd = i_s * expo / nvt
+        else:
+            # First-order continuation beyond v_crit keeps Newton bounded.
+            expo = math.exp(v_crit / nvt)
+            gd = i_s * expo / nvt
+            current = i_s * (expo - 1.0) + gd * (v - v_crit)
+        # A minimum conductance keeps the reverse-biased branch non-singular.
+        gd = max(gd, 1e-14)
+        return DiodeOp(current=current, gd=gd, v=v)
+
+    def describe(self) -> str:
+        return (
+            f"{self.name} {self.anode} {self.cathode} "
+            f"IS={format_eng(self.params.i_s, 'A')} n={self.params.n:g}"
+        )

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the circuit simulator.
+
+Simulation failures are expected events during optimization — a bad sizing can
+make the DC solve diverge — so they get their own exception types that the
+testbench layer can catch and convert into a finite FOM penalty.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SpiceError",
+    "TopologyError",
+    "ConvergenceError",
+    "SingularMatrixError",
+    "AnalysisError",
+]
+
+
+class SpiceError(Exception):
+    """Base class for all simulator errors."""
+
+
+class TopologyError(SpiceError):
+    """The netlist is structurally invalid (floating nodes, duplicates...)."""
+
+
+class ConvergenceError(SpiceError):
+    """A nonlinear (Newton) solve failed to converge."""
+
+
+class SingularMatrixError(SpiceError):
+    """The MNA matrix is singular — usually a floating node or V-source loop."""
+
+
+class AnalysisError(SpiceError):
+    """A completed analysis produced unusable results (e.g. no UGF crossing)."""

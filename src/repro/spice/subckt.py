@@ -1,0 +1,102 @@
+"""Hierarchical netlists: subcircuit definition and instantiation.
+
+A :class:`SubCircuit` is a reusable circuit fragment with named ports.
+Instantiating it into a parent :class:`Circuit` flattens the fragment —
+internal nodes and element names are prefixed with the instance name
+(``x1.node``), ports are spliced onto the parent's nodes — which keeps every
+analysis engine unchanged (they only ever see flat circuits, as in SPICE).
+"""
+
+from __future__ import annotations
+
+import copy
+
+from repro.spice.elements import Element
+from repro.spice.exceptions import TopologyError
+from repro.spice.netlist import GROUND_NAMES, Circuit
+
+__all__ = ["SubCircuit"]
+
+
+class SubCircuit:
+    """A circuit fragment with declared ports.
+
+    Parameters
+    ----------
+    name:
+        Definition name (like a SPICE ``.SUBCKT`` name).
+    ports:
+        Ordered terminal names exposed to the parent circuit.
+
+    Build the body with the same ``R``/``C``/``M``... helpers as
+    :class:`Circuit`, then call :meth:`instantiate`.
+    """
+
+    def __init__(self, name: str, ports):
+        if not name:
+            raise ValueError("subcircuit name must be non-empty")
+        ports = [str(p) for p in ports]
+        if not ports:
+            raise ValueError("subcircuit needs at least one port")
+        if len(set(ports)) != len(ports):
+            raise ValueError("port names must be unique")
+        for port in ports:
+            if port in GROUND_NAMES:
+                raise ValueError(
+                    f"port {port!r} is a ground alias; ground is global and "
+                    f"must not be a port"
+                )
+        self.name = str(name)
+        self.ports = ports
+        self.body = Circuit(title=f"subckt {name}")
+
+    # Delegate the element-builder helpers to the body circuit.
+    def add(self, element: Element) -> Element:
+        return self.body.add(element)
+
+    def __getattr__(self, attr):
+        # R, C, L, V, I, M, E, G builder shorthands live on Circuit.
+        if attr in ("R", "C", "L", "V", "I", "M", "E", "G", "extend"):
+            return getattr(self.body, attr)
+        raise AttributeError(f"{type(self).__name__!r} has no attribute {attr!r}")
+
+    def instantiate(self, parent: Circuit, instance: str, connections) -> None:
+        """Flatten this fragment into ``parent``.
+
+        Parameters
+        ----------
+        instance:
+            Instance name; internal nodes/elements become ``instance.x``.
+        connections:
+            Mapping of port name -> parent node name (or a sequence in port
+            order).
+        """
+        if isinstance(connections, dict):
+            mapping = {str(k): str(v) for k, v in connections.items()}
+        else:
+            values = [str(v) for v in connections]
+            if len(values) != len(self.ports):
+                raise TopologyError(
+                    f"{self.name}: expected {len(self.ports)} connections, "
+                    f"got {len(values)}"
+                )
+            mapping = dict(zip(self.ports, values))
+        missing = set(self.ports) - set(mapping)
+        if missing:
+            raise TopologyError(f"{self.name}: unconnected ports {sorted(missing)}")
+        extra = set(mapping) - set(self.ports)
+        if extra:
+            raise TopologyError(f"{self.name}: unknown ports {sorted(extra)}")
+
+        def map_node(node: str) -> str:
+            if node in GROUND_NAMES:
+                return node  # ground is global
+            if node in mapping:
+                return mapping[node]
+            return f"{instance}.{node}"
+
+        for element in self.body.elements:
+            clone = copy.deepcopy(element)
+            clone.name = f"{instance}.{element.name}"
+            clone.nodes = tuple(map_node(n) for n in element.nodes)
+            parent.add(clone)

@@ -1,0 +1,79 @@
+"""DC sweep analysis — transfer and output characteristic curves.
+
+Sweeps the DC value of one independent source across a grid, solving the
+operating point at each step with warm-started Newton (the previous solution
+seeds the next solve, as in SPICE's ``.DC``).  This is how device I-V and
+inverter VTC curves are produced in the examples and tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.spice.dc import OperatingPoint, dc_operating_point
+from repro.spice.elements import CurrentSource, VoltageSource
+from repro.spice.netlist import Circuit
+
+__all__ = ["DcSweepResult", "dc_sweep"]
+
+
+@dataclasses.dataclass
+class DcSweepResult:
+    """Operating points across a swept source value."""
+
+    source: str
+    values: np.ndarray
+    points: list[OperatingPoint]
+
+    def v(self, node: str) -> np.ndarray:
+        """Voltage curve at ``node`` across the sweep."""
+        return np.asarray([op.v(node) for op in self.points])
+
+    def i(self, branch_element: str) -> np.ndarray:
+        """Branch-current curve through a group-2 element."""
+        return np.asarray([op.i(branch_element) for op in self.points])
+
+    def device_current(self, mosfet_name: str) -> np.ndarray:
+        """Drain-current curve of a MOSFET across the sweep."""
+        return np.asarray([op.mosfet_ops[mosfet_name].ids for op in self.points])
+
+
+def dc_sweep(circuit: Circuit, source_name: str, values) -> DcSweepResult:
+    """Sweep the DC value of ``source_name`` over ``values``.
+
+    The source element is restored to its original value afterwards, so the
+    circuit can be reused.  Raises :class:`KeyError` for unknown sources and
+    :class:`TypeError` if the named element is not an independent source.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 1 or len(values) == 0:
+        raise ValueError("values must be a non-empty 1-D array")
+    element = circuit.find(source_name)
+    if not isinstance(element, (VoltageSource, CurrentSource)):
+        raise TypeError(
+            f"{source_name!r} is a {type(element).__name__}, not an "
+            f"independent source"
+        )
+    if element.waveform is not None:
+        raise TypeError(f"{source_name!r} has a waveform; DC sweep needs a DC source")
+
+    original = element.value
+    points: list[OperatingPoint] = []
+    guess = None
+    try:
+        for value in values:
+            element.value = float(value)
+            op = dc_operating_point(circuit, v_guess=guess)
+            points.append(op)
+            node_idx = circuit.node_index()
+            branch_idx = circuit.branch_index()
+            guess = np.zeros(circuit.n_unknowns)
+            for name, i in node_idx.items():
+                guess[i] = op.node_voltages[name]
+            for name, i in branch_idx.items():
+                guess[i] = op.branch_currents[name]
+    finally:
+        element.value = original
+    return DcSweepResult(source=source_name, values=values.copy(), points=points)

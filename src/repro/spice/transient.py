@@ -1,0 +1,278 @@
+"""Transient analysis with trapezoidal (or backward-Euler) integration.
+
+Each time step replaces the reactive elements with their companion models and
+runs a Newton solve for the nonlinear devices — the textbook SPICE loop.  The
+step size is fixed on a global grid (deterministic results for a given
+``dt``), but a step that fails to converge is retried with local sub-steps
+before the analysis gives up.
+
+The class-E power-amplifier testbench drives this module hard: a switching
+MOSFET with pulse gate drive, an RF choke, and a resonant load network.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.spice.dc import MAX_STEP, OperatingPoint, assemble_dc, dc_operating_point
+from repro.spice.elements import Capacitor, CurrentSource, Inductor, VoltageSource
+from repro.spice.exceptions import ConvergenceError, SingularMatrixError
+from repro.spice.netlist import Circuit
+
+__all__ = ["TransientResult", "transient_analysis"]
+
+#: Newton iterations per time step.
+MAX_NEWTON = 60
+
+#: Node-voltage convergence tolerance per step (volts).
+VTOL = 1e-7
+
+#: How many times a non-converging step is split in half.
+MAX_HALVINGS = 6
+
+
+@dataclasses.dataclass
+class TransientResult:
+    """Waveforms on the global time grid."""
+
+    t: np.ndarray
+    node_index: dict[str, int]
+    branch_index: dict[str, int]
+    solution: np.ndarray  # (n_steps + 1, n_unknowns)
+    op0: OperatingPoint
+
+    def v(self, node: str) -> np.ndarray:
+        """Voltage waveform at ``node``."""
+        if Circuit.is_ground(node):
+            return np.zeros(len(self.t))
+        return self.solution[:, self.node_index[node]]
+
+    def i(self, branch_element: str) -> np.ndarray:
+        """Current waveform through a group-2 element (V source, inductor)."""
+        return self.solution[:, self.branch_index[branch_element]]
+
+    def window(self, t_from: float, t_to: float | None = None) -> np.ndarray:
+        """Boolean mask selecting samples with ``t_from <= t <= t_to``."""
+        t_to = self.t[-1] if t_to is None else t_to
+        return (self.t >= t_from - 1e-18) & (self.t <= t_to + 1e-18)
+
+
+@dataclasses.dataclass(frozen=True)
+class _CapBranch:
+    """A two-terminal capacitance tracked by the integrator.
+
+    Covers both explicit :class:`Capacitor` elements and the effective
+    MOSFET capacitances (see :meth:`Mosfet.transient_capacitances`).
+    """
+
+    name: str
+    n_plus: str
+    n_minus: str
+    capacitance: float
+
+
+def _collect_capacitances(circuit: Circuit) -> list[_CapBranch]:
+    branches = [
+        _CapBranch(c.name, c.n_plus, c.n_minus, c.capacitance)
+        for c in circuit.elements_of(Capacitor)
+    ]
+    for m in circuit.mosfets():
+        caps = m.transient_capacitances()
+        for label, (na, nb) in (
+            ("cgs", (m.gate, m.source)),
+            ("cgd", (m.gate, m.drain)),
+            ("cdb", (m.drain, m.bulk)),
+            ("csb", (m.source, m.bulk)),
+        ):
+            value = caps[label]
+            if value > 0.0 and na != nb:
+                branches.append(_CapBranch(f"{m.name}.{label}", na, nb, value))
+    from repro.spice.diode import Diode
+
+    for d in circuit.elements_of(Diode):
+        if d.params.cj0 > 0.0 and d.anode != d.cathode:
+            branches.append(_CapBranch(f"{d.name}.cj", d.anode, d.cathode, d.params.cj0))
+    return branches
+
+
+class _ReactiveState:
+    """Companion-model state: capacitor currents and last node voltages."""
+
+    def __init__(self, circuit: Circuit, x0: np.ndarray, node_idx, branch_idx):
+        self.caps = _collect_capacitances(circuit)
+        self.inds = circuit.elements_of(Inductor)
+        self.node_idx = node_idx
+        self.branch_idx = branch_idx
+        # At the DC operating point capacitor current is zero.
+        self.cap_current = {c.name: 0.0 for c in self.caps}
+        self.x = x0.copy()
+
+    def voltage_across(self, element, x: np.ndarray) -> float:
+        vp = 0.0 if Circuit.is_ground(element.n_plus) else x[self.node_idx[element.n_plus]]
+        vm = 0.0 if Circuit.is_ground(element.n_minus) else x[self.node_idx[element.n_minus]]
+        return float(vp - vm)
+
+    def advance(self, x_new: np.ndarray, dt: float, method: str) -> None:
+        """Update stored state after a successful step."""
+        for cap in self.caps:
+            geq = self._cap_geq(cap, dt, method)
+            ieq = self._cap_ieq(cap, dt, method)
+            self.cap_current[cap.name] = geq * self.voltage_across(cap, x_new) + ieq
+        self.x = x_new.copy()
+
+    def _cap_geq(self, cap, dt: float, method: str) -> float:
+        return (2.0 if method == "trap" else 1.0) * cap.capacitance / dt
+
+    def _cap_ieq(self, cap, dt: float, method: str) -> float:
+        v_old = self.voltage_across(cap, self.x)
+        geq = self._cap_geq(cap, dt, method)
+        if method == "trap":
+            return -(geq * v_old + self.cap_current[cap.name])
+        return -geq * v_old
+
+    def stamp(self, asm, dt: float, method: str, idx) -> None:
+        """Add companion stamps for all reactive elements."""
+        for cap in self.caps:
+            geq = self._cap_geq(cap, dt, method)
+            ieq = self._cap_ieq(cap, dt, method)
+            asm.conductance(idx(cap.n_plus), idx(cap.n_minus), geq)
+            asm.current_source(idx(cap.n_plus), idx(cap.n_minus), ieq)
+        for ind in self.inds:
+            branch = self.branch_idx[ind.name]
+            scale = 2.0 if method == "trap" else 1.0
+            zeq = scale * ind.inductance / dt
+            i_old = float(self.x[branch])
+            v_old = self.voltage_across(ind, self.x)
+            # Branch row already holds v(n+) - v(n-) - zeq * i = rhs.
+            asm.add_A(idx(ind.n_plus), branch, 1.0)
+            asm.add_A(idx(ind.n_minus), branch, -1.0)
+            asm.add_A(branch, idx(ind.n_plus), 1.0)
+            asm.add_A(branch, idx(ind.n_minus), -1.0)
+            asm.add_A(branch, branch, -zeq)
+            if method == "trap":
+                asm.add_z(branch, -v_old - zeq * i_old)
+            else:
+                asm.add_z(branch, -zeq * i_old)
+
+
+def transient_analysis(
+    circuit: Circuit,
+    t_stop: float,
+    dt: float,
+    *,
+    op0: OperatingPoint | None = None,
+    method: str = "trap",
+    gmin: float = 1e-12,
+) -> TransientResult:
+    """Simulate ``circuit`` from t=0 to ``t_stop`` with fixed step ``dt``.
+
+    The initial state is the DC operating point with every waveform source at
+    its t=0 value (computed automatically when ``op0`` is omitted).
+    """
+    if method not in ("trap", "be"):
+        raise ValueError(f"method must be 'trap' or 'be', got {method!r}")
+    if dt <= 0 or t_stop <= 0:
+        raise ValueError("dt and t_stop must be positive")
+    if dt > t_stop:
+        raise ValueError("dt must not exceed t_stop")
+    circuit.validate()
+    if op0 is None:
+        op0 = dc_operating_point(circuit, gmin=gmin)
+
+    node_idx = circuit.node_index()
+    branch_idx = circuit.branch_index()
+    n = circuit.n_unknowns
+
+    x0 = np.zeros(n)
+    for name, i in node_idx.items():
+        x0[i] = op0.node_voltages[name]
+    for name, i in branch_idx.items():
+        x0[i] = op0.branch_currents[name]
+
+    n_steps = int(round(t_stop / dt))
+    t_grid = np.arange(n_steps + 1) * dt
+    solution = np.zeros((n_steps + 1, n))
+    solution[0] = x0
+
+    state = _ReactiveState(circuit, x0, node_idx, branch_idx)
+    x = x0.copy()
+    for step in range(1, n_steps + 1):
+        t_new = t_grid[step]
+        x = _advance_to(circuit, state, x, t_new - dt, dt, method, node_idx, branch_idx, gmin)
+        solution[step] = x
+    return TransientResult(t_grid, node_idx, branch_idx, solution, op0)
+
+
+# ------------------------------------------------------------------ internals
+def _advance_to(
+    circuit, state, x, t_old, dt, method, node_idx, branch_idx, gmin, depth: int = 0
+):
+    """Advance the state by ``dt`` (splitting the step on Newton failure)."""
+    x_new = _solve_step(circuit, state, x, t_old + dt, dt, method, node_idx, branch_idx, gmin)
+    if x_new is not None:
+        state.advance(x_new, dt, method)
+        return x_new
+    if depth >= MAX_HALVINGS:
+        raise ConvergenceError(
+            f"transient step at t={t_old + dt:g}s did not converge in "
+            f"{circuit.title!r} (after {depth} halvings)"
+        )
+    half = dt / 2.0
+    x_mid = _advance_to(
+        circuit, state, x, t_old, half, method, node_idx, branch_idx, gmin, depth + 1
+    )
+    return _advance_to(
+        circuit, state, x_mid, t_old + half, half, method, node_idx, branch_idx, gmin, depth + 1
+    )
+
+
+def _solve_step(circuit, state, x_guess, t_new, dt, method, node_idx, branch_idx, gmin):
+    """Newton solve for one time point; returns the solution or ``None``."""
+    from repro.spice.diode import Diode
+
+    n_nodes = len(node_idx)
+    nonlinear = bool(circuit.mosfets()) or bool(circuit.elements_of(Diode))
+    x = x_guess.copy()
+    for _ in range(MAX_NEWTON):
+        asm = assemble_dc(
+            circuit, x, node_idx, branch_idx, gmin, source_scale=1.0, skip_reactive=True
+        )
+        _override_time_sources(circuit, asm, t_new, node_idx, branch_idx)
+        state.stamp(asm, dt, method, lambda node: -1 if Circuit.is_ground(node) else node_idx[node])
+        try:
+            x_new = np.linalg.solve(asm.A, asm.z)
+        except np.linalg.LinAlgError:
+            raise SingularMatrixError(
+                f"singular transient MNA matrix at t={t_new:g}s in {circuit.title!r}"
+            ) from None
+        if not np.all(np.isfinite(x_new)):
+            return None
+        dx = x_new - x
+        max_dv = float(np.max(np.abs(dx[:n_nodes]))) if n_nodes else 0.0
+        if nonlinear and max_dv > MAX_STEP:
+            x = x + dx * (MAX_STEP / max_dv)
+        else:
+            x = x_new
+            if max_dv < VTOL:
+                return x
+    return None
+
+
+def _override_time_sources(circuit, asm, t_new, node_idx, branch_idx):
+    """Replace DC source values stamped by assemble_dc with values at t_new.
+
+    ``assemble_dc`` stamps ``dc_value`` (the t=0 waveform value); here we add
+    the difference so the net stamp equals the waveform value at ``t_new``.
+    """
+    for element in circuit.elements_of(VoltageSource):
+        if element.waveform is not None:
+            delta = element.value_at(t_new) - element.dc_value
+            asm.add_z(branch_idx[element.name], delta)
+    for element in circuit.elements_of(CurrentSource):
+        if element.waveform is not None:
+            delta = element.value_at(t_new) - element.dc_value
+            n_plus = -1 if Circuit.is_ground(element.n_plus) else node_idx[element.n_plus]
+            n_minus = -1 if Circuit.is_ground(element.n_minus) else node_idx[element.n_minus]
+            asm.current_source(n_plus, n_minus, delta)

@@ -1,0 +1,79 @@
+"""SPICE-style engineering-unit parsing and formatting.
+
+Accepts the classic SPICE suffixes (case-insensitive): ``f p n u m k meg g t``
+plus ``mil``.  ``1.5u`` -> 1.5e-6, ``2meg`` -> 2e6, ``10k`` -> 1e4.  Trailing
+unit letters after the suffix (``10pF``, ``1kOhm``) are ignored, as in SPICE.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["parse_value", "format_eng"]
+
+_SUFFIXES = {
+    "t": 1e12,
+    "g": 1e9,
+    "meg": 1e6,
+    "k": 1e3,
+    "m": 1e-3,
+    "mil": 25.4e-6,
+    "u": 1e-6,
+    "n": 1e-9,
+    "p": 1e-12,
+    "f": 1e-15,
+}
+
+_NUMBER_RE = re.compile(
+    r"^\s*([+-]?(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?)\s*([a-zA-Z]*)\s*$"
+)
+
+_ENG_PREFIXES = [
+    (1e12, "T"),
+    (1e9, "G"),
+    (1e6, "M"),
+    (1e3, "k"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "u"),
+    (1e-9, "n"),
+    (1e-12, "p"),
+    (1e-15, "f"),
+]
+
+
+def parse_value(text: str | float | int) -> float:
+    """Parse a SPICE-style value such as ``"2.2k"`` or ``"0.18u"``.
+
+    Numeric input is passed through as ``float``.  Raises :class:`ValueError`
+    on anything unparseable.
+    """
+    if isinstance(text, (int, float)):
+        return float(text)
+    match = _NUMBER_RE.match(text)
+    if not match:
+        raise ValueError(f"cannot parse value {text!r}")
+    number = float(match.group(1))
+    tail = match.group(2).lower()
+    if not tail:
+        return number
+    # Longest-suffix first so "meg"/"mil" win over "m".
+    for suffix in ("meg", "mil"):
+        if tail.startswith(suffix):
+            return number * _SUFFIXES[suffix]
+    if tail[0] in _SUFFIXES:
+        return number * _SUFFIXES[tail[0]]
+    # Bare unit letters with no scale ("V", "Ohm") mean scale 1.
+    return number
+
+
+def format_eng(value: float, unit: str = "", digits: int = 3) -> str:
+    """Format a value with an engineering prefix: ``2.2e3 -> "2.2k"``."""
+    if value == 0:
+        return f"0{unit}"
+    mag = abs(value)
+    for scale, prefix in _ENG_PREFIXES:
+        if mag >= scale:
+            return f"{value / scale:.{digits}g}{prefix}{unit}"
+    scale, prefix = _ENG_PREFIXES[-1]
+    return f"{value / scale:.{digits}g}{prefix}{unit}"

@@ -1,0 +1,21 @@
+"""Shared utilities: RNG plumbing, validation helpers, table formatting."""
+
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.tables import format_duration, format_table
+from repro.utils.validation import (
+    check_bounds,
+    check_finite,
+    check_matrix,
+    check_vector,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "check_bounds",
+    "check_finite",
+    "check_matrix",
+    "check_vector",
+    "format_duration",
+    "format_table",
+]

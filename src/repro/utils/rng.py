@@ -1,0 +1,45 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component in this library accepts either a seed or a
+:class:`numpy.random.Generator`.  Centralizing the coercion here keeps the
+behaviour uniform: passing ``None`` yields a fresh nondeterministic generator,
+passing an integer yields a deterministic one, and passing a generator uses it
+as-is (so callers can share a stream).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["as_generator", "spawn_generators"]
+
+
+def as_generator(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for OS entropy, an ``int`` for a deterministic stream, or an
+        existing generator which is returned unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_generators(
+    seed: int | np.random.Generator | None, count: int
+) -> list[np.random.Generator]:
+    """Create ``count`` statistically independent child generators.
+
+    Children are derived through :class:`numpy.random.SeedSequence` spawning,
+    so repeated runs with the same ``seed`` produce the same family of streams
+    while the streams themselves do not overlap.  Used to give each repetition
+    of an experiment (or each parallel worker) its own reproducible stream.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    root = as_generator(seed)
+    seeds = root.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,85 @@
+"""Plain-text table and duration formatting for the benchmark harness.
+
+The paper reports simulation time as ``216h40m51s``-style strings and results
+in Best/Worst/Mean/Std tables; these helpers render the same layout so the
+bench output can be compared against the paper side by side.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["format_duration", "format_table"]
+
+
+def format_duration(seconds: float) -> str:
+    """Render seconds in the paper's ``XhYmZs`` notation.
+
+    ``>= 1 hour`` -> ``216h40m51s``; ``>= 1 minute`` -> ``21m19s``;
+    otherwise ``42s``.  Fractional seconds are rounded to the nearest second,
+    matching the table granularity in the paper.
+    """
+    if seconds < 0:
+        raise ValueError(f"duration must be non-negative, got {seconds}")
+    total = int(round(seconds))
+    hours, rem = divmod(total, 3600)
+    minutes, secs = divmod(rem, 60)
+    if hours:
+        return f"{hours}h{minutes}m{secs}s"
+    if minutes:
+        return f"{minutes}m{secs}s"
+    return f"{secs}s"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned plain-text table.
+
+    Every cell is stringified; columns are left-aligned for text and
+    right-aligned for numbers, which matches how the paper's tables read.
+    """
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    ncols = len(headers)
+    for i, row in enumerate(str_rows):
+        if len(row) != ncols:
+            raise ValueError(f"row {i} has {len(row)} cells, expected {ncols}")
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in str_rows)) if str_rows else len(headers[c])
+        for c in range(ncols)
+    ]
+    numeric = [
+        bool(str_rows) and all(_is_numberish(r[c]) for r in str_rows) for c in range(ncols)
+    ]
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for c, cell in enumerate(cells):
+            parts.append(cell.rjust(widths[c]) if numeric[c] else cell.ljust(widths[c]))
+        return "| " + " | ".join(parts) + " |"
+
+    sep = "|" + "|".join("-" * (w + 2) for w in widths) + "|"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append(sep)
+    lines.extend(fmt_row(r) for r in str_rows)
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def _is_numberish(s: str) -> bool:
+    try:
+        float(s)
+    except ValueError:
+        return False
+    return True

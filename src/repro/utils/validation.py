@@ -1,0 +1,64 @@
+"""Input-validation helpers shared across the library.
+
+These functions normalize user input into well-shaped ``float64`` arrays and
+raise uniform, descriptive errors.  They are deliberately strict: silent
+broadcasting of mis-shaped design matrices is a classic source of wrong-answer
+bugs in optimization code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["check_vector", "check_matrix", "check_bounds", "check_finite"]
+
+
+def check_vector(x, name: str = "x", size: int | None = None) -> np.ndarray:
+    """Coerce ``x`` to a 1-D float array, optionally enforcing its length."""
+    arr = np.asarray(x, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {arr.shape}")
+    if size is not None and arr.shape[0] != size:
+        raise ValueError(f"{name} must have length {size}, got {arr.shape[0]}")
+    return arr
+
+
+def check_matrix(x, name: str = "X", cols: int | None = None) -> np.ndarray:
+    """Coerce ``x`` to a 2-D float array, optionally enforcing its width.
+
+    A 1-D input of length ``cols`` is promoted to a single-row matrix, which
+    lets callers pass a single design point where a batch is expected.
+    """
+    arr = np.asarray(x, dtype=float)
+    if arr.ndim == 1:
+        arr = arr.reshape(1, -1)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be 2-D, got shape {arr.shape}")
+    if cols is not None and arr.shape[1] != cols:
+        raise ValueError(f"{name} must have {cols} columns, got {arr.shape[1]}")
+    return arr
+
+
+def check_bounds(bounds, dim: int | None = None) -> np.ndarray:
+    """Validate box bounds and return them as a ``(d, 2)`` float array."""
+    arr = np.asarray(bounds, dtype=float)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError(f"bounds must have shape (d, 2), got {arr.shape}")
+    if dim is not None and arr.shape[0] != dim:
+        raise ValueError(f"bounds must have {dim} rows, got {arr.shape[0]}")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError("bounds must be finite")
+    if np.any(arr[:, 0] >= arr[:, 1]):
+        bad = int(np.argmax(arr[:, 0] >= arr[:, 1]))
+        raise ValueError(
+            f"lower bound must be < upper bound in every dimension; "
+            f"dimension {bad} has [{arr[bad, 0]}, {arr[bad, 1]}]"
+        )
+    return arr
+
+
+def check_finite(arr: np.ndarray, name: str = "array") -> np.ndarray:
+    """Raise if ``arr`` contains NaN or infinity; return it unchanged."""
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains non-finite values")
+    return arr

@@ -1,0 +1,85 @@
+"""Tests for DE and random search."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.de import DifferentialEvolution
+from repro.baselines.random_search import RandomSearch
+from repro.circuits.benchmarks import rastrigin, sphere
+from repro.sched.durations import ConstantCostModel
+
+
+class TestDE:
+    def test_converges_on_sphere(self):
+        problem = sphere(3, cost_model=ConstantCostModel(1.0))
+        result = DifferentialEvolution(problem, max_evals=600, rng=0).run()
+        assert result.best_fom > -0.05  # near the 0 optimum
+
+    def test_beats_random_on_rastrigin(self):
+        problem = rastrigin(3, cost_model=ConstantCostModel(1.0))
+        de = DifferentialEvolution(problem, max_evals=800, rng=1).run()
+        rs = RandomSearch(problem, max_evals=800, rng=1).run()
+        assert de.best_fom > rs.best_fom
+
+    def test_budget_respected(self):
+        problem = sphere(2, cost_model=ConstantCostModel(1.0))
+        result = DifferentialEvolution(problem, max_evals=47, rng=0).run()
+        assert result.n_evaluations == 47
+
+    def test_sequential_wall_clock(self):
+        problem = sphere(2, cost_model=ConstantCostModel(2.0))
+        result = DifferentialEvolution(problem, max_evals=40, rng=0).run()
+        assert result.wall_clock == pytest.approx(80.0)
+
+    def test_parallel_workers_reduce_wall_clock(self):
+        problem = sphere(2, cost_model=ConstantCostModel(2.0))
+        serial = DifferentialEvolution(problem, max_evals=60, rng=0, n_workers=1).run()
+        parallel = DifferentialEvolution(problem, max_evals=60, rng=0, n_workers=4).run()
+        assert parallel.wall_clock < serial.wall_clock / 2
+
+    def test_deterministic(self):
+        problem = sphere(2, cost_model=ConstantCostModel(1.0))
+        a = DifferentialEvolution(problem, max_evals=100, rng=5).run()
+        b = DifferentialEvolution(problem, max_evals=100, rng=5).run()
+        assert a.best_fom == b.best_fom
+
+    def test_trials_stay_in_bounds(self):
+        problem = sphere(2, cost_model=ConstantCostModel(1.0))
+        result = DifferentialEvolution(problem, max_evals=200, rng=2, f=1.9).run()
+        bounds = problem.bounds
+        for record in result.trace.records:
+            assert np.all(record.x >= bounds[:, 0] - 1e-12)
+            assert np.all(record.x <= bounds[:, 1] + 1e-12)
+
+    def test_parameter_validation(self):
+        problem = sphere(2)
+        with pytest.raises(ValueError):
+            DifferentialEvolution(problem, max_evals=100, f=3.0)
+        with pytest.raises(ValueError):
+            DifferentialEvolution(problem, max_evals=100, cr=1.5)
+        with pytest.raises(ValueError):
+            DifferentialEvolution(problem, max_evals=100, pop_size=3)
+        with pytest.raises(ValueError):
+            DifferentialEvolution(problem, max_evals=1)
+
+
+class TestRandomSearch:
+    def test_budget_and_bounds(self):
+        problem = sphere(2, cost_model=ConstantCostModel(1.0))
+        result = RandomSearch(problem, max_evals=25, rng=0).run()
+        assert result.n_evaluations == 25
+
+    def test_parallel_workers(self):
+        problem = sphere(2, cost_model=ConstantCostModel(3.0))
+        result = RandomSearch(problem, max_evals=30, rng=0, n_workers=5).run()
+        assert result.wall_clock == pytest.approx(18.0)  # 30/5 * 3 s
+
+    def test_deterministic(self):
+        problem = sphere(2)
+        a = RandomSearch(problem, max_evals=20, rng=9).run()
+        b = RandomSearch(problem, max_evals=20, rng=9).run()
+        assert a.best_fom == b.best_fom
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomSearch(sphere(2), max_evals=0)

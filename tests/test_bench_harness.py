@@ -1,0 +1,95 @@
+"""Unit tests for the benchmark harness's pure functions."""
+
+import pathlib
+import sys
+
+import numpy as np
+import pytest
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent.parent / "benchmarks"
+sys.path.insert(0, str(BENCH_DIR))
+
+import harness  # noqa: E402
+from harness import SCALES, grid_labels, run_grid, speedup_report, time_to_target_report  # noqa: E402
+
+from repro.circuits.benchmarks import sphere  # noqa: E402
+from repro.sched.durations import ConstantCostModel  # noqa: E402
+
+
+class TestScales:
+    def test_all_scales_defined(self):
+        for table in ("table1", "table2"):
+            assert set(SCALES[table]) == {"smoke", "reduced", "paper"}
+
+    def test_paper_scale_matches_protocol(self):
+        t1 = SCALES["table1"]["paper"]
+        assert t1.repetitions == 20
+        assert t1.n_init == 20
+        assert t1.max_evals == 150
+        assert t1.de_evals == 20000
+        assert t1.batch_sizes == (5, 10, 15)
+        t2 = SCALES["table2"]["paper"]
+        assert t2.max_evals == 450
+        assert t2.de_evals == 15000
+
+
+class TestGridLabels:
+    def test_paper_row_order(self):
+        labels = grid_labels(SCALES["table1"]["paper"])
+        assert labels[:4] == ["DE", "LCB", "EI", "EasyBO"]
+        assert labels[4:10] == [
+            "pBO-5", "pHCBO-5", "EasyBO-S-5", "EasyBO-A-5", "EasyBO-SP-5", "EasyBO-5",
+        ]
+        assert len(labels) == 4 + 6 * 3
+
+    def test_without_sequential(self):
+        labels = grid_labels(SCALES["table1"]["smoke"], include_sequential=False)
+        assert labels[0] == "pBO-5"
+
+
+class TestRunGridAndReports:
+    @pytest.fixture(scope="class")
+    def tiny_grid(self):
+        scale = harness.Scale("tiny", 2, 4, 10, 30, (2,), 64, 1)
+        labels = ["EasyBO-SP-2", "EasyBO-2"]
+        problem_factory = lambda: sphere(2)  # noqa: E731
+        return run_grid(labels, problem_factory, scale, seed=0, verbose=False), scale
+
+    def test_grid_shape(self, tiny_grid):
+        grid, scale = tiny_grid
+        assert set(grid) == {"EasyBO-SP-2", "EasyBO-2"}
+        for runs in grid.values():
+            assert len(runs) == 2
+            assert all(r.n_evaluations == 10 for r in runs)
+
+    def test_repetitions_differ(self, tiny_grid):
+        grid, _ = tiny_grid
+        runs = grid["EasyBO-2"]
+        assert runs[0].best_fom != runs[1].best_fom  # independent seeds
+
+    def test_speedup_report_mentions_batch(self, tiny_grid):
+        grid, scale = tiny_grid
+        text = speedup_report(grid, scale.batch_sizes)
+        assert "B=2" in text
+        assert "%" in text
+
+    def test_time_to_target_report(self, tiny_grid):
+        grid, _ = tiny_grid
+        text = time_to_target_report(
+            grid, ("EasyBO-SP-2", "EasyBO-2"), reference="EasyBO-2"
+        )
+        assert "Time to reach" in text
+        assert "EasyBO-2" in text
+
+    def test_grid_table_renders(self, tiny_grid):
+        grid, _ = tiny_grid
+        text = harness.grid_table(grid, "T")
+        assert "Best" in text and "EasyBO-2" in text
+
+    def test_constant_cost_grid_times_equal(self):
+        scale = harness.Scale("tiny", 1, 4, 8, 30, (2,), 64, 1)
+        factory = lambda: sphere(2, cost_model=ConstantCostModel(2.0))  # noqa: E731
+        grid = run_grid(["EasyBO-2"], factory, scale, seed=0, verbose=False)
+        run = grid["EasyBO-2"][0]
+        # 8 evals at 2 s on 2 workers, perfectly packed: 8 s makespan.
+        assert run.wall_clock == pytest.approx(8.0)

@@ -1,0 +1,73 @@
+"""Tests for the synthetic benchmark functions."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.benchmarks import (
+    ackley,
+    branin,
+    by_name,
+    hartmann6,
+    levy,
+    rastrigin,
+    sphere,
+)
+from repro.sched.durations import ConstantCostModel
+
+KNOWN_OPTIMA = [
+    (branin(), np.array([np.pi, 2.275])),
+    (hartmann6(), np.array([0.20169, 0.150011, 0.476874, 0.275332, 0.311652, 0.6573])),
+    (ackley(3), np.zeros(3)),
+    (rastrigin(2), np.zeros(2)),
+    (levy(3), np.ones(3)),
+    (sphere(2), np.zeros(2)),
+]
+
+
+class TestOptima:
+    @pytest.mark.parametrize("problem,x_star", KNOWN_OPTIMA, ids=lambda v: getattr(v, "name", ""))
+    def test_known_optimum_value(self, problem, x_star):
+        r = problem.evaluate(x_star)
+        assert r.fom == pytest.approx(problem.optimum, abs=1e-3)
+
+    @pytest.mark.parametrize("problem,x_star", KNOWN_OPTIMA, ids=lambda v: getattr(v, "name", ""))
+    def test_optimum_not_exceeded_by_random_points(self, problem, x_star):
+        rng = np.random.default_rng(0)
+        bounds = problem.bounds
+        X = rng.uniform(bounds[:, 0], bounds[:, 1], size=(200, problem.dim))
+        foms = [problem.evaluate(x).fom for x in X]
+        assert max(foms) <= problem.optimum + 1e-6
+
+
+class TestInterface:
+    def test_regret(self):
+        p = sphere(2)
+        assert p.regret(-1.0) == pytest.approx(1.0)
+        assert p.regret(p.optimum) == pytest.approx(0.0)
+
+    def test_cost_model_override(self):
+        p = branin(cost_model=ConstantCostModel(3.0))
+        assert p.evaluate(np.array([0.0, 5.0])).cost == 3.0
+
+    def test_default_cost_heterogeneous(self):
+        p = branin()
+        rng = np.random.default_rng(1)
+        bounds = p.bounds
+        costs = {
+            p.evaluate(rng.uniform(bounds[:, 0], bounds[:, 1])).cost
+            for _ in range(5)
+        }
+        assert len(costs) == 5
+
+    def test_by_name_lookup(self):
+        assert by_name("branin").name == "branin"
+        assert by_name("ackley", dim=7).dim == 7
+
+    def test_by_name_unknown(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            by_name("nope")
+
+    def test_dimensions(self):
+        assert branin().dim == 2
+        assert hartmann6().dim == 6
+        assert ackley(5).dim == 5

@@ -1,0 +1,104 @@
+"""Tests for the class-E power-amplifier testbench (paper §IV-B)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.classe import (
+    F0,
+    RLOAD,
+    ClassEProblem,
+    build_classe,
+    classe_design_space,
+)
+from repro.spice import dc_operating_point
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return ClassEProblem()
+
+
+@pytest.fixture(scope="module")
+def tuned_values():
+    """Sokal-equation design for R_opt ~ 6 ohm at 100 MHz."""
+    return {
+        "w": 1000e-6,
+        "l": 0.18e-6,
+        "l_choke": 2e-6,
+        "c_shunt": 47e-12,
+        "l0": 60e-9,
+        "c0": 52e-12,
+        "l_match": 26e-9,
+        "c_match": 85e-12,
+        "duty": 0.5,
+        "rise_frac": 0.05,
+        "vdd": 1.8,
+        "v_gate": 1.8,
+    }
+
+
+class TestDesignSpace:
+    def test_twelve_variables(self):
+        assert classe_design_space().dim == 12
+
+    def test_reactive_parameters_are_log(self):
+        space = classe_design_space()
+        log_names = {p.name for p in space.parameters if p.log}
+        assert {"l_choke", "c_shunt", "l0", "c0"} <= log_names
+
+
+class TestNetlist:
+    def test_builds_and_validates(self, tuned_values):
+        c = build_classe(tuned_values)
+        c.validate()
+        assert len(c.mosfets()) == 1
+
+    def test_dc_state(self, tuned_values):
+        c = build_classe(tuned_values)
+        op = dc_operating_point(c)
+        # Gate drive starts low: switch off, drain pulled to vdd by choke.
+        assert op.v("drain") == pytest.approx(1.8, abs=0.05)
+
+    def test_load_present(self, tuned_values):
+        c = build_classe(tuned_values)
+        assert c.find("rl").resistance == RLOAD
+
+
+class TestEvaluate:
+    def test_tuned_design_performs(self, problem, tuned_values):
+        x = problem.space.to_vector(tuned_values)
+        r = problem.evaluate(x)
+        assert r.feasible
+        assert r.metrics["pae"] > 0.4
+        assert r.metrics["p_out_w"] > 0.05
+        assert r.fom > 2.0
+
+    def test_fom_formula(self, problem, tuned_values):
+        x = problem.space.to_vector(tuned_values)
+        r = problem.evaluate(x)
+        expected = 3.0 * r.metrics["pae"] + r.metrics["p_out_w"] / 0.1
+        assert r.fom == pytest.approx(expected)
+
+    def test_energy_conservation(self, problem, tuned_values):
+        """Output power cannot exceed what the supplies deliver."""
+        x = problem.space.to_vector(tuned_values)
+        r = problem.evaluate(x)
+        assert r.metrics["p_out_w"] <= r.metrics["p_dc_w"] + r.metrics["p_in_w"] + 1e-3
+
+    def test_pae_bounded(self, problem):
+        rng = np.random.default_rng(5)
+        for x in problem.space.sample(3, rng):
+            r = problem.evaluate(x)
+            if r.feasible:
+                assert 0.0 <= r.metrics["pae"] <= 1.0
+
+    def test_deterministic(self, problem, tuned_values):
+        x = problem.space.to_vector(tuned_values)
+        assert problem.evaluate(x).fom == problem.evaluate(x).fom
+
+    def test_period_settings_validated(self):
+        with pytest.raises(ValueError):
+            ClassEProblem(settle_periods=0)
+
+    def test_carrier_frequency_constant(self):
+        assert F0 == pytest.approx(100e6)

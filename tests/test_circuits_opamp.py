@@ -1,0 +1,133 @@
+"""Tests for the op-amp testbench (paper §IV-A)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.opamp import (
+    FAILURE_FOM,
+    MIN_PHASE_MARGIN,
+    OpAmpProblem,
+    build_opamp,
+    opamp_design_space,
+)
+from repro.spice import ac_analysis, dc_operating_point, logspace_frequencies
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return OpAmpProblem()
+
+
+@pytest.fixture(scope="module")
+def nominal_values():
+    """A hand-checked sizing that biases correctly."""
+    return {
+        "w12": 20e-6,
+        "l12": 0.5e-6,
+        "w34": 10e-6,
+        "l34": 0.5e-6,
+        "w5": 8e-6,
+        "w6": 50e-6,
+        "l6": 0.35e-6,
+        "w7": 30e-6,
+        "rz": 2e3,
+        "cc": 2e-12,
+    }
+
+
+class TestDesignSpace:
+    def test_ten_variables(self):
+        assert opamp_design_space().dim == 10
+
+    def test_geometry_parameters_are_log(self):
+        space = opamp_design_space()
+        assert all(p.log for p in space.parameters)
+
+
+class TestNetlist:
+    def test_builds_and_validates(self, nominal_values):
+        c = build_opamp(nominal_values)
+        c.validate()
+        assert len(c.mosfets()) == 8
+
+    def test_dc_bias_sane(self, nominal_values):
+        c = build_opamp(nominal_values)
+        op = dc_operating_point(c)
+        # Key devices saturated in a working design.
+        for name in ("m1", "m2", "m6", "m7"):
+            assert op.mosfet_ops[name].region == "saturation", name
+        # Output sits between the rails.
+        assert 0.2 < op.v("out") < 1.6
+
+    def test_differential_stimulus(self, nominal_values):
+        c = build_opamp(nominal_values)
+        vip = c.find("vip")
+        vim = c.find("vim")
+        assert vip.ac == pytest.approx(0.5)
+        assert vim.ac == pytest.approx(-0.5)
+
+    def test_gain_is_high(self, nominal_values):
+        c = build_opamp(nominal_values)
+        res = ac_analysis(c, logspace_frequencies(10, 1e3, 4))
+        gain_db = 20 * np.log10(np.abs(res.v("out")[0]))
+        assert gain_db > 50  # two-stage amp: >300x
+
+
+class TestEvaluate:
+    def test_nominal_design_feasible(self, problem, nominal_values):
+        x = problem.space.to_vector(nominal_values)
+        r = problem.evaluate(x)
+        assert r.feasible
+        assert r.fom > 100
+        assert r.metrics["pm_deg"] >= MIN_PHASE_MARGIN
+        assert {"gain_db", "ugf_mhz", "pm_deg"} <= set(r.metrics)
+
+    def test_fom_formula(self, problem, nominal_values):
+        x = problem.space.to_vector(nominal_values)
+        r = problem.evaluate(x)
+        expected = (
+            1.2 * r.metrics["gain_db"]
+            + 10.0 * (r.metrics["ugf_mhz"] / 10.0)
+            + 1.6 * min(r.metrics["pm_deg"], 120.0)
+        )
+        assert r.fom == pytest.approx(expected)
+
+    def test_soft_penalty_below_min_pm(self, problem):
+        """A low-PM design scores worse than Eq. 10 raw but above zero."""
+        rng = np.random.default_rng(0)
+        for x in problem.space.sample(60, rng):
+            r = problem.evaluate(x)
+            if r.metrics and not r.feasible and r.metrics["pm_deg"] > 0:
+                raw = (
+                    1.2 * r.metrics["gain_db"]
+                    + r.metrics["ugf_mhz"]
+                    + 1.6 * min(r.metrics["pm_deg"], 120.0)
+                )
+                assert r.fom < raw
+                assert r.fom >= 0.0
+                return
+        pytest.skip("no low-PM design sampled")
+
+    def test_deterministic(self, problem, nominal_values):
+        x = problem.space.to_vector(nominal_values)
+        r1 = problem.evaluate(x)
+        r2 = problem.evaluate(x)
+        assert r1.fom == r2.fom
+        assert r1.cost == r2.cost
+
+    def test_cost_is_paper_scale(self, problem):
+        rng = np.random.default_rng(0)
+        costs = [problem.evaluate(x).cost for x in problem.space.sample(5, rng)]
+        assert all(20 < c < 80 for c in costs)
+
+    def test_random_designs_mostly_evaluate(self, problem):
+        rng = np.random.default_rng(42)
+        results = [problem.evaluate(x) for x in problem.space.sample(20, rng)]
+        feasible = [r for r in results if r.feasible]
+        assert len(feasible) >= 10
+        assert all(r.fom == FAILURE_FOM for r in results if not r.feasible)
+
+    def test_out_of_bounds_clipped(self, problem):
+        x = problem.bounds[:, 1] + 1.0
+        r = problem.evaluate(x)
+        assert np.isfinite(r.fom)

@@ -1,0 +1,79 @@
+"""Tests for the five-transistor OTA testbench."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.ota import OtaProblem, build_ota, ota_design_space
+from repro.spice import dc_operating_point
+
+
+NOMINAL = {
+    "w12": 16e-6, "l12": 0.36e-6, "w34": 8e-6, "l34": 0.36e-6,
+    "w5": 8e-6, "ibias": 20e-6,
+}
+
+
+class TestDesignSpace:
+    def test_six_variables(self):
+        assert ota_design_space().dim == 6
+
+    def test_all_log_scaled(self):
+        assert all(p.log for p in ota_design_space().parameters)
+
+
+class TestNetlist:
+    def test_builds_and_biases(self):
+        c = build_ota(NOMINAL)
+        c.validate()
+        op = dc_operating_point(c)
+        assert len(c.mosfets()) == 6
+        for name in ("m1", "m2", "m3", "m4"):
+            assert op.mosfet_ops[name].region == "saturation", name
+
+    def test_mirror_symmetry(self):
+        op = dc_operating_point(build_ota(NOMINAL))
+        # Balanced inputs: pair currents match.
+        assert op.mosfet_ops["m1"].ids == pytest.approx(
+            op.mosfet_ops["m2"].ids, rel=0.05
+        )
+
+
+class TestEvaluate:
+    @pytest.fixture(scope="class")
+    def problem(self):
+        return OtaProblem()
+
+    def test_nominal_design(self, problem):
+        r = problem.evaluate(problem.space.to_vector(NOMINAL))
+        assert r.feasible
+        assert r.fom > 100
+        assert r.metrics["gain_db"] > 25  # single stage: modest gain
+        assert r.metrics["pm_deg"] > 60  # single stage: stable
+
+    def test_fom_formula(self, problem):
+        r = problem.evaluate(problem.space.to_vector(NOMINAL))
+        expected = (
+            1.2 * r.metrics["gain_db"]
+            + r.metrics["ugf_mhz"]
+            + 1.6 * min(r.metrics["pm_deg"], 120.0)
+        )
+        assert r.fom == pytest.approx(expected)
+
+    def test_random_designs_mostly_work(self, problem):
+        rng = np.random.default_rng(0)
+        results = [problem.evaluate(x) for x in problem.space.sample(15, rng)]
+        assert sum(r.feasible for r in results) >= 10
+
+    def test_fast_cost_model(self, problem):
+        rng = np.random.default_rng(1)
+        costs = [problem.evaluate(x).cost for x in problem.space.sample(5, rng)]
+        assert all(5 < c < 30 for c in costs)
+
+    def test_bo_improves_quickly(self, problem):
+        """The OTA exists to be easy: 30 evals must beat its init design."""
+        from repro import EasyBO
+
+        result = EasyBO(problem, batch_size=3, n_init=8, max_evals=30, rng=0,
+                        acq_candidates=256, acq_restarts=1).optimize()
+        init_best = max(r.fom for r in result.trace.records if r.index < 8)
+        assert result.best_fom > init_best

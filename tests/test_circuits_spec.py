@@ -1,0 +1,111 @@
+"""Tests for the design-space mapping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.spec import DesignSpace, Parameter
+
+
+class TestParameter:
+    def test_linear_bounds(self):
+        p = Parameter("duty", 0.25, 0.75)
+        assert p.optimizer_bounds == (0.25, 0.75)
+        assert p.to_physical(0.5) == 0.5
+
+    def test_log_bounds(self):
+        p = Parameter("w", 1e-6, 1e-4, log=True)
+        lo, hi = p.optimizer_bounds
+        assert lo == pytest.approx(-6.0)
+        assert hi == pytest.approx(-4.0)
+        assert p.to_physical(-5.0) == pytest.approx(1e-5)
+
+    def test_roundtrip(self):
+        p = Parameter("c", 1e-12, 1e-9, log=True)
+        for value in (1e-12, 3.3e-11, 1e-9):
+            assert p.to_physical(p.to_optimizer(value)) == pytest.approx(value)
+
+    def test_to_physical_clips(self):
+        p = Parameter("x", 0.0, 1.0)
+        assert p.to_physical(5.0) == 1.0
+        assert p.to_physical(-5.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Parameter("", 0, 1)
+        with pytest.raises(ValueError):
+            Parameter("x", 1, 0)
+        with pytest.raises(ValueError):
+            Parameter("x", 0.0, 1.0, log=True)  # log needs low > 0
+        with pytest.raises(ValueError):
+            Parameter("x", 0, float("inf"))
+
+    def test_log_to_optimizer_rejects_nonpositive(self):
+        p = Parameter("x", 1e-3, 1.0, log=True)
+        with pytest.raises(ValueError):
+            p.to_optimizer(-1.0)
+
+
+class TestDesignSpace:
+    @pytest.fixture
+    def space(self):
+        return DesignSpace(
+            [
+                Parameter("w", 1e-6, 1e-4, log=True),
+                Parameter("duty", 0.25, 0.75),
+            ]
+        )
+
+    def test_bounds_matrix(self, space):
+        bounds = space.bounds
+        assert bounds.shape == (2, 2)
+        assert bounds[1, 0] == 0.25
+
+    def test_to_values(self, space):
+        values = space.to_values(np.array([-5.0, 0.5]))
+        assert values["w"] == pytest.approx(1e-5)
+        assert values["duty"] == 0.5
+
+    def test_to_vector_roundtrip(self, space):
+        values = {"w": 2e-5, "duty": 0.6}
+        x = space.to_vector(values)
+        back = space.to_values(x)
+        assert back["w"] == pytest.approx(2e-5)
+        assert back["duty"] == pytest.approx(0.6)
+
+    def test_to_vector_missing_key(self, space):
+        with pytest.raises(KeyError, match="duty"):
+            space.to_vector({"w": 1e-5})
+
+    def test_sample_within_bounds(self, space):
+        rng = np.random.default_rng(0)
+        X = space.sample(50, rng)
+        assert X.shape == (50, 2)
+        bounds = space.bounds
+        assert np.all(X >= bounds[:, 0]) and np.all(X <= bounds[:, 1])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            DesignSpace([Parameter("a", 0, 1), Parameter("a", 0, 1)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DesignSpace([])
+
+    def test_describe(self, space):
+        text = space.describe()
+        assert "w" in text and "log10" in text and "linear" in text
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    low_exp=st.floats(-12, -3),
+    span=st.floats(0.5, 4),
+    frac=st.floats(0, 1),
+)
+def test_property_log_parameter_monotonic_and_bounded(low_exp, span, frac):
+    p = Parameter("x", 10.0**low_exp, 10.0 ** (low_exp + span), log=True)
+    lo, hi = p.optimizer_bounds
+    value = p.to_physical(lo + frac * (hi - lo))
+    assert p.low * (1 - 1e-9) <= value <= p.high * (1 + 1e-9)

@@ -1,0 +1,114 @@
+"""Tests for process-variation (corner / Monte-Carlo) analysis."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.variation import (
+    CORNERS,
+    ProcessShift,
+    RobustOpAmpProblem,
+    evaluate_opamp_at_corner,
+    monte_carlo_foms,
+    shift_params,
+)
+from repro.spice import nmos_180
+
+
+NOMINAL_SIZING = {
+    "w12": 20e-6, "l12": 0.5e-6, "w34": 10e-6, "l34": 0.5e-6, "w5": 8e-6,
+    "w6": 50e-6, "l6": 0.35e-6, "w7": 30e-6, "rz": 2e3, "cc": 2e-12,
+}
+
+
+class TestShiftParams:
+    def test_shifts_applied(self):
+        base = nmos_180()
+        shifted = shift_params(base, dvt=0.05, kp_scale=0.9)
+        assert shifted.vt0 == pytest.approx(base.vt0 + 0.05)
+        assert shifted.kp == pytest.approx(base.kp * 0.9)
+        # Untouched fields carried over.
+        assert shifted.cox == base.cox
+
+    def test_kp_scale_validated(self):
+        with pytest.raises(ValueError):
+            shift_params(nmos_180(), 0.0, 0.0)
+
+    def test_corner_table(self):
+        names = [c.name for c in CORNERS]
+        assert names == ["TT", "FF", "SS", "FS", "SF"]
+        tt = CORNERS[0]
+        assert tt.nmos_dvt == 0.0 and tt.nmos_kp_scale == 1.0
+
+
+class TestCornerEvaluation:
+    def test_tt_matches_nominal_problem(self):
+        from repro.circuits import OpAmpProblem
+        from repro.spice import pmos_180
+
+        fom_tt, metrics = evaluate_opamp_at_corner(
+            NOMINAL_SIZING, nmos_180(), pmos_180()
+        )
+        problem = OpAmpProblem()
+        nominal = problem.evaluate(problem.space.to_vector(NOMINAL_SIZING))
+        assert fom_tt == pytest.approx(nominal.fom, rel=1e-9)
+
+    def test_corners_spread_the_fom(self):
+        foms = {}
+        for corner in CORNERS:
+            nmos = shift_params(nmos_180(), corner.nmos_dvt, corner.nmos_kp_scale)
+            from repro.spice import pmos_180
+
+            pmos = shift_params(pmos_180(), corner.pmos_dvt, corner.pmos_kp_scale)
+            foms[corner.name], _ = evaluate_opamp_at_corner(NOMINAL_SIZING, nmos, pmos)
+        assert len(set(round(v, 3) for v in foms.values())) > 1
+        assert all(np.isfinite(v) for v in foms.values())
+
+
+class TestRobustProblem:
+    @pytest.fixture(scope="class")
+    def problem(self):
+        return RobustOpAmpProblem()
+
+    def test_worst_corner_is_min(self, problem):
+        x = problem.space.to_vector(NOMINAL_SIZING)
+        r = problem.evaluate(x)
+        corner_foms = [r.metrics[f"fom_{c.name}"] for c in CORNERS]
+        assert r.fom == pytest.approx(min(corner_foms))
+
+    def test_cost_scales_with_corners(self, problem):
+        x = problem.space.to_vector(NOMINAL_SIZING)
+        single = RobustOpAmpProblem(corners=CORNERS[:1])
+        r_all = problem.evaluate(x)
+        r_one = single.evaluate(x)
+        assert r_all.cost == pytest.approx(5 * r_one.cost)
+
+    def test_robust_fom_never_exceeds_nominal(self, problem):
+        from repro.circuits import OpAmpProblem
+
+        nominal_problem = OpAmpProblem()
+        rng = np.random.default_rng(0)
+        for x in problem.space.sample(3, rng):
+            robust = problem.evaluate(x).fom
+            nominal = nominal_problem.evaluate(x).fom
+            assert robust <= nominal + 1e-9
+
+    def test_needs_corners(self):
+        with pytest.raises(ValueError):
+            RobustOpAmpProblem(corners=())
+
+
+class TestMonteCarlo:
+    def test_distribution_properties(self):
+        foms = monte_carlo_foms(NOMINAL_SIZING, n_runs=8, rng=0)
+        assert foms.shape == (8,)
+        assert np.all(np.isfinite(foms))
+        assert foms.std() > 0  # variation actually moves the FOM
+
+    def test_reproducible(self):
+        a = monte_carlo_foms(NOMINAL_SIZING, n_runs=4, rng=7)
+        b = monte_carlo_foms(NOMINAL_SIZING, n_runs=4, rng=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_n_runs_validated(self):
+        with pytest.raises(ValueError):
+            monte_carlo_foms(NOMINAL_SIZING, n_runs=0)

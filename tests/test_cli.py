@@ -1,0 +1,45 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import subprocess
+import sys
+
+import pytest
+
+
+def run_cli(*args, timeout=600):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestCli:
+    def test_info(self):
+        result = run_cli("info")
+        assert result.returncode == 0
+        assert "EasyBO" in result.stdout
+        assert "phcbo" in result.stdout
+        assert "OpAmpProblem" in result.stdout
+
+    def test_demo(self):
+        result = run_cli("demo", "--budget", "25", "--batch", "3")
+        assert result.returncode == 0
+        assert "best value" in result.stdout
+        assert "utilization" in result.stdout
+
+    @pytest.mark.slow
+    def test_opamp(self):
+        result = run_cli("opamp", "--budget", "30", "--batch", "3")
+        assert result.returncode == 0
+        assert "best FOM" in result.stdout
+        assert "pm_deg" in result.stdout
+
+    def test_requires_command(self):
+        result = run_cli()
+        assert result.returncode != 0
+
+    def test_unknown_command(self):
+        result = run_cli("fly")
+        assert result.returncode != 0

@@ -1,0 +1,63 @@
+"""Tests for the Problem / EvaluationResult interface."""
+
+import numpy as np
+import pytest
+
+from repro.core.problem import EvaluationResult, FunctionProblem
+
+
+class TestEvaluationResult:
+    def test_defaults(self):
+        r = EvaluationResult(fom=1.5)
+        assert r.feasible
+        assert r.cost == 1.0
+        assert r.metrics == {}
+
+    def test_rejects_nan_fom(self):
+        with pytest.raises(ValueError, match="finite"):
+            EvaluationResult(fom=float("nan"))
+
+    def test_rejects_inf_fom(self):
+        with pytest.raises(ValueError):
+            EvaluationResult(fom=float("inf"))
+
+    def test_rejects_negative_cost(self):
+        with pytest.raises(ValueError, match="cost"):
+            EvaluationResult(fom=0.0, cost=-1.0)
+
+
+class TestFunctionProblem:
+    def test_basic_evaluation(self):
+        p = FunctionProblem(lambda x: -float(np.sum(x**2)), [[-1, 1], [-1, 1]])
+        r = p.evaluate(np.array([0.5, 0.5]))
+        assert r.fom == pytest.approx(-0.5)
+        assert r.cost == 1.0
+
+    def test_dim(self):
+        p = FunctionProblem(lambda x: 0.0, [[-1, 1]] * 3)
+        assert p.dim == 3
+
+    def test_cost_model(self):
+        p = FunctionProblem(
+            lambda x: 0.0, [[0, 1]], cost_model=lambda x: 5.0 + x[0]
+        )
+        assert p.evaluate(np.array([0.25])).cost == pytest.approx(5.25)
+
+    def test_clips_out_of_bounds(self):
+        p = FunctionProblem(lambda x: float(x[0]), [[0, 1]])
+        assert p.evaluate(np.array([7.0])).fom == 1.0
+
+    def test_validate_point_shape(self):
+        p = FunctionProblem(lambda x: 0.0, [[0, 1]] * 2)
+        with pytest.raises(ValueError):
+            p.validate_point(np.zeros(3))
+
+    def test_evaluate_batch(self):
+        p = FunctionProblem(lambda x: float(x[0]), [[0, 1]])
+        results = p.evaluate_batch(np.array([[0.1], [0.2], [0.3]]))
+        assert [r.fom for r in results] == pytest.approx([0.1, 0.2, 0.3])
+
+    def test_evaluate_batch_promotes_vector(self):
+        p = FunctionProblem(lambda x: float(x[0] + x[1]), [[0, 1]] * 2)
+        results = p.evaluate_batch(np.array([0.1, 0.2]))
+        assert len(results) == 1

@@ -1,0 +1,66 @@
+"""Tests for run results and table summaries."""
+
+import numpy as np
+import pytest
+
+from repro.core.results import RunResult, summarize_runs
+from repro.sched.trace import EvalRecord, ExecutionTrace
+
+
+def make_result(algorithm="A", best=5.0, wall=100.0):
+    trace = ExecutionTrace(1)
+    trace.add(
+        EvalRecord(0, 0, np.array([0.0]), best, issue_time=0.0, finish_time=wall)
+    )
+    return RunResult(
+        algorithm=algorithm,
+        problem="p",
+        trace=trace,
+        best_x=np.array([0.0]),
+        best_fom=best,
+        n_evaluations=1,
+        wall_clock=wall,
+    )
+
+
+class TestRunResult:
+    def test_best_curve(self):
+        r = make_result()
+        times, best = r.best_curve
+        assert best[-1] == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RunResult("a", "p", ExecutionTrace(1), np.zeros(1), 0.0, -1, 0.0)
+        with pytest.raises(ValueError):
+            RunResult("a", "p", ExecutionTrace(1), np.zeros(1), 0.0, 1, -5.0)
+
+
+class TestSummarize:
+    def test_columns(self):
+        runs = [make_result(best=v, wall=w) for v, w in [(1, 10), (3, 20), (2, 30)]]
+        s = summarize_runs(runs)
+        assert s.best == 3.0
+        assert s.worst == 1.0
+        assert s.mean == pytest.approx(2.0)
+        assert s.std == pytest.approx(1.0)
+        assert s.mean_time == pytest.approx(20.0)
+        assert s.n_runs == 3
+
+    def test_single_run_std_zero(self):
+        s = summarize_runs([make_result()])
+        assert s.std == 0.0
+
+    def test_mixed_algorithms_rejected(self):
+        with pytest.raises(ValueError, match="mixed"):
+            summarize_runs([make_result("A"), make_result("B")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_runs([])
+
+    def test_as_row_format(self):
+        row = summarize_runs([make_result(best=690.36, wall=1150)]).as_row()
+        assert row[0] == "A"
+        assert row[1] == "690.36"
+        assert row[-1] == "19m10s"

@@ -1,0 +1,103 @@
+"""Tests for the surrogate session."""
+
+import numpy as np
+import pytest
+
+from repro.core.acquisition import WeightedAcquisition
+from repro.core.surrogate import SurrogateSession
+
+BOUNDS = np.array([[0.0, 10.0], [-1.0, 1.0]])
+
+
+def make_session(n=25, seed=0):
+    rng = np.random.default_rng(seed)
+    session = SurrogateSession(BOUNDS, rng=rng)
+    X = rng.uniform(BOUNDS[:, 0], BOUNDS[:, 1], size=(n, 2))
+    y = -((X[:, 0] - 5.0) ** 2) + X[:, 1]
+    session.add_batch(X, y)
+    return session
+
+
+class TestDataset:
+    def test_add_and_best(self):
+        session = SurrogateSession(BOUNDS)
+        session.add([1.0, 0.0], 3.0)
+        session.add([2.0, 0.0], 7.0)
+        session.add([3.0, 0.0], 5.0)
+        assert session.n_observations == 3
+        assert session.best_y == 7.0
+        np.testing.assert_array_equal(session.best_x, [2.0, 0.0])
+
+    def test_best_without_data_raises(self):
+        with pytest.raises(RuntimeError):
+            SurrogateSession(BOUNDS).best_y
+
+    def test_add_validates_shape(self):
+        session = SurrogateSession(BOUNDS)
+        with pytest.raises(ValueError):
+            session.add([1.0], 0.0)
+
+
+class TestFitting:
+    def test_refit_returns_predictive_model(self):
+        session = make_session()
+        session.refit()
+        mu, sigma = session.predict_physical(session.X[:5])
+        np.testing.assert_allclose(mu, session.y[:5], atol=0.5)
+
+    def test_refit_requires_two_points(self):
+        session = SurrogateSession(BOUNDS)
+        session.add([1.0, 0.0], 0.0)
+        with pytest.raises(RuntimeError):
+            session.refit()
+
+    def test_require_model_before_fit(self):
+        with pytest.raises(RuntimeError):
+            SurrogateSession(BOUNDS).require_model()
+
+    def test_warm_start_refits(self):
+        session = make_session()
+        session.refit()
+        theta_first = session.model.get_theta()
+        session.add([5.0, 0.5], 0.4)
+        session.refit()
+        # Model refit on n+1 points; hyperparameters stay finite and bounded.
+        assert np.all(np.isfinite(session.model.get_theta()))
+        assert session.model.n_train == 26
+        assert theta_first.shape == session.model.get_theta().shape
+
+
+class TestPending:
+    def test_hallucination_collapses_sigma(self):
+        session = make_session()
+        session.refit()
+        x_pending = np.array([[7.7, 0.3]])
+        _, sigma_before = session.predict_physical(x_pending)
+        model_h = session.model_with_pending(x_pending)
+        _, sigma_after = session.predict_physical(x_pending, model=model_h)
+        assert sigma_after[0] < sigma_before[0]
+
+    def test_empty_pending_returns_same_model(self):
+        session = make_session()
+        model = session.refit()
+        assert session.model_with_pending(np.empty((0, 0))) is model
+
+    def test_acquisition_scorer_on_unit_cube(self):
+        session = make_session()
+        session.refit()
+        scorer = session.acquisition_on_unit(WeightedAcquisition(0.5))
+        U = np.random.default_rng(1).uniform(size=(8, 2))
+        values = scorer(U)
+        assert values.shape == (8,)
+        assert np.all(np.isfinite(values))
+
+    def test_unit_bounds(self):
+        session = SurrogateSession(BOUNDS)
+        np.testing.assert_array_equal(
+            session.unit_bounds(), [[0.0, 1.0], [0.0, 1.0]]
+        )
+
+    def test_roundtrip_physical(self):
+        session = SurrogateSession(BOUNDS)
+        U = np.array([[0.5, 0.5]])
+        np.testing.assert_allclose(session.to_physical(U), [[5.0, 0.0]])

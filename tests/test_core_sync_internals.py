@@ -1,0 +1,93 @@
+"""Unit tests for synchronous-batch selection internals (MACE, LP, batches)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.benchmarks import sphere
+from repro.core.sync_batch import SynchronousBatchBO, _pareto_front_mask
+from repro.sched.durations import ConstantCostModel
+
+QUICK = dict(n_init=6, max_evals=18, rng=0, acq_candidates=256, acq_restarts=1)
+
+
+class TestParetoFrontMask:
+    def test_single_point(self):
+        assert _pareto_front_mask(np.array([[1.0, 2.0]])).tolist() == [True]
+
+    def test_dominated_point_removed(self):
+        scores = np.array([[1.0, 1.0], [2.0, 2.0]])
+        assert _pareto_front_mask(scores).tolist() == [False, True]
+
+    def test_tradeoff_points_kept(self):
+        scores = np.array([[1.0, 3.0], [3.0, 1.0], [2.0, 2.0]])
+        assert _pareto_front_mask(scores).tolist() == [True, True, True]
+
+    def test_duplicates_kept(self):
+        scores = np.array([[1.0, 1.0], [1.0, 1.0]])
+        # Equal rows do not strictly dominate each other.
+        assert _pareto_front_mask(scores).tolist() == [True, True]
+
+    def test_mixed(self):
+        scores = np.array([[0.0, 0.0], [1.0, 3.0], [3.0, 1.0], [0.5, 0.5]])
+        assert _pareto_front_mask(scores).tolist() == [False, True, True, False]
+
+    def test_random_front_is_mutually_nondominated(self):
+        rng = np.random.default_rng(0)
+        scores = rng.uniform(size=(60, 3))
+        mask = _pareto_front_mask(scores)
+        front = scores[mask]
+        for i in range(len(front)):
+            for j in range(len(front)):
+                if i == j:
+                    continue
+                assert not (
+                    np.all(front[j] >= front[i]) and np.any(front[j] > front[i])
+                )
+
+
+class TestBatchSelection:
+    @pytest.fixture
+    def driver(self):
+        problem = sphere(2, cost_model=ConstantCostModel(1.0))
+        return lambda strategy: SynchronousBatchBO(
+            problem, batch_size=4, strategy=strategy, **QUICK
+        )
+
+    def _primed(self, driver_factory, strategy):
+        driver = driver_factory(strategy)
+        rng = np.random.default_rng(1)
+        X = rng.uniform(-5, 5, size=(10, 2))
+        driver.session.add_batch(X, -np.sum(X**2, axis=1))
+        return driver
+
+    @pytest.mark.parametrize("strategy", ["pbo", "phcbo", "easybo-s", "easybo-sp",
+                                          "bucb", "lp", "mace"])
+    def test_selection_returns_n_points_in_bounds(self, driver, strategy):
+        primed = self._primed(driver, strategy)
+        points = primed._select_batch(4)
+        assert len(points) == 4
+        for x in points:
+            assert x.shape == (2,)
+            assert np.all(x >= -5.0 - 1e-9) and np.all(x <= 5.0 + 1e-9)
+
+    def test_hallucinated_batch_is_diverse(self, driver):
+        primed = self._primed(driver, "easybo-sp")
+        points = np.vstack(primed._select_batch(4))
+        # The hallucination penalty must keep batch members apart.
+        min_dist = min(
+            np.linalg.norm(points[i] - points[j])
+            for i in range(4)
+            for j in range(i + 1, 4)
+        )
+        assert min_dist > 1e-3
+
+    def test_lipschitz_estimate_positive(self, driver):
+        primed = self._primed(driver, "lp")
+        model = primed.session.refit()
+        lipschitz = primed._estimate_lipschitz(model)
+        assert lipschitz > 0
+
+    def test_mace_points_distinct(self, driver):
+        primed = self._primed(driver, "mace")
+        points = np.vstack(primed._select_batch(4))
+        assert len(np.unique(points.round(12), axis=0)) == 4

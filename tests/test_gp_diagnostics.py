@@ -1,0 +1,60 @@
+"""Tests for GP leave-one-out diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.gp import GaussianProcess, fit_hyperparameters
+from repro.gp.diagnostics import leave_one_out
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    rng = np.random.default_rng(0)
+    X = rng.uniform(0, 1, size=(35, 2))
+    y = np.sin(5 * X[:, 0]) + X[:, 1] ** 2 + 0.05 * rng.standard_normal(35)
+    gp = GaussianProcess(2).fit(X, y)
+    fit_hyperparameters(gp, rng=0)
+    return gp
+
+
+class TestLeaveOneOut:
+    def test_matches_brute_force(self, fitted):
+        """Closed-form LOO must equal actually refitting without each point."""
+        loo = leave_one_out(fitted)
+        for i in (0, 7, 20):
+            mask = np.ones(fitted.n_train, dtype=bool)
+            mask[i] = False
+            gp_i = GaussianProcess(
+                kernel=fitted.kernel.copy(), noise_variance=fitted.noise_variance
+            ).fit(fitted.X[mask], fitted.y[mask])
+            mu, sigma = gp_i.predict(fitted.X[i].reshape(1, -1))
+            assert loo.mean[i] == pytest.approx(mu[0], abs=1e-6)
+            # Brute-force sigma excludes the point's own noise; closed form
+            # includes it (it predicts the noisy observation).
+            var_with_noise = sigma[0] ** 2 + fitted.noise_variance
+            assert loo.std[i] ** 2 == pytest.approx(var_with_noise, rel=1e-6)
+
+    def test_residual_definition(self, fitted):
+        loo = leave_one_out(fitted)
+        np.testing.assert_allclose(loo.residuals, fitted.y - loo.mean, atol=1e-12)
+
+    def test_standardized_residuals_reasonable(self, fitted):
+        loo = leave_one_out(fitted)
+        z = loo.standardized_residuals
+        assert np.abs(z).max() < 5.0
+        assert np.abs(np.mean(z)) < 1.0
+
+    def test_rmse_small_for_good_model(self, fitted):
+        assert leave_one_out(fitted).rmse < 0.3
+
+    def test_log_predictive_density_prefers_good_model(self, fitted):
+        good = leave_one_out(fitted).log_predictive_density()
+        bad_gp = GaussianProcess(2, noise_variance=1e-6).fit(fitted.X, fitted.y)
+        bad_gp.kernel.lengthscales[:] = 20.0  # absurdly long: underfits
+        bad_gp.fit(fitted.X, fitted.y)
+        bad = leave_one_out(bad_gp).log_predictive_density()
+        assert good > bad
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            leave_one_out(GaussianProcess(2))

@@ -1,0 +1,113 @@
+"""Tests for repro.gp.hyperopt."""
+
+import numpy as np
+import pytest
+
+from repro.gp import GaussianProcess, HyperparameterBounds, fit_hyperparameters
+
+
+class TestBounds:
+    def test_shape(self):
+        b = HyperparameterBounds(3).as_log_bounds()
+        assert b.shape == (5, 2)
+
+    def test_sample_within(self):
+        bounds = HyperparameterBounds(2)
+        rng = np.random.default_rng(0)
+        arr = bounds.as_log_bounds()
+        for _ in range(20):
+            theta = bounds.sample(rng)
+            assert np.all(theta >= arr[:, 0]) and np.all(theta <= arr[:, 1])
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            HyperparameterBounds(2, lengthscale=(1.0, 0.5))
+        with pytest.raises(ValueError):
+            HyperparameterBounds(2, noise_std=(-1.0, 0.5))
+
+
+class TestFit:
+    def test_improves_likelihood(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(0, 1, size=(40, 2))
+        y = np.sin(6 * X[:, 0]) * np.cos(3 * X[:, 1])
+        gp = GaussianProcess(2).fit(X, y)
+        before = gp.log_marginal_likelihood()
+        fit_hyperparameters(gp, rng=0)
+        after = gp.log_marginal_likelihood()
+        assert after >= before - 1e-9
+
+    def test_recovers_short_lengthscale(self):
+        rng = np.random.default_rng(2)
+        X = rng.uniform(0, 1, size=(60, 1))
+        y = np.sin(25 * X[:, 0])  # needs a short lengthscale
+        gp = GaussianProcess(1).fit(X, y)
+        fit_hyperparameters(gp, n_restarts=3, rng=0)
+        assert gp.kernel.lengthscales[0] < 0.5
+
+    def test_respects_bounds(self):
+        rng = np.random.default_rng(3)
+        X = rng.uniform(0, 1, size=(15, 1))
+        y = rng.standard_normal(15)
+        gp = GaussianProcess(1).fit(X, y)
+        bounds = HyperparameterBounds(1, lengthscale=(0.5, 2.0))
+        fit_hyperparameters(gp, bounds=bounds, rng=0)
+        assert 0.5 - 1e-6 <= gp.kernel.lengthscales[0] <= 2.0 + 1e-6
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            fit_hyperparameters(GaussianProcess(1))
+
+    def test_dim_mismatch_raises(self):
+        gp = GaussianProcess(2).fit(np.zeros((3, 2)), [0.0, 1.0, 2.0])
+        with pytest.raises(ValueError):
+            fit_hyperparameters(gp, bounds=HyperparameterBounds(3))
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(4)
+        X = rng.uniform(0, 1, size=(25, 2))
+        y = X[:, 0] ** 2 - X[:, 1]
+        thetas = []
+        for _ in range(2):
+            gp = GaussianProcess(2).fit(X, y)
+            fit_hyperparameters(gp, n_restarts=3, rng=123)
+            thetas.append(gp.get_theta())
+        np.testing.assert_array_equal(thetas[0], thetas[1])
+
+
+class TestStandardizers:
+    def test_box_roundtrip(self):
+        from repro.gp import BoxTransform
+
+        t = BoxTransform([[1e-6, 1e-4], [0.0, 5.0]])
+        X = np.array([[5e-5, 2.5]])
+        np.testing.assert_allclose(t.to_physical(t.to_unit(X)), X)
+
+    def test_box_clip(self):
+        from repro.gp import BoxTransform
+
+        t = BoxTransform([[0, 1]])
+        np.testing.assert_array_equal(t.clip_unit(np.array([[1.5]])), [[1.0]])
+
+    def test_output_standardizer_roundtrip(self):
+        from repro.gp import OutputStandardizer
+
+        y = np.array([3.0, 5.0, 9.0, 11.0])
+        s = OutputStandardizer()
+        z = s.fit_transform(y)
+        assert abs(z.mean()) < 1e-12
+        np.testing.assert_allclose(s.inverse_mean(z), y)
+
+    def test_output_standardizer_constant_y(self):
+        from repro.gp import OutputStandardizer
+
+        s = OutputStandardizer()
+        z = s.fit_transform(np.full(4, 7.0))
+        np.testing.assert_allclose(z, 0.0)
+        np.testing.assert_allclose(s.inverse_std(np.ones(4)), 1.0)
+
+    def test_output_standardizer_empty_rejected(self):
+        from repro.gp import OutputStandardizer
+
+        with pytest.raises(ValueError):
+            OutputStandardizer().fit([])

@@ -1,0 +1,113 @@
+"""Public-API surface tests: imports, __all__ consistency, docstrings."""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.gp",
+    "repro.spice",
+    "repro.circuits",
+    "repro.sched",
+    "repro.baselines",
+    "repro.utils",
+]
+
+MODULES = [
+    "repro.core.acquisition",
+    "repro.core.async_batch",
+    "repro.core.bo",
+    "repro.core.constrained",
+    "repro.core.cost_aware",
+    "repro.core.doe",
+    "repro.core.easybo",
+    "repro.core.optimizers",
+    "repro.core.persistence",
+    "repro.core.portfolio",
+    "repro.core.problem",
+    "repro.core.results",
+    "repro.core.surrogate",
+    "repro.core.sync_batch",
+    "repro.gp.diagnostics",
+    "repro.gp.gp",
+    "repro.gp.hyperopt",
+    "repro.gp.kernels",
+    "repro.gp.linalg",
+    "repro.gp.mean",
+    "repro.gp.standardize",
+    "repro.spice.ac",
+    "repro.spice.analysis",
+    "repro.spice.dc",
+    "repro.spice.diode",
+    "repro.spice.elements",
+    "repro.spice.exceptions",
+    "repro.spice.mosfet",
+    "repro.spice.netlist",
+    "repro.spice.noise",
+    "repro.spice.stamps",
+    "repro.spice.subckt",
+    "repro.spice.sweep",
+    "repro.spice.transient",
+    "repro.spice.units",
+    "repro.circuits.benchmarks",
+    "repro.circuits.classe",
+    "repro.circuits.constrained_opamp",
+    "repro.circuits.opamp",
+    "repro.circuits.ota",
+    "repro.circuits.spec",
+    "repro.circuits.variation",
+    "repro.sched.durations",
+    "repro.sched.events",
+    "repro.sched.executor",
+    "repro.sched.trace",
+    "repro.sched.workers",
+    "repro.baselines.de",
+    "repro.baselines.random_search",
+    "repro.utils.rng",
+    "repro.utils.tables",
+    "repro.utils.validation",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES + MODULES)
+def test_imports_cleanly(name):
+    module = importlib.import_module(name)
+    assert module is not None
+
+
+@pytest.mark.parametrize("name", PACKAGES + MODULES)
+def test_all_names_resolve(name):
+    """Every entry in __all__ must actually exist."""
+    module = importlib.import_module(name)
+    for export in getattr(module, "__all__", []):
+        assert hasattr(module, export), f"{name}.__all__ lists missing {export!r}"
+
+
+@pytest.mark.parametrize("name", PACKAGES + MODULES)
+def test_module_docstrings_present(name):
+    module = importlib.import_module(name)
+    assert module.__doc__ and module.__doc__.strip(), f"{name} lacks a docstring"
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_public_callables_documented(name):
+    """Every public class/function in __all__ carries a docstring."""
+    module = importlib.import_module(name)
+    for export in getattr(module, "__all__", []):
+        obj = getattr(module, export)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            assert obj.__doc__ and obj.__doc__.strip(), (
+                f"{name}.{export} lacks a docstring"
+            )
+
+
+def test_readme_quickstart_symbols_exist():
+    import repro
+    from repro.circuits import OpAmpProblem  # noqa: F401
+
+    assert hasattr(repro, "EasyBO")
+    assert hasattr(repro, "make_algorithm")
+    assert hasattr(repro, "__version__")

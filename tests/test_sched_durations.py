@@ -1,0 +1,67 @@
+"""Tests for the simulation-duration models."""
+
+import numpy as np
+import pytest
+
+from repro.sched.durations import ConstantCostModel, LognormalCostModel
+
+
+class TestConstant:
+    def test_value(self):
+        m = ConstantCostModel(5.0)
+        assert m.duration(np.zeros(3)) == 5.0
+        assert m(np.ones(3)) == 5.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ConstantCostModel(0.0)
+
+
+class TestLognormal:
+    def test_deterministic_per_design(self):
+        m = LognormalCostModel(10.0, 0.3)
+        x = np.array([1.0, 2.0, 3.0])
+        assert m.duration(x) == m.duration(x.copy())
+
+    def test_different_designs_differ(self):
+        m = LognormalCostModel(10.0, 0.3)
+        a = m.duration(np.array([1.0, 2.0]))
+        b = m.duration(np.array([1.0, 2.0001]))
+        assert a != b
+
+    def test_seed_changes_draw(self):
+        x = np.array([0.5, 0.5])
+        a = LognormalCostModel(10.0, 0.3, seed=0).duration(x)
+        b = LognormalCostModel(10.0, 0.3, seed=1).duration(x)
+        assert a != b
+
+    def test_mean_calibration(self):
+        """E[duration] must equal mean_seconds (the -sigma^2/2 correction)."""
+        m = LognormalCostModel(38.8, 0.35)
+        rng = np.random.default_rng(0)
+        draws = [m.duration(rng.uniform(size=4)) for _ in range(4000)]
+        assert np.mean(draws) == pytest.approx(38.8, rel=0.03)
+
+    def test_zero_sigma_is_constant(self):
+        m = LognormalCostModel(10.0, 0.0)
+        rng = np.random.default_rng(1)
+        draws = {m.duration(rng.uniform(size=3)) for _ in range(10)}
+        assert draws == {10.0}
+
+    def test_spread_grows_with_sigma(self):
+        rng = np.random.default_rng(2)
+        X = [rng.uniform(size=3) for _ in range(500)]
+        narrow = np.std([LognormalCostModel(10, 0.1).duration(x) for x in X])
+        wide = np.std([LognormalCostModel(10, 0.4).duration(x) for x in X])
+        assert wide > 2 * narrow
+
+    def test_always_positive(self):
+        m = LognormalCostModel(10.0, 0.5)
+        rng = np.random.default_rng(3)
+        assert all(m.duration(rng.uniform(size=2)) > 0 for _ in range(200))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LognormalCostModel(0.0, 0.1)
+        with pytest.raises(ValueError):
+            LognormalCostModel(1.0, -0.1)

@@ -1,0 +1,51 @@
+"""Tests for the discrete-event queue."""
+
+import pytest
+
+from repro.sched.events import EventQueue
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        q.push(3.0, "c")
+        q.push(1.0, "a")
+        q.push(2.0, "b")
+        assert [q.pop().payload for _ in range(3)] == ["a", "b", "c"]
+
+    def test_fifo_among_ties(self):
+        q = EventQueue()
+        for name in "abc":
+            q.push(1.0, name)
+        assert [q.pop().payload for _ in range(3)] == ["a", "b", "c"]
+
+    def test_peek_does_not_remove(self):
+        q = EventQueue()
+        q.push(5.0, "x")
+        assert q.peek_time() == 5.0
+        assert len(q) == 1
+
+    def test_empty_pop_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+        with pytest.raises(IndexError):
+            EventQueue().peek_time()
+
+    def test_bool_and_len(self):
+        q = EventQueue()
+        assert not q
+        q.push(0.0, None)
+        assert q and len(q) == 1
+
+    def test_rejects_nonfinite_time(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.push(float("nan"), "x")
+        with pytest.raises(ValueError):
+            q.push(float("inf"), "x")
+
+    def test_unorderable_payloads_ok(self):
+        q = EventQueue()
+        q.push(1.0, {"a": 1})
+        q.push(1.0, {"b": 2})  # dicts are not comparable; counter breaks tie
+        assert q.pop().payload == {"a": 1}

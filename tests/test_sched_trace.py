@@ -1,0 +1,91 @@
+"""Tests for execution traces."""
+
+import numpy as np
+import pytest
+
+from repro.sched.trace import EvalRecord, ExecutionTrace
+
+
+def record(index, worker, fom, issue, finish, **kw):
+    return EvalRecord(
+        index=index,
+        worker=worker,
+        x=np.array([float(index)]),
+        fom=fom,
+        issue_time=issue,
+        finish_time=finish,
+        **kw,
+    )
+
+
+@pytest.fixture
+def trace():
+    t = ExecutionTrace(n_workers=2)
+    t.add(record(0, 0, 1.0, 0.0, 10.0))
+    t.add(record(1, 1, 3.0, 0.0, 4.0))
+    t.add(record(2, 1, 2.0, 4.0, 12.0))
+    return t
+
+
+class TestBasics:
+    def test_makespan(self, trace):
+        assert trace.makespan == 12.0
+
+    def test_total_busy_time(self, trace):
+        assert trace.total_busy_time == pytest.approx(10 + 4 + 8)
+
+    def test_utilization(self, trace):
+        assert trace.utilization() == pytest.approx(22.0 / 24.0)
+
+    def test_empty_trace(self):
+        t = ExecutionTrace(1)
+        assert t.makespan == 0.0
+        assert t.utilization() == 1.0
+        with pytest.raises(ValueError):
+            t.best_record()
+        with pytest.raises(ValueError):
+            t.as_dataset()
+
+    def test_record_validation(self):
+        with pytest.raises(ValueError):
+            record(0, 0, 1.0, 5.0, 4.0)
+
+    def test_n_workers_validation(self):
+        with pytest.raises(ValueError):
+            ExecutionTrace(0)
+
+
+class TestCurves:
+    def test_best_fom_curve_monotone(self, trace):
+        times, best = trace.best_fom_curve()
+        np.testing.assert_array_equal(times, [4.0, 10.0, 12.0])
+        np.testing.assert_array_equal(best, [3.0, 3.0, 3.0])
+
+    def test_best_fom_curve_orders_by_finish(self):
+        t = ExecutionTrace(1)
+        t.add(record(0, 0, 5.0, 0, 10))
+        t.add(record(1, 0, 1.0, 10, 11))
+        _, best = t.best_fom_curve()
+        np.testing.assert_array_equal(best, [5.0, 5.0])
+
+    def test_time_to_reach(self, trace):
+        assert trace.time_to_reach(2.5) == 4.0
+        assert trace.time_to_reach(3.0) == 4.0
+        assert trace.time_to_reach(99.0) == float("inf")
+
+    def test_best_record(self, trace):
+        assert trace.best_record().index == 1
+
+
+class TestGantt:
+    def test_rows_per_worker(self, trace):
+        rows = trace.gantt_rows()
+        assert rows[0] == [(0.0, 10.0)]
+        assert rows[1] == [(0.0, 4.0), (4.0, 12.0)]
+
+
+class TestDataset:
+    def test_completion_order(self, trace):
+        X, y = trace.as_dataset()
+        np.testing.assert_array_equal(y, [3.0, 1.0, 2.0])
+        np.testing.assert_array_equal(X.ravel(), [1.0, 0.0, 2.0])

@@ -1,0 +1,135 @@
+"""Tests for the virtual worker pool."""
+
+import numpy as np
+import pytest
+
+from repro.core.problem import FunctionProblem
+from repro.sched.workers import VirtualWorkerPool
+
+
+def make_problem(costs=None):
+    """FOM = x[0]; cost from a lookup on x[0] (default constant 1)."""
+
+    def cost_model(x):
+        if costs is None:
+            return 1.0
+        return float(costs[int(round(x[0]))])
+
+    return FunctionProblem(
+        lambda x: float(x[0]), [[0.0, 100.0]], cost_model=cost_model, name="lin"
+    )
+
+
+class TestSubmitWait:
+    def test_single_worker_serializes(self):
+        pool = VirtualWorkerPool(make_problem(), n_workers=1)
+        pool.submit(np.array([1.0]))
+        done = pool.wait_next()
+        assert done.finish_time == 1.0
+        pool.submit(np.array([2.0]))
+        done = pool.wait_next()
+        assert done.finish_time == 2.0
+
+    def test_submit_when_full_raises(self):
+        pool = VirtualWorkerPool(make_problem(), n_workers=1)
+        pool.submit(np.array([1.0]))
+        with pytest.raises(RuntimeError, match="idle"):
+            pool.submit(np.array([2.0]))
+
+    def test_wait_with_nothing_running_raises(self):
+        pool = VirtualWorkerPool(make_problem(), n_workers=1)
+        with pytest.raises(RuntimeError, match="running"):
+            pool.wait_next()
+
+    def test_earliest_completion_first(self):
+        costs = {0: 5.0, 1: 2.0, 2: 8.0}
+        pool = VirtualWorkerPool(make_problem(costs), n_workers=3)
+        for i in range(3):
+            pool.submit(np.array([float(i)]))
+        first = pool.wait_next()
+        assert first.x[0] == 1.0
+        assert pool.now == 2.0
+
+    def test_async_refill_uses_freed_worker(self):
+        costs = {0: 5.0, 1: 2.0, 2: 3.0}
+        pool = VirtualWorkerPool(make_problem(costs), n_workers=2)
+        pool.submit(np.array([0.0]))
+        pool.submit(np.array([1.0]))
+        done = pool.wait_next()  # x=1 at t=2
+        assert done.worker == 1
+        pool.submit(np.array([2.0]))  # starts at t=2 on worker 1
+        done = pool.wait_next()  # x=0 at t=5
+        assert done.x[0] == 0.0
+        done = pool.wait_next()  # x=2 at t=2+3=5
+        assert done.finish_time == 5.0
+        assert done.worker == 1
+
+    def test_wait_all_barrier(self):
+        costs = {0: 1.0, 1: 9.0, 2: 4.0}
+        pool = VirtualWorkerPool(make_problem(costs), n_workers=3)
+        for i in range(3):
+            pool.submit(np.array([float(i)]))
+        completions = pool.wait_all()
+        assert len(completions) == 3
+        assert pool.now == 9.0  # clock at the slowest member
+
+
+class TestPending:
+    def test_pending_points_in_issue_order(self):
+        pool = VirtualWorkerPool(make_problem(), n_workers=3)
+        pool.submit(np.array([3.0]))
+        pool.submit(np.array([7.0]))
+        np.testing.assert_array_equal(pool.pending_points().ravel(), [3.0, 7.0])
+
+    def test_pending_empty(self):
+        pool = VirtualWorkerPool(make_problem(), n_workers=2)
+        assert pool.pending_points().shape[0] == 0
+
+    def test_counts(self):
+        pool = VirtualWorkerPool(make_problem(), n_workers=2)
+        assert pool.idle_count == 2
+        pool.submit(np.array([1.0]))
+        assert pool.idle_count == 1
+        assert pool.busy_count == 1
+
+
+class TestTrace:
+    def test_trace_records_everything(self):
+        pool = VirtualWorkerPool(make_problem(), n_workers=2)
+        for i in range(2):
+            pool.submit(np.array([float(i)]), batch=0)
+        pool.wait_all()
+        assert len(pool.trace) == 2
+        assert {r.batch for r in pool.trace.records} == {0}
+
+    def test_sync_vs_async_makespan(self):
+        """Async refilling finishes the same workload sooner than batching."""
+        durations = [5.0, 1.0, 1.0, 1.0, 5.0, 1.0]
+        costs = dict(enumerate(durations))
+
+        # Synchronous: batches of 2 -> makespan sum of per-batch maxima.
+        sync = VirtualWorkerPool(make_problem(costs), n_workers=2)
+        for batch in range(3):
+            sync.submit(np.array([float(2 * batch)]), batch=batch)
+            sync.submit(np.array([float(2 * batch + 1)]), batch=batch)
+            sync.wait_all()
+        assert sync.trace.makespan == 5.0 + 1.0 + 5.0
+
+        # Asynchronous: refill on every completion.
+        pool = VirtualWorkerPool(make_problem(costs), n_workers=2)
+        pool.submit(np.array([0.0]))
+        pool.submit(np.array([1.0]))
+        next_i = 2
+        while next_i < 6:
+            pool.wait_next()
+            pool.submit(np.array([float(next_i)]))
+            next_i += 1
+        pool.wait_all()
+        assert pool.trace.makespan < sync.trace.makespan
+        assert pool.trace.utilization() > sync.trace.utilization()
+
+
+class TestValidation:
+    def test_worker_count(self):
+        with pytest.raises(ValueError):
+            VirtualWorkerPool(make_problem(), 0)

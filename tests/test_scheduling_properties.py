@@ -1,0 +1,86 @@
+"""Property-based tests of the scheduling claims behind the paper.
+
+These verify, over randomized workloads, the structural facts §III-A relies
+on: greedy asynchronous refill never loses to synchronous batching on
+makespan, both disciplines do identical total work, and utilization behaves.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.problem import FunctionProblem
+from repro.sched.workers import VirtualWorkerPool
+
+
+def pools_for(durations, batch):
+    """Run the same job list synchronously and asynchronously."""
+    table = {float(i): d for i, d in enumerate(durations)}
+    problem = FunctionProblem(
+        lambda x: 0.0,
+        [[0.0, float(len(durations))]],
+        cost_model=lambda x: table[float(round(x[0]))],
+    )
+    sync = VirtualWorkerPool(problem, batch)
+    for start in range(0, len(durations), batch):
+        for i in range(start, min(start + batch, len(durations))):
+            sync.submit(np.array([float(i)]))
+        sync.wait_all()
+
+    async_ = VirtualWorkerPool(problem, batch)
+    for i in range(min(batch, len(durations))):
+        async_.submit(np.array([float(i)]))
+    for i in range(batch, len(durations)):
+        async_.wait_next()
+        async_.submit(np.array([float(i)]))
+    async_.wait_all()
+    return sync, async_
+
+
+durations_strategy = st.lists(
+    st.floats(0.1, 100.0, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=40,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(durations=durations_strategy, batch=st.integers(1, 8))
+def test_async_never_slower_than_sync(durations, batch):
+    sync, async_ = pools_for(durations, batch)
+    assert async_.trace.makespan <= sync.trace.makespan + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(durations=durations_strategy, batch=st.integers(1, 8))
+def test_same_total_work_and_counts(durations, batch):
+    sync, async_ = pools_for(durations, batch)
+    assert len(sync.trace) == len(async_.trace) == len(durations)
+    assert sync.trace.total_busy_time == pytest.approx(async_.trace.total_busy_time)
+
+
+@settings(max_examples=40, deadline=None)
+@given(durations=durations_strategy, batch=st.integers(1, 8))
+def test_utilization_bounded(durations, batch):
+    sync, async_ = pools_for(durations, batch)
+    for pool in (sync, async_):
+        assert 0.0 < pool.trace.utilization() <= 1.0 + 1e-12
+
+
+@settings(max_examples=40, deadline=None)
+@given(durations=durations_strategy)
+def test_batch_one_equals_serial_sum(durations):
+    sync, async_ = pools_for(durations, batch=1)
+    assert sync.trace.makespan == pytest.approx(sum(durations))
+    assert async_.trace.makespan == pytest.approx(sum(durations))
+
+
+@settings(max_examples=40, deadline=None)
+@given(durations=durations_strategy, batch=st.integers(1, 8))
+def test_makespan_lower_bound(durations, batch):
+    """No discipline can beat total-work / workers or the longest job."""
+    sync, async_ = pools_for(durations, batch)
+    lower = max(sum(durations) / batch, max(durations))
+    assert async_.trace.makespan >= lower - 1e-9
+    assert sync.trace.makespan >= lower - 1e-9

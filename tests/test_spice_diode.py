@@ -1,0 +1,134 @@
+"""Tests for the junction diode across all analyses."""
+
+import numpy as np
+import pytest
+
+from repro.spice import (
+    Circuit,
+    Diode,
+    DiodeParams,
+    SinWave,
+    ac_analysis,
+    dc_operating_point,
+    transient_analysis,
+)
+from repro.spice.diode import VT
+
+
+class TestModel:
+    def test_reverse_saturation(self):
+        d = Diode("d1", "a", "c")
+        op = d.evaluate(-1.0)
+        assert op.current == pytest.approx(-d.params.i_s, rel=1e-6)
+
+    def test_zero_bias_zero_current(self):
+        d = Diode("d1", "a", "c")
+        assert d.evaluate(0.0).current == 0.0
+
+    def test_exponential_region(self):
+        d = Diode("d1", "a", "c")
+        v = 0.5
+        expected = d.params.i_s * (np.exp(v / VT) - 1.0)
+        assert d.evaluate(v).current == pytest.approx(expected, rel=1e-9)
+
+    def test_gd_matches_finite_difference(self):
+        d = Diode("d1", "a", "c")
+        for v in (-0.5, 0.3, 0.55, 0.9, 2.0):
+            eps = 1e-8
+            num = (d.evaluate(v + eps).current - d.evaluate(v - eps).current) / (2 * eps)
+            assert d.evaluate(v).gd == pytest.approx(num, rel=1e-4)
+
+    def test_limiting_keeps_current_finite(self):
+        d = Diode("d1", "a", "c")
+        op = d.evaluate(50.0)  # would overflow a raw exponential
+        assert np.isfinite(op.current)
+        assert np.isfinite(op.gd)
+
+    def test_linearization_continuous_at_vcrit(self):
+        d = Diode("d1", "a", "c")
+        below = d.evaluate(d.v_crit - 1e-9).current
+        above = d.evaluate(d.v_crit + 1e-9).current
+        assert above == pytest.approx(below, rel=1e-6)
+
+    def test_ieq_consistency(self):
+        d = Diode("d1", "a", "c")
+        op = d.evaluate(0.6)
+        assert op.gd * op.v + op.ieq == pytest.approx(op.current, rel=1e-12)
+
+    def test_params_validated(self):
+        with pytest.raises(ValueError):
+            DiodeParams(i_s=-1.0)
+        with pytest.raises(ValueError):
+            DiodeParams(n=0.0)
+
+
+class TestDcWithDiode:
+    def test_forward_drop_in_series_circuit(self):
+        c = Circuit("diode drop")
+        c.V("v1", "in", "0", dc=5.0)
+        c.R("r1", "in", "a", 1000)
+        c.D("d1", "a", "0")
+        op = dc_operating_point(c)
+        vd = op.v("a")
+        assert 0.5 < vd < 0.8  # silicon-ish forward drop
+        # KCL: resistor current equals the diode equation.
+        i_r = (5.0 - vd) / 1000.0
+        d = c.find("d1")
+        assert i_r == pytest.approx(d.evaluate(vd).current, rel=1e-5)
+
+    def test_reverse_biased_blocks(self):
+        c = Circuit("reverse")
+        c.V("v1", "in", "0", dc=-5.0)
+        c.R("r1", "in", "a", 1000)
+        c.D("d1", "a", "0")
+        op = dc_operating_point(c)
+        assert op.v("a") == pytest.approx(-5.0, abs=1e-3)  # no current flows
+
+
+class TestAcWithDiode:
+    def test_small_signal_conductance(self):
+        c = Circuit("diode ac")
+        c.V("v1", "in", "0", dc=5.0, ac=1.0)
+        c.R("r1", "in", "a", 1000)
+        c.D("d1", "a", "0", DiodeParams(cj0=0.0))
+        op = dc_operating_point(c)
+        res = ac_analysis(c, np.array([100.0]), op=op)
+        gd = c.find("d1").evaluate(op.v("a")).gd
+        expected = (1.0 / 1000.0) / (1.0 / 1000.0 + gd)  # divider with rd
+        assert abs(res.v("a"))[0] == pytest.approx(expected, rel=1e-4)
+
+
+class TestTransientWithDiode:
+    def test_half_wave_rectifier(self):
+        c = Circuit("rectifier")
+        c.V("v1", "in", "0", waveform=SinWave(0.0, 5.0, 1e3))
+        c.D("d1", "in", "out", DiodeParams(cj0=0.0))
+        c.R("rl", "out", "0", 10_000)
+        res = transient_analysis(c, 2e-3, 2e-6)
+        v = res.v("out")
+        assert v.min() > -0.05  # negative half-cycles blocked
+        assert v.max() > 3.5  # positive peaks pass minus the drop
+        assert v.max() < 5.0
+
+    def test_peak_detector_holds_charge(self):
+        c = Circuit("peak detector")
+        c.V("v1", "in", "0", waveform=SinWave(0.0, 3.0, 1e4))
+        c.D("d1", "in", "out", DiodeParams(cj0=0.0))
+        c.C("chold", "out", "0", 1e-6)
+        c.R("rl", "out", "0", 1e6)
+        res = transient_analysis(c, 5e-4, 2e-7)
+        v = res.v("out")
+        # After the first peak the output stays near the peak voltage.
+        late = v[res.t > 3e-4]
+        assert late.min() > 1.8
+        assert np.ptp(late) < 0.5
+
+
+class TestSummaryAndValidation:
+    def test_describe(self):
+        assert "IS=" in Diode("d1", "a", "c").describe()
+
+    def test_circuit_helper(self):
+        c = Circuit()
+        d = c.D("d1", "a", "0")
+        assert isinstance(d, Diode)

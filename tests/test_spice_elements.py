@@ -1,0 +1,116 @@
+"""Tests for repro.spice.elements (including source waveforms)."""
+
+import pytest
+
+from repro.spice.elements import (
+    Capacitor,
+    CurrentSource,
+    DcWave,
+    Inductor,
+    PulseWave,
+    Resistor,
+    SinWave,
+    Vccs,
+    Vcvs,
+    VoltageSource,
+)
+
+
+class TestPassives:
+    def test_resistor_conductance(self):
+        r = Resistor("r1", "a", "b", "2k")
+        assert r.resistance == 2000.0
+        assert r.conductance == pytest.approx(5e-4)
+
+    def test_resistor_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Resistor("r1", "a", "b", 0)
+        with pytest.raises(ValueError):
+            Resistor("r1", "a", "b", -5)
+
+    def test_capacitor_value_parsing(self):
+        assert Capacitor("c1", "a", "0", "10p").capacitance == pytest.approx(1e-11)
+
+    def test_capacitor_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Capacitor("c1", "a", "0", 0)
+
+    def test_inductor_value(self):
+        assert Inductor("l1", "a", "b", "3.3u").inductance == pytest.approx(3.3e-6)
+
+    def test_inductor_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Inductor("l1", "a", "b", -1e-9)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Resistor("", "a", "b", 1)
+
+    def test_describe_contains_value(self):
+        assert "2.2k" in Resistor("r1", "a", "b", 2200).describe()
+
+
+class TestSources:
+    def test_dc_value_without_waveform(self):
+        v = VoltageSource("v1", "a", "0", dc=1.8)
+        assert v.dc_value == 1.8
+        assert v.value_at(123.0) == 1.8
+
+    def test_waveform_dc_value(self):
+        v = VoltageSource("v1", "a", "0", waveform=SinWave(0.9, 0.1, 1e6))
+        assert v.dc_value == pytest.approx(0.9)
+
+    def test_ac_magnitude(self):
+        assert VoltageSource("v1", "a", "0", ac="1m").ac == pytest.approx(1e-3)
+
+    def test_current_source(self):
+        i = CurrentSource("i1", "a", "0", dc="10u")
+        assert i.dc_value == pytest.approx(1e-5)
+
+    def test_controlled_sources(self):
+        e = Vcvs("e1", "o", "0", "a", "b", 100)
+        assert e.gain == 100.0
+        g = Vccs("g1", "o", "0", "a", "b", "1m")
+        assert g.gm == pytest.approx(1e-3)
+        assert "gm=" in g.describe()
+
+
+class TestWaveforms:
+    def test_dc_wave(self):
+        assert DcWave(2.0)(99.0) == 2.0
+
+    def test_sin_wave_values(self):
+        w = SinWave(offset=1.0, amplitude=0.5, freq=1.0)
+        assert w(0.0) == pytest.approx(1.0)
+        assert w(0.25) == pytest.approx(1.5)
+        assert w(0.75) == pytest.approx(0.5)
+
+    def test_sin_wave_delay(self):
+        w = SinWave(0.0, 1.0, 1.0, delay=1.0)
+        assert w(0.5) == 0.0
+        assert w(1.25) == pytest.approx(1.0)
+
+    def test_pulse_shape(self):
+        w = PulseWave(0.0, 1.0, delay=0.0, rise=0.1, fall=0.1, width=0.3, period=1.0)
+        assert w(0.0) == pytest.approx(0.0)
+        assert w(0.05) == pytest.approx(0.5)  # mid-rise
+        assert w(0.2) == pytest.approx(1.0)  # on
+        assert w(0.45) == pytest.approx(0.5)  # mid-fall
+        assert w(0.9) == pytest.approx(0.0)  # off
+
+    def test_pulse_periodicity(self):
+        w = PulseWave(0.0, 1.0, rise=0.1, fall=0.1, width=0.3, period=1.0)
+        for t in (0.05, 0.2, 0.45, 0.9):
+            assert w(t) == pytest.approx(w(t + 3.0))
+
+    def test_pulse_delay(self):
+        w = PulseWave(0.2, 1.0, delay=5.0, rise=0.1, fall=0.1, width=0.3, period=1.0)
+        assert w(4.9) == pytest.approx(0.2)
+
+    def test_pulse_validation(self):
+        with pytest.raises(ValueError):
+            PulseWave(0, 1, rise=0.5, fall=0.5, width=0.5, period=1.0)
+        with pytest.raises(ValueError):
+            PulseWave(0, 1, period=-1.0)
+        with pytest.raises(ValueError):
+            PulseWave(0, 1, rise=0)

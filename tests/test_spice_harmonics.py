@@ -1,0 +1,52 @@
+"""Tests for harmonic-distortion measurements."""
+
+import numpy as np
+import pytest
+
+from repro.spice.analysis import harmonic_amplitudes, total_harmonic_distortion
+from repro.spice.exceptions import AnalysisError
+
+F0 = 1e6
+T = np.arange(0, 4 / F0, 1 / (256 * F0))
+
+
+class TestHarmonics:
+    def test_pure_tone(self):
+        signal = 2.0 * np.sin(2 * np.pi * F0 * T)
+        amps = harmonic_amplitudes(T, signal, F0, n_harmonics=4)
+        assert amps[0] == pytest.approx(2.0, rel=1e-9)
+        np.testing.assert_allclose(amps[1:], 0.0, atol=1e-9)
+
+    def test_known_mixture(self):
+        signal = (
+            1.0 * np.sin(2 * np.pi * F0 * T)
+            + 0.3 * np.sin(2 * np.pi * 2 * F0 * T)
+            + 0.1 * np.sin(2 * np.pi * 3 * F0 * T)
+        )
+        amps = harmonic_amplitudes(T, signal, F0, n_harmonics=3)
+        np.testing.assert_allclose(amps, [1.0, 0.3, 0.1], atol=1e-9)
+
+    def test_thd_value(self):
+        signal = (
+            1.0 * np.sin(2 * np.pi * F0 * T)
+            + 0.3 * np.sin(2 * np.pi * 2 * F0 * T)
+            + 0.4 * np.sin(2 * np.pi * 3 * F0 * T)
+        )
+        assert total_harmonic_distortion(T, signal, F0) == pytest.approx(0.5, rel=1e-9)
+
+    def test_square_wave_thd(self):
+        """Odd-harmonic series of a square wave: THD ~ 0.48 with 2 terms... use
+        analytic amplitudes 1, 1/3, 1/5 over the first five harmonics."""
+        signal = np.sign(np.sin(2 * np.pi * F0 * T))
+        thd = total_harmonic_distortion(T, signal, F0, n_harmonics=5)
+        expected = np.sqrt((1 / 3) ** 2 + (1 / 5) ** 2)
+        assert thd == pytest.approx(expected, rel=0.01)
+
+    def test_no_fundamental_raises(self):
+        signal = np.sin(2 * np.pi * 2 * F0 * T)  # only the 2nd harmonic
+        with pytest.raises(AnalysisError):
+            total_harmonic_distortion(T, signal, F0)
+
+    def test_n_harmonics_validated(self):
+        with pytest.raises(ValueError):
+            harmonic_amplitudes(T, np.sin(2 * np.pi * F0 * T), F0, n_harmonics=0)

@@ -1,0 +1,158 @@
+"""Tests for the noise analysis against textbook results."""
+
+import numpy as np
+import pytest
+
+from repro.spice import (
+    Circuit,
+    DiodeParams,
+    dc_operating_point,
+    logspace_frequencies,
+    nmos_180,
+    noise_analysis,
+)
+from repro.spice.mosfet import MosfetParams
+from repro.spice.noise import BOLTZMANN, MOS_GAMMA, TEMPERATURE
+
+FOUR_KT = 4.0 * BOLTZMANN * TEMPERATURE
+
+
+class TestResistorNoise:
+    def test_single_resistor_psd(self):
+        """Output PSD across a grounded resistor is 4kTR."""
+        c = Circuit("r noise")
+        c.V("vb", "in", "0", dc=0.0)
+        c.R("rs", "in", "out", 1e9)  # huge series R isolates the node
+        c.R("r", "out", "0", 1000.0)
+        res = noise_analysis(c, np.array([1e3]), "out")
+        # Parallel combination is dominated by the 1k resistor.
+        expected = FOUR_KT * 1000.0
+        assert res.output_psd[0] == pytest.approx(expected, rel=1e-3)
+
+    def test_divider_parallel_resistance(self):
+        """Two resistors give 4kT(R1 || R2) at the midpoint."""
+        c = Circuit("divider noise")
+        c.V("vb", "top", "0", dc=1.0)  # ideal source: AC short
+        c.R("r1", "top", "out", 2000.0)
+        c.R("r2", "out", "0", 2000.0)
+        res = noise_analysis(c, np.array([1e3]), "out")
+        expected = FOUR_KT * 1000.0  # 2k || 2k
+        assert res.output_psd[0] == pytest.approx(expected, rel=1e-6)
+
+    def test_ktc_noise_of_rc_filter(self):
+        """Integrated output noise of an RC low-pass equals kT/C."""
+        R, C = 1e3, 1e-9
+        c = Circuit("ktc")
+        c.V("vb", "in", "0", dc=0.0)
+        c.R("r", "in", "out", R)
+        c.C("c", "out", "0", C)
+        freqs = logspace_frequencies(1.0, 1e9, 40)
+        res = noise_analysis(c, freqs, "out")
+        # Analytic check of the PSD shape at the pole...
+        pole = 1 / (2 * np.pi * R * C)
+        psd_at_pole = np.interp(pole, freqs, res.output_psd)
+        assert psd_at_pole == pytest.approx(FOUR_KT * R / 2, rel=0.02)
+        # ...and the classic total: kT/C, integrating over the wide sweep.
+        assert res.integrated_output_noise() == pytest.approx(
+            BOLTZMANN * TEMPERATURE / C, rel=0.05
+        )
+
+    def test_contributions_sum_to_total(self):
+        c = Circuit("sum")
+        c.V("vb", "a", "0", dc=0.0)
+        c.R("r1", "a", "out", 500.0)
+        c.R("r2", "out", "0", 1500.0)
+        freqs = np.array([10.0, 1e6])
+        res = noise_analysis(c, freqs, "out")
+        total = sum(res.contributions.values())
+        np.testing.assert_allclose(total, res.output_psd, rtol=1e-12)
+
+
+class TestMosfetNoise:
+    def cs_amplifier(self, kf=0.0):
+        params = nmos_180()
+        if kf:
+            params = MosfetParams(**{**params.__dict__, "kf": kf})
+        c = Circuit("cs noise")
+        c.V("vdd", "vdd", "0", dc=1.8)
+        c.V("vin", "g", "0", dc=0.65, ac=1.0)
+        c.R("rd", "vdd", "d", 10_000.0)
+        c.M("m1", "d", "g", "0", "0", params, w=10e-6, l=0.5e-6)
+        return c
+
+    def test_channel_noise_contribution(self):
+        c = self.cs_amplifier()
+        op = dc_operating_point(c)
+        gm = op.mosfet_ops["m1"].gm
+        res = noise_analysis(c, np.array([1e3]), "d", op=op)
+        # MOSFET drain noise current flows through Rd || ro.
+        gds = op.mosfet_ops["m1"].gds
+        r_out = 1.0 / (1e-4 + gds)
+        expected = FOUR_KT * MOS_GAMMA * gm * r_out**2
+        assert res.contributions["m1"][0] == pytest.approx(expected, rel=1e-3)
+
+    def test_input_referred_noise(self):
+        c = self.cs_amplifier()
+        res = noise_analysis(c, np.array([1e3]), "d", input_source="vin")
+        op = dc_operating_point(c)
+        gm = op.mosfet_ops["m1"].gm
+        # Input-referred MOSFET noise ~ 4kT gamma / gm; Rd adds on top.
+        floor = FOUR_KT * MOS_GAMMA / gm
+        assert res.input_referred_psd[0] > floor
+        assert res.input_referred_psd[0] < 10 * floor
+
+    def test_flicker_noise_slope(self):
+        c = self.cs_amplifier(kf=1e-26)
+        res = noise_analysis(c, np.array([10.0, 100.0]), "d")
+        m1 = res.contributions["m1"]
+        # 1/f dominated at low frequency: decade apart -> ~10x ratio.
+        assert m1[0] / m1[1] == pytest.approx(10.0, rel=0.25)
+
+    def test_input_referral_requires_source(self):
+        c = self.cs_amplifier()
+        res = noise_analysis(c, np.array([1e3]), "d")
+        with pytest.raises(ValueError):
+            res.input_referred_psd
+
+
+class TestDiodeNoise:
+    def test_shot_noise(self):
+        c = Circuit("shot")
+        c.V("v1", "in", "0", dc=5.0)
+        c.R("r", "in", "a", 1e6)
+        c.D("d1", "a", "0", DiodeParams(cj0=0.0))
+        op = dc_operating_point(c)
+        res = noise_analysis(c, np.array([1e3]), "a", op=op)
+        assert res.contributions["d1"][0] > 0
+
+
+class TestValidation:
+    def test_bad_frequencies(self):
+        c = Circuit()
+        c.V("v", "a", "0", dc=1.0)
+        c.R("r", "a", "0", 100)
+        with pytest.raises(ValueError):
+            noise_analysis(c, np.array([]), "a")
+        with pytest.raises(ValueError):
+            noise_analysis(c, np.array([-1.0]), "a")
+
+    def test_ground_output_rejected(self):
+        c = Circuit()
+        c.V("v", "a", "0", dc=1.0)
+        c.R("r", "a", "0", 100)
+        with pytest.raises(ValueError, match="ground"):
+            noise_analysis(c, np.array([1.0]), "0")
+
+    def test_unknown_output_node(self):
+        c = Circuit()
+        c.V("v", "a", "0", dc=1.0)
+        c.R("r", "a", "0", 100)
+        with pytest.raises(KeyError):
+            noise_analysis(c, np.array([1.0]), "nope")
+
+    def test_non_source_input_rejected(self):
+        c = Circuit()
+        c.V("v", "a", "0", dc=1.0)
+        c.R("r", "a", "0", 100)
+        with pytest.raises(TypeError):
+            noise_analysis(c, np.array([1.0]), "a", input_source="r")

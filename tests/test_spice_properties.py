@@ -1,0 +1,97 @@
+"""Property-based physics tests of the simulator on random linear networks.
+
+Linear-circuit theory gives three machine-checkable invariants:
+
+* **superposition** — the response to two sources is the sum of the
+  responses to each source alone;
+* **reciprocity** — in a passive RLC network, the transfer impedance from a
+  current injection at node a to the voltage at node b equals the reverse;
+* **Tellegen / passivity** — the power delivered by all sources equals the
+  power dissipated in the resistors at DC.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spice import Circuit, ac_analysis, dc_operating_point
+
+
+def random_resistor_ladder(rng, n_nodes: int) -> Circuit:
+    """A random connected resistive network over nodes n0..n{k-1} + ground."""
+    c = Circuit("random ladder")
+    # Spanning chain guarantees connectivity to ground.
+    previous = "0"
+    for i in range(n_nodes):
+        c.R(f"rc{i}", previous, f"n{i}", float(rng.uniform(100, 10_000)))
+        previous = f"n{i}"
+    # Extra random cross edges.
+    for j in range(n_nodes):
+        a, b = rng.integers(0, n_nodes, size=2)
+        if a != b:
+            c.R(f"rx{j}", f"n{a}", f"n{b}", float(rng.uniform(100, 10_000)))
+    return c
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000), n_nodes=st.integers(2, 6))
+def test_superposition_dc(seed, n_nodes):
+    rng = np.random.default_rng(seed)
+    i1 = float(rng.uniform(1e-4, 1e-2))
+    i2 = float(rng.uniform(1e-4, 1e-2))
+    target = f"n{rng.integers(0, n_nodes)}"
+
+    def solve(a, b):
+        c = random_resistor_ladder(np.random.default_rng(seed), n_nodes)
+        c.I("is1", "0", "n0", dc=a)
+        c.I("is2", "0", f"n{n_nodes - 1}", dc=b)
+        return dc_operating_point(c).v(target)
+
+    both = solve(i1, i2)
+    only1 = solve(i1, 0.0)
+    only2 = solve(0.0, i2)
+    assert both == pytest.approx(only1 + only2, rel=1e-9, abs=1e-12)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000), n_nodes=st.integers(2, 5))
+def test_reciprocity_ac(seed, n_nodes):
+    """Z(a->b) == Z(b->a) for a passive RC network."""
+    rng = np.random.default_rng(seed)
+    a = f"n{rng.integers(0, n_nodes)}"
+    b = f"n{rng.integers(0, n_nodes)}"
+    freq = np.array([float(rng.uniform(1e2, 1e6))])
+
+    def build(inject_at):
+        # Fresh identically-seeded rng so both builds get the same values.
+        local = np.random.default_rng(seed)
+        c = random_resistor_ladder(local, n_nodes)
+        for k in range(n_nodes):
+            c.C(f"cap{k}", f"n{k}", "0", float(local.uniform(1e-12, 1e-9)))
+        c.I("probe", "0", inject_at, ac=1.0)
+        return c
+
+    forward = ac_analysis(build(a), freq).v(b)[0]
+    backward = ac_analysis(build(b), freq).v(a)[0]
+    assert forward == pytest.approx(backward, rel=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000), n_nodes=st.integers(2, 6))
+def test_power_balance_dc(seed, n_nodes):
+    """Power from sources equals power dissipated in resistors (Tellegen)."""
+    rng = np.random.default_rng(seed)
+    c = random_resistor_ladder(np.random.default_rng(seed), n_nodes)
+    c.V("vs", "n0", "0", dc=float(rng.uniform(0.5, 5.0)))
+    op = dc_operating_point(c)
+    source = c.find("vs")
+    p_source = source.value * (-op.i("vs"))
+    p_resistors = 0.0
+    from repro.spice import Resistor
+
+    for element in c.elements:
+        if isinstance(element, Resistor):
+            v_drop = op.v(element.n_plus) - op.v(element.n_minus)
+            p_resistors += v_drop**2 / element.resistance
+    assert p_source == pytest.approx(p_resistors, rel=1e-6, abs=1e-15)

@@ -1,0 +1,102 @@
+"""Tests for hierarchical subcircuits."""
+
+import numpy as np
+import pytest
+
+from repro.spice import Circuit, SubCircuit, dc_operating_point, nmos_180
+from repro.spice.exceptions import TopologyError
+
+
+def divider_subckt():
+    sub = SubCircuit("divider", ports=["top", "mid"])
+    sub.R("r1", "top", "mid", 1000)
+    sub.R("r2", "mid", "0", 1000)
+    return sub
+
+
+class TestDefinition:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SubCircuit("", ["a"])
+        with pytest.raises(ValueError):
+            SubCircuit("x", [])
+        with pytest.raises(ValueError):
+            SubCircuit("x", ["a", "a"])
+        with pytest.raises(ValueError, match="ground"):
+            SubCircuit("x", ["0"])
+
+    def test_builder_helpers_work(self):
+        sub = divider_subckt()
+        assert len(sub.body) == 2
+
+
+class TestInstantiation:
+    def test_flattening_names_and_nodes(self):
+        c = Circuit("parent")
+        c.V("vin", "in", "0", dc=2.0)
+        divider_subckt().instantiate(c, "x1", {"top": "in", "mid": "out"})
+        names = [e.name for e in c.elements]
+        assert "x1.r1" in names and "x1.r2" in names
+        op = dc_operating_point(c)
+        assert op.v("out") == pytest.approx(1.0, rel=1e-6)
+
+    def test_sequence_connections(self):
+        c = Circuit("parent")
+        c.V("vin", "in", "0", dc=2.0)
+        divider_subckt().instantiate(c, "x1", ["in", "out"])
+        assert dc_operating_point(c).v("out") == pytest.approx(1.0, rel=1e-6)
+
+    def test_internal_nodes_prefixed(self):
+        sub = SubCircuit("chain", ports=["a", "b"])
+        sub.R("r1", "a", "internal", 500)
+        sub.R("r2", "internal", "b", 500)
+        c = Circuit("parent")
+        c.V("v", "in", "0", dc=1.0)
+        sub.instantiate(c, "u1", {"a": "in", "b": "0"})
+        assert "u1.internal" in c.nodes
+
+    def test_two_instances_independent(self):
+        c = Circuit("parent")
+        c.V("vin", "in", "0", dc=4.0)
+        divider_subckt().instantiate(c, "x1", {"top": "in", "mid": "m1"})
+        divider_subckt().instantiate(c, "x2", {"top": "m1", "mid": "m2"})
+        op = dc_operating_point(c)
+        assert op.v("m1") > op.v("m2") > 0
+
+    def test_ground_is_global(self):
+        sub = SubCircuit("gnd ref", ports=["a"])
+        sub.R("r", "a", "0", 100)
+        c = Circuit("parent")
+        c.V("v", "in", "0", dc=1.0)
+        sub.instantiate(c, "x1", {"a": "in"})
+        op = dc_operating_point(c)
+        assert op.i("v") == pytest.approx(-0.01, rel=1e-6)
+
+    def test_instantiation_does_not_mutate_definition(self):
+        sub = divider_subckt()
+        c = Circuit("parent")
+        c.V("v", "in", "0", dc=1.0)
+        sub.instantiate(c, "x1", {"top": "in", "mid": "m"})
+        assert sub.body.elements[0].nodes == ("top", "mid")
+
+    def test_connection_errors(self):
+        sub = divider_subckt()
+        c = Circuit("parent")
+        with pytest.raises(TopologyError, match="unconnected"):
+            sub.instantiate(c, "x1", {"top": "in"})
+        with pytest.raises(TopologyError, match="unknown ports"):
+            sub.instantiate(c, "x2", {"top": "in", "mid": "m", "oops": "x"})
+        with pytest.raises(TopologyError, match="expected 2"):
+            sub.instantiate(c, "x3", ["in"])
+
+    def test_mosfet_in_subckt(self):
+        sub = SubCircuit("inverter", ports=["vdd", "in", "out"])
+        sub.M("mn", "out", "in", "0", "0", nmos_180(), 2e-6, 0.18e-6)
+        sub.R("rp", "vdd", "out", 10_000)
+        c = Circuit("parent")
+        c.V("vdd", "vdd", "0", dc=1.8)
+        c.V("vin", "a", "0", dc=1.8)
+        sub.instantiate(c, "u1", {"vdd": "vdd", "in": "a", "out": "y"})
+        op = dc_operating_point(c)
+        assert op.v("y") < 0.3  # NMOS on pulls output low
+        assert "u1.mn" in op.mosfet_ops

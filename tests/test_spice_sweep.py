@@ -1,0 +1,88 @@
+"""Tests for the DC sweep analysis."""
+
+import numpy as np
+import pytest
+
+from repro.spice import Circuit, SinWave, dc_sweep, nmos_180, pmos_180
+
+
+def nmos_iv_circuit():
+    c = Circuit("nmos iv")
+    c.V("vg", "g", "0", dc=0.0)
+    c.V("vd", "d", "0", dc=1.8)
+    c.M("m1", "d", "g", "0", "0", nmos_180(), w=10e-6, l=0.5e-6)
+    return c
+
+
+class TestDcSweep:
+    def test_transfer_characteristic_monotone(self):
+        c = nmos_iv_circuit()
+        vgs = np.linspace(0.0, 1.8, 19)
+        result = dc_sweep(c, "vg", vgs)
+        ids = result.device_current("m1")
+        assert ids[0] == 0.0  # cutoff at vgs = 0
+        assert np.all(np.diff(ids) >= -1e-15)  # monotone in vgs
+        assert ids[-1] > 1e-4
+
+    def test_square_law_in_saturation(self):
+        c = nmos_iv_circuit()
+        vth = nmos_180().vt0
+        vgs = np.array([vth + 0.2, vth + 0.4])
+        ids = dc_sweep(c, "vg", vgs).device_current("m1")
+        # Saturation current scales with vov^2 (CLM identical at fixed vds).
+        assert ids[1] / ids[0] == pytest.approx(4.0, rel=1e-6)
+
+    def test_output_characteristic_regions(self):
+        c = nmos_iv_circuit()
+        c.find("vg").value = 1.0
+        vds = np.linspace(0.0, 1.8, 20)
+        result = dc_sweep(c, "vd", vds)
+        ids = result.device_current("m1")
+        # Triode slope near zero is much steeper than saturation slope.
+        d_triode = (ids[2] - ids[0]) / (vds[2] - vds[0])
+        d_sat = (ids[-1] - ids[-3]) / (vds[-1] - vds[-3])
+        assert d_triode > 10 * d_sat
+
+    def test_inverter_vtc(self):
+        c = Circuit("inverter")
+        c.V("vdd", "vdd", "0", dc=1.8)
+        c.V("vin", "in", "0", dc=0.0)
+        c.M("mn", "out", "in", "0", "0", nmos_180(), w=2e-6, l=0.18e-6)
+        c.M("mp", "out", "in", "vdd", "vdd", pmos_180(), w=4e-6, l=0.18e-6)
+        result = dc_sweep(c, "vin", np.linspace(0, 1.8, 37))
+        vout = result.v("out")
+        assert vout[0] == pytest.approx(1.8, abs=1e-3)
+        assert vout[-1] == pytest.approx(0.0, abs=1e-3)
+        assert np.all(np.diff(vout) <= 1e-6)  # monotone falling VTC
+
+    def test_source_restored_after_sweep(self):
+        c = nmos_iv_circuit()
+        dc_sweep(c, "vg", [0.0, 1.0])
+        assert c.find("vg").value == 0.0
+
+    def test_current_source_sweep(self):
+        c = Circuit("i sweep")
+        c.I("ib", "0", "a", dc=1e-3)
+        c.R("r", "a", "0", 1000)
+        result = dc_sweep(c, "ib", [1e-3, 2e-3])
+        np.testing.assert_allclose(result.v("a"), [1.0, 2.0], rtol=1e-6)
+
+    def test_unknown_source(self):
+        with pytest.raises(KeyError):
+            dc_sweep(nmos_iv_circuit(), "nope", [0.0])
+
+    def test_non_source_rejected(self):
+        c = nmos_iv_circuit()
+        with pytest.raises(TypeError, match="independent source"):
+            dc_sweep(c, "m1", [0.0])
+
+    def test_waveform_source_rejected(self):
+        c = Circuit("wave")
+        c.V("vin", "a", "0", waveform=SinWave(0, 1, 1e3))
+        c.R("r", "a", "0", 100)
+        with pytest.raises(TypeError, match="waveform"):
+            dc_sweep(c, "vin", [0.0])
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError):
+            dc_sweep(nmos_iv_circuit(), "vg", [])

@@ -1,0 +1,108 @@
+"""Integration-method behaviour of the transient engine (trap vs BE)."""
+
+import numpy as np
+import pytest
+
+from repro.spice import Circuit, PulseWave, transient_analysis
+
+
+def rc_circuit(tau=1e-3):
+    c = Circuit("rc")
+    c.V("vin", "in", "0", waveform=PulseWave(0, 1, delay=0, rise=1e-9, fall=1e-9,
+                                             width=100 * tau, period=200 * tau))
+    c.R("r", "in", "out", 1000)
+    c.C("c", "out", "0", tau / 1000)
+    return c
+
+
+def lc_tank():
+    c = Circuit("lc")
+    c.I("kick", "0", "top", waveform=PulseWave(0, 1e-3, delay=0, rise=1e-12,
+                                               fall=1e-12, width=5e-9, period=1.0))
+    c.C("c", "top", "0", 1e-9)
+    c.L("l", "top", "0", 1e-6)
+    return c
+
+
+class TestBackwardEuler:
+    def test_be_tracks_rc_response(self):
+        tau = 1e-3
+        res = transient_analysis(rc_circuit(tau), 5 * tau, tau / 200, method="be")
+        expected = 1 - np.exp(-res.t / tau)
+        assert np.max(np.abs(res.v("out") - expected)) < 0.01
+
+    def test_be_damps_lc_tank(self):
+        """BE is numerically dissipative: the LC oscillation must decay —
+        the classic reason trap is the default for RF circuits."""
+        period = 2 * np.pi * np.sqrt(1e-6 * 1e-9)
+        res = transient_analysis(lc_tank(), 20 * period, period / 60, method="be")
+        v = res.v("top")
+        n = len(v)
+        early = np.max(np.abs(v[n // 10: 2 * n // 10]))
+        late = np.max(np.abs(v[-n // 10:]))
+        assert late < 0.7 * early
+
+    def test_trap_preserves_lc_amplitude_where_be_does_not(self):
+        period = 2 * np.pi * np.sqrt(1e-6 * 1e-9)
+        res_trap = transient_analysis(lc_tank(), 20 * period, period / 60, method="trap")
+        res_be = transient_analysis(lc_tank(), 20 * period, period / 60, method="be")
+        n = len(res_trap.t)
+        late_trap = np.max(np.abs(res_trap.v("top")[-n // 10:]))
+        late_be = np.max(np.abs(res_be.v("top")[-n // 10:]))
+        assert late_trap > 1.3 * late_be
+
+
+class TestAccuracyOrder:
+    def test_trap_converges_faster_than_be(self):
+        """On a smooth drive, halving dt shrinks trap error ~4x, BE ~2x.
+
+        A sinusoidal source keeps the error purely from the integrator (a
+        pulse edge would add O(dt) sampling error that masks the order).
+        """
+        from repro.spice import SinWave
+
+        tau = 1e-3
+        omega = 1.0 / tau  # omega * tau = 1
+
+        def circuit():
+            c = Circuit("rc sin")
+            c.V("vin", "in", "0", waveform=SinWave(0.0, 1.0, omega / (2 * np.pi)))
+            c.R("r", "in", "out", 1000)
+            c.C("c", "out", "0", tau / 1000)
+            return c
+
+        def exact(t):
+            wt = omega * tau
+            forced = (np.sin(omega * t) - wt * np.cos(omega * t)) / (1 + wt**2)
+            return forced + wt / (1 + wt**2) * np.exp(-t / tau)
+
+        def max_error(method, dt):
+            res = transient_analysis(circuit(), 3 * tau, dt, method=method)
+            return np.max(np.abs(res.v("out") - exact(res.t)))
+
+        coarse, fine = tau / 20, tau / 40
+        ratio_trap = max_error("trap", coarse) / max_error("trap", fine)
+        ratio_be = max_error("be", coarse) / max_error("be", fine)
+        assert ratio_trap > 3.0  # second order
+        assert 1.5 < ratio_be < 3.0  # first order
+
+
+class TestInitialConditions:
+    def test_starts_from_operating_point(self):
+        c = Circuit("precharged")
+        c.V("v1", "a", "0", dc=2.0)
+        c.R("r", "a", "b", 1000)
+        c.C("c", "b", "0", 1e-9)
+        res = transient_analysis(c, 1e-6, 1e-8)
+        # DC op has the cap charged to 2 V; nothing should move.
+        np.testing.assert_allclose(res.v("b"), 2.0, atol=1e-9)
+
+    def test_supplied_op0_reused(self):
+        from repro.spice import dc_operating_point
+
+        c = Circuit("with op0")
+        c.V("v1", "a", "0", dc=1.0)
+        c.R("r", "a", "0", 100)
+        op = dc_operating_point(c)
+        res = transient_analysis(c, 1e-6, 1e-7, op0=op)
+        assert res.op0 is op

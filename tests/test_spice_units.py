@@ -1,0 +1,70 @@
+"""Tests for repro.spice.units."""
+
+import pytest
+
+from repro.spice.units import format_eng, parse_value
+
+
+class TestParseValue:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("10k", 1e4),
+            ("1.5u", 1.5e-6),
+            ("2meg", 2e6),
+            ("2MEG", 2e6),
+            ("100n", 1e-7),
+            ("3p", 3e-12),
+            ("5f", 5e-15),
+            ("4m", 4e-3),
+            ("1mil", 25.4e-6),
+            ("2.2K", 2200.0),
+            ("1e-9", 1e-9),
+            ("-3.3", -3.3),
+            (".5u", 0.5e-6),
+            ("1g", 1e9),
+            ("2t", 2e12),
+        ],
+    )
+    def test_suffixes(self, text, expected):
+        assert parse_value(text) == pytest.approx(expected, rel=1e-12)
+
+    def test_unit_letters_ignored(self):
+        assert parse_value("10pF") == pytest.approx(1e-11)
+        assert parse_value("2.2kOhm") == pytest.approx(2200.0)
+
+    def test_bare_unit_scale_one(self):
+        assert parse_value("5V") == 5.0
+
+    def test_numeric_passthrough(self):
+        assert parse_value(3) == 3.0
+        assert parse_value(2.5) == 2.5
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            parse_value("abc")
+        with pytest.raises(ValueError):
+            parse_value("")
+
+
+class TestFormatEng:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (2200.0, "2.2k"),
+            (1.5e-6, "1.5u"),
+            (0.0, "0"),
+            (3e6, "3M"),
+            (-4.7e-9, "-4.7n"),
+            (1e-15, "1f"),
+        ],
+    )
+    def test_values(self, value, expected):
+        assert format_eng(value) == expected
+
+    def test_unit_suffix(self):
+        assert format_eng(1e-12, "F") == "1pF"
+
+    def test_roundtrip(self):
+        for value in (1e-13, 4.7e-9, 2.2e3, 1.8):
+            assert parse_value(format_eng(value, digits=12)) == pytest.approx(value)

@@ -1,0 +1,42 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, spawn_generators
+
+
+def test_as_generator_from_int_is_deterministic():
+    a = as_generator(42).uniform(size=5)
+    b = as_generator(42).uniform(size=5)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_as_generator_passthrough():
+    rng = np.random.default_rng(7)
+    assert as_generator(rng) is rng
+
+
+def test_as_generator_none_gives_generator():
+    assert isinstance(as_generator(None), np.random.Generator)
+
+
+def test_spawn_generators_reproducible():
+    fam1 = [g.uniform() for g in spawn_generators(3, 4)]
+    fam2 = [g.uniform() for g in spawn_generators(3, 4)]
+    assert fam1 == fam2
+
+
+def test_spawn_generators_independent_streams():
+    gens = spawn_generators(0, 3)
+    draws = [g.uniform(size=10).tolist() for g in gens]
+    assert draws[0] != draws[1] != draws[2]
+
+
+def test_spawn_generators_count_validation():
+    with pytest.raises(ValueError):
+        spawn_generators(0, -1)
+
+
+def test_spawn_generators_zero_count():
+    assert spawn_generators(0, 0) == []

@@ -1,0 +1,53 @@
+"""Tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import format_duration, format_table
+
+
+class TestFormatDuration:
+    def test_paper_style_hours(self):
+        assert format_duration(216 * 3600 + 40 * 60 + 51) == "216h40m51s"
+
+    def test_minutes(self):
+        assert format_duration(21 * 60 + 19) == "21m19s"
+
+    def test_seconds_only(self):
+        assert format_duration(42) == "42s"
+
+    def test_zero(self):
+        assert format_duration(0) == "0s"
+
+    def test_rounds_fractional(self):
+        assert format_duration(59.6) == "1m0s"
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            format_duration(-1)
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["Algo", "Mean"], [["DE", 682.19], ["EasyBO", 689.87]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "Algo" in lines[0] and "Mean" in lines[0]
+        assert "682.19" in lines[2]
+
+    def test_title(self):
+        text = format_table(["A"], [[1]], title="Table I")
+        assert text.splitlines()[0] == "Table I"
+
+    def test_numeric_right_alignment(self):
+        text = format_table(["V"], [[1.0], [100.0]])
+        rows = text.splitlines()[2:]
+        assert rows[0] == "|   1.00 |"
+        assert rows[1] == "| 100.00 |"
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError, match="row 0"):
+            format_table(["A", "B"], [[1]])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["A"], [])
+        assert "A" in text

@@ -1,0 +1,75 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import check_bounds, check_finite, check_matrix, check_vector
+
+
+class TestCheckVector:
+    def test_accepts_list(self):
+        out = check_vector([1, 2, 3])
+        assert out.dtype == float
+        assert out.shape == (3,)
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError, match="must be 1-D"):
+            check_vector(np.zeros((2, 2)))
+
+    def test_enforces_size(self):
+        with pytest.raises(ValueError, match="length 4"):
+            check_vector([1, 2, 3], size=4)
+
+
+class TestCheckMatrix:
+    def test_promotes_vector_to_row(self):
+        out = check_matrix([1.0, 2.0], cols=2)
+        assert out.shape == (1, 2)
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError, match="must be 2-D"):
+            check_matrix(np.zeros((2, 2, 2)))
+
+    def test_enforces_cols(self):
+        with pytest.raises(ValueError, match="3 columns"):
+            check_matrix(np.zeros((4, 2)), cols=3)
+
+
+class TestCheckBounds:
+    def test_valid(self):
+        b = check_bounds([[0, 1], [-2, 5]])
+        assert b.shape == (2, 2)
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError, match="lower bound must be <"):
+            check_bounds([[1, 0]])
+
+    def test_rejects_equal(self):
+        with pytest.raises(ValueError):
+            check_bounds([[2, 2]])
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_bounds([[0, np.inf]])
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError, match=r"\(d, 2\)"):
+            check_bounds([0, 1])
+
+    def test_enforces_dim(self):
+        with pytest.raises(ValueError, match="3 rows"):
+            check_bounds([[0, 1]], dim=3)
+
+
+class TestCheckFinite:
+    def test_passes_finite(self):
+        arr = np.ones(3)
+        assert check_finite(arr) is arr
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            check_finite(np.array([1.0, np.nan]))
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            check_finite(np.array([np.inf]))
