@@ -31,9 +31,12 @@ from repro.core import (
     AsynchronousBatchBO,
     EasyBO,
     EvaluationResult,
+    FailurePolicy,
+    FaultInjectionProblem,
     Problem,
     RunResult,
     SequentialBO,
+    SimulationError,
     SynchronousBatchBO,
     make_algorithm,
     summarize_runs,
@@ -49,6 +52,9 @@ __all__ = [
     "AsynchronousBatchBO",
     "Problem",
     "EvaluationResult",
+    "FailurePolicy",
+    "FaultInjectionProblem",
+    "SimulationError",
     "RunResult",
     "summarize_runs",
     "__version__",

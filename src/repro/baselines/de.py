@@ -83,7 +83,11 @@ class DifferentialEvolution:
                     index_of[idx] = submitted
                     submitted += 1
                 completion = pool.wait_next()
-                foms[index_of.pop(completion.index)] = completion.result.fom
+                result = completion.result
+                # Failed evaluations lose the selection tournament outright.
+                foms[index_of.pop(completion.index)] = (
+                    result.fom if result.ok else -np.inf
+                )
                 done += 1
             return foms
 
@@ -112,6 +116,8 @@ class DifferentialEvolution:
             best_fom=best.fom,
             n_evaluations=len(pool.trace),
             wall_clock=pool.trace.makespan,
+            n_failures=pool.trace.n_failures,
+            n_retries=pool.trace.n_retries,
         )
 
     def _make_trial(self, population: np.ndarray, i: int) -> np.ndarray:

@@ -30,6 +30,12 @@ from repro.core.constrained import ConstrainedEasyBO, ConstrainedProblem, Constr
 from repro.core.cost_aware import CostAwareEasyBO
 from repro.core.doe import latin_hypercube, random_design
 from repro.core.easybo import ALGORITHM_FAMILIES, EasyBO, make_algorithm
+from repro.core.faults import (
+    FailurePolicy,
+    FaultInjectionProblem,
+    SimulationError,
+    run_with_policy,
+)
 from repro.core.optimizers import maximize_acquisition
 from repro.core.persistence import load_runs, run_from_dict, run_to_dict, save_runs
 from repro.core.portfolio import PortfolioBO
@@ -63,6 +69,10 @@ __all__ = [
     "Problem",
     "FunctionProblem",
     "EvaluationResult",
+    "FailurePolicy",
+    "FaultInjectionProblem",
+    "SimulationError",
+    "run_with_policy",
     "RunResult",
     "RunSummary",
     "summarize_runs",

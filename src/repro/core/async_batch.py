@@ -62,7 +62,7 @@ class AsynchronousBatchBO(BODriverBase):
         return self._propose(WeightedAcquisition(w), model=model)
 
     def run(self) -> RunResult:
-        pool = self.pool_factory(self.problem, self.batch_size)
+        pool = self._make_pool(self.batch_size)
         design = self._initial_design()
         issued = 0
 

@@ -20,6 +20,7 @@ from repro.core.acquisition import (
     sample_easybo_weight,
 )
 from repro.core.doe import random_design
+from repro.core.faults import FailurePolicy
 from repro.core.optimizers import maximize_acquisition
 from repro.core.problem import Problem
 from repro.core.results import RunResult
@@ -47,6 +48,10 @@ class BODriverBase:
         Callable ``(problem, n_workers) -> pool``; defaults to the
         simulated-clock :class:`VirtualWorkerPool`.  Pass
         :class:`~repro.sched.executor.ThreadWorkerPool` for real concurrency.
+    failure_policy:
+        :class:`~repro.core.faults.FailurePolicy` shared by the pool (retry
+        / timeout behaviour) and the driver (impute-or-drop of failed
+        evaluations).  Defaults to no retries with pessimistic imputation.
     """
 
     #: Subclasses set their display name (used in result rows).
@@ -62,6 +67,7 @@ class BODriverBase:
         pool_factory=None,
         acq_candidates: int = 2048,
         acq_restarts: int = 4,
+        failure_policy: FailurePolicy | None = None,
     ):
         if n_init < 2:
             raise ValueError("n_init must be >= 2 (the GP needs data)")
@@ -72,17 +78,58 @@ class BODriverBase:
         self.max_evals = int(max_evals)
         self.rng = as_generator(rng)
         self.pool_factory = pool_factory or VirtualWorkerPool
+        self.failure_policy = failure_policy or FailurePolicy()
         self.acq_candidates = int(acq_candidates)
         self.acq_restarts = int(acq_restarts)
         self.session = SurrogateSession(problem.bounds, rng=self.rng)
 
     # ------------------------------------------------------------- helpers
+    def _make_pool(self, n_workers: int):
+        """Build the evaluation pool, passing the failure policy through.
+
+        Custom ``pool_factory`` callables that predate failure handling may
+        only accept ``(problem, n_workers)``; fall back to that signature.
+        """
+        try:
+            return self.pool_factory(
+                self.problem, n_workers, policy=self.failure_policy
+            )
+        except TypeError:
+            return self.pool_factory(self.problem, n_workers)
+
     def _initial_design(self) -> np.ndarray:
         return random_design(self.problem.bounds, self.n_init, self.rng)
 
-    def _absorb(self, completion: Completion) -> None:
-        """Fold a finished evaluation into the surrogate dataset."""
-        self.session.add(completion.x, completion.result.fom)
+    def _absorb(self, completion: Completion) -> bool:
+        """Fold a finished evaluation into the surrogate dataset.
+
+        Failed evaluations follow the failure policy: ``"impute"`` records a
+        pessimistic FOM at the failed point (so the surrogate steers away
+        from it without poisoning the GP), ``"drop"`` records nothing — the
+        budget slot is spent and the next proposal sees an unchanged
+        posterior.  Returns True when an observation was added, so
+        subclasses can keep side datasets aligned with the session.
+        """
+        result = completion.result
+        if result.ok:
+            self.session.add(completion.x, result.fom)
+            return True
+        if (
+            self.failure_policy.on_failure == "impute"
+            and self.session.n_observations > 0
+        ):
+            self.session.add(completion.x, self._imputed_fom())
+            return True
+        return False
+
+    def _imputed_fom(self) -> float:
+        """Pessimistic stand-in FOM for a failed evaluation."""
+        policy = self.failure_policy
+        if policy.impute_value is not None:
+            return float(policy.impute_value)
+        y = self.session.y
+        span = float(y.max() - y.min())
+        return float(y.min() - policy.impute_margin * max(span, 1.0))
 
     def _propose(self, acquisition, model=None) -> np.ndarray:
         """Maximize an acquisition on the unit cube; return a physical point."""
@@ -101,15 +148,25 @@ class BODriverBase:
         return float(self.session.output.transform(np.array([self.session.best_y]))[0])
 
     def _package(self, pool) -> RunResult:
-        best = pool.trace.best_record()
+        trace = pool.trace
+        if trace.has_success:
+            best = trace.best_record()
+            best_x, best_fom = best.x.copy(), best.fom
+        else:
+            # Every single evaluation failed; report an empty incumbent
+            # rather than crashing a run that survived to the end.
+            best_x = np.full(self.problem.dim, np.nan)
+            best_fom = float("-inf")
         return RunResult(
             algorithm=self.algorithm_name,
             problem=self.problem.name,
-            trace=pool.trace,
-            best_x=best.x.copy(),
-            best_fom=best.fom,
-            n_evaluations=len(pool.trace),
-            wall_clock=pool.trace.makespan,
+            trace=trace,
+            best_x=best_x,
+            best_fom=best_fom,
+            n_evaluations=len(trace),
+            wall_clock=trace.makespan,
+            n_failures=trace.n_failures,
+            n_retries=trace.n_retries,
         )
 
     def run(self) -> RunResult:  # pragma: no cover - interface
@@ -159,14 +216,19 @@ class SequentialBO(BODriverBase):
         return UpperConfidenceBound(self.ucb_kappa)
 
     def run(self) -> RunResult:
-        pool = self.pool_factory(self.problem, 1)
+        pool = self._make_pool(1)
         for x in self._initial_design():
             pool.submit(x)
             self._absorb(pool.wait_next())
         evaluations = self.n_init
         while evaluations < self.max_evals:
-            self.session.refit()
-            x_next = self._propose(self._make_acquisition())
+            if self.session.n_observations < 2:
+                # Failures (under a "drop" policy) can leave the GP with too
+                # little data; explore uniformly until it has a footing.
+                x_next = random_design(self.problem.bounds, 1, self.rng)[0]
+            else:
+                self.session.refit()
+                x_next = self._propose(self._make_acquisition())
             pool.submit(x_next)
             self._absorb(pool.wait_next())
             evaluations += 1

@@ -122,10 +122,26 @@ class ConstrainedEasyBO(AsynchronousBatchBO):
         self._slacks: list[np.ndarray] = []
 
     # -------------------------------------------------------------- dataset
-    def _absorb(self, completion) -> None:
-        super()._absorb(completion)
-        slack = self.problem.constraint_vector(completion.result)
+    def _absorb(self, completion) -> bool:
+        added = super()._absorb(completion)
+        if not added:
+            return False
+        if completion.result.ok:
+            slack = self.problem.constraint_vector(completion.result)
+        else:
+            # Imputed failure: no metrics to read slacks from.  Treat the
+            # point as maximally infeasible so the feasibility model also
+            # steers away from it.
+            slack = self._pessimistic_slack()
         self._slacks.append(slack)
+        return True
+
+    def _pessimistic_slack(self) -> np.ndarray:
+        n = len(self._constraint_models)
+        if self._slacks:
+            worst = np.vstack(self._slacks).min(axis=0)
+            return np.minimum(worst, -np.abs(worst) - 1.0)
+        return np.full(n, -1.0)
 
     def _fit_constraints(self) -> None:
         U = self.session.transform.to_unit(self.session.X)

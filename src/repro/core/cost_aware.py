@@ -52,9 +52,13 @@ class CostAwareEasyBO(AsynchronousBatchBO):
         self._log_costs: list[float] = []
 
     # -------------------------------------------------------------- dataset
-    def _absorb(self, completion) -> None:
-        super()._absorb(completion)
-        self._log_costs.append(float(np.log(max(completion.result.cost, 1e-9))))
+    def _absorb(self, completion) -> bool:
+        added = super()._absorb(completion)
+        if added:
+            # Failed evaluations still report the (possibly truncated) time
+            # they occupied the worker, which is exactly the cost to model.
+            self._log_costs.append(float(np.log(max(completion.result.cost, 1e-9))))
+        return added
 
     def _fit_cost_model(self) -> None:
         U = self.session.transform.to_unit(self.session.X)

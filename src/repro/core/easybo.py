@@ -42,6 +42,10 @@ class EasyBO:
         unpenalized ablations ``"async-nopen"`` / ``"sync-nopen"``.
     n_init / max_evals / rng / pool_factory:
         Forwarded to the underlying driver (paper defaults: 20 / 150).
+    failure_policy:
+        Optional :class:`~repro.core.faults.FailurePolicy` (forwarded like
+        any driver kwarg): retries/timeouts for the pool, impute-or-drop
+        for the driver.  Defaults to no retries, pessimistic imputation.
     """
 
     def __init__(

@@ -1,0 +1,318 @@
+"""Failure-aware evaluation: policies, retry execution, and fault injection.
+
+Real analog flows lose simulator jobs routinely — licenses drop, netlists
+fail to converge, queues hang.  The paper's asynchronous loop (Alg. 1) only
+pays off if a failed evaluation costs one worker-slot, not the whole run.
+This module centralizes everything both worker pools and all drivers share
+about failure handling:
+
+* :class:`FailurePolicy` — what to do when an evaluation crashes, returns a
+  non-finite FOM, or exceeds its timeout: how many times to retry (with
+  backoff), and whether the driver should impute a pessimistic FOM for the
+  point or drop it and re-propose.
+* :class:`SimulationError` — the exception simulators should raise for a
+  recoverable failure; it can carry the simulated seconds burned before the
+  crash so the virtual clock stays honest.
+* :func:`run_with_policy` — the retry loop both pools use.  It never raises:
+  every outcome, however poisoned, comes back as an
+  :class:`~repro.core.problem.EvaluationResult` with an explicit status.
+* :class:`FaultInjectionProblem` — a deterministic, seedable wrapper that
+  injects crashes, NaN outputs, and slowdowns into any problem; the fault
+  tests and ``benchmarks/bench_faults.py`` are built on it.
+
+The division of labour: pools *contain* failures (retry, time out, record),
+drivers *interpret* them (impute or drop, per the policy).  The surrogate
+never sees a non-finite observation — :meth:`SurrogateSession.add` enforces
+that independently.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time as _time
+
+import numpy as np
+
+from repro.core.problem import (
+    STATUS_CRASHED,
+    STATUS_NAN,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    EvaluationResult,
+    Problem,
+)
+from repro.utils.rng import as_generator
+
+__all__ = [
+    "FailurePolicy",
+    "SimulationError",
+    "run_with_policy",
+    "FaultInjectionProblem",
+]
+
+#: Driver-side reactions to an evaluation that stayed failed after retries.
+FAILURE_ACTIONS = ("impute", "drop")
+
+
+class SimulationError(RuntimeError):
+    """A recoverable simulator failure.
+
+    Parameters
+    ----------
+    message:
+        Human-readable cause, recorded in the trace.
+    cost:
+        Simulated seconds the worker burned before the crash (virtual-clock
+        pools charge this instead of :attr:`FailurePolicy.failure_cost`).
+    """
+
+    def __init__(self, message: str = "simulation failed", *, cost: float | None = None):
+        super().__init__(message)
+        self.cost = cost
+
+
+@dataclasses.dataclass(frozen=True)
+class FailurePolicy:
+    """How pools and drivers respond to failed evaluations.
+
+    Attributes
+    ----------
+    max_retries:
+        Crashed/NaN evaluations are re-run up to this many extra times on
+        the same worker before being declared failed.  Timeouts are never
+        retried in place (the worker is needed back).
+    retry_backoff:
+        Seconds to wait before retry attempt ``k`` (charged as
+        ``retry_backoff * k``): simulated seconds on the virtual clock,
+        real sleep on the thread pool.
+    timeout:
+        Per-evaluation time limit in seconds (simulated cost for the
+        virtual pool, wall-clock for the thread pool).  ``None`` disables.
+    on_failure:
+        ``"impute"`` — the driver records a pessimistic FOM at the failed
+        point so the surrogate avoids it (Volk et al., 2024 style);
+        ``"drop"`` — the point never reaches the surrogate and the budget
+        slot is simply spent (the driver re-proposes from an unchanged
+        posterior).
+    impute_value:
+        Fixed FOM to impute; ``None`` derives a pessimistic value from the
+        data (worst observed minus ``impute_margin`` times the observed
+        range).
+    impute_margin:
+        Margin factor for the derived pessimistic value.
+    failure_cost:
+        Simulated seconds charged for a crash whose exception carries no
+        cost of its own.
+    """
+
+    max_retries: int = 0
+    retry_backoff: float = 0.0
+    timeout: float | None = None
+    on_failure: str = "impute"
+    impute_value: float | None = None
+    impute_margin: float = 1.0
+    failure_cost: float = 0.0
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.retry_backoff < 0:
+            raise ValueError("retry_backoff must be non-negative")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
+        if self.on_failure not in FAILURE_ACTIONS:
+            raise ValueError(
+                f"on_failure must be one of {FAILURE_ACTIONS}, got {self.on_failure!r}"
+            )
+        if self.failure_cost < 0:
+            raise ValueError("failure_cost must be non-negative")
+
+
+def _sanitize(result) -> EvaluationResult:
+    """Coerce whatever ``problem.evaluate`` returned into a safe result.
+
+    A simulator that hands back a NaN/inf FOM or cost (bypassing
+    :class:`EvaluationResult` validation by mutating fields) must surface as
+    an explicit failure, never as a poisoned observation.
+    """
+    if not isinstance(result, EvaluationResult):
+        return EvaluationResult.failed(
+            f"evaluate returned {type(result).__name__}, not EvaluationResult"
+        )
+    if not np.isfinite(result.cost) or result.cost < 0:
+        return EvaluationResult.failed(
+            f"non-finite or negative cost {result.cost!r}", status=STATUS_NAN
+        )
+    if result.status == STATUS_OK and not np.isfinite(result.fom):
+        return EvaluationResult.failed(
+            f"non-finite fom {result.fom!r}",
+            status=STATUS_NAN,
+            cost=result.cost,
+            metrics=dict(result.metrics),
+        )
+    return result
+
+
+def run_with_policy(
+    problem,
+    x: np.ndarray,
+    policy: FailurePolicy,
+    *,
+    sleep=None,
+    cost_timeout: bool = False,
+) -> tuple[EvaluationResult, int, float]:
+    """Evaluate ``x`` under ``policy``; never raises.
+
+    Returns ``(result, attempts, elapsed)`` where ``elapsed`` is the total
+    simulated seconds the worker was occupied: every attempt's cost plus
+    backoff gaps.  Crashes and NaN outcomes are retried up to
+    ``policy.max_retries`` times; timeouts are terminal.
+
+    Parameters
+    ----------
+    sleep:
+        Real backoff function (``time.sleep`` on the thread pool); ``None``
+        on the virtual pool, where backoff only advances the simulated clock.
+    cost_timeout:
+        Enforce ``policy.timeout`` against ``result.cost`` (virtual-clock
+        semantics).  The thread pool enforces its timeout on real wall-clock
+        in ``wait_next`` instead.
+    """
+    elapsed = 0.0
+    attempts = 0
+    failure = EvaluationResult.failed("not attempted")
+    while attempts <= policy.max_retries:
+        attempts += 1
+        try:
+            result = _sanitize(problem.evaluate(x))
+        except Exception as exc:  # noqa: BLE001 — the whole point is containment
+            burned = getattr(exc, "cost", None)
+            burned = policy.failure_cost if burned is None else float(burned)
+            if cost_timeout and policy.timeout is not None and burned > policy.timeout:
+                elapsed += policy.timeout
+                return (
+                    EvaluationResult.failed(
+                        f"timed out after {policy.timeout:g}s "
+                        f"(then {type(exc).__name__}: {exc})",
+                        status=STATUS_TIMEOUT,
+                        cost=policy.timeout,
+                    ),
+                    attempts,
+                    elapsed,
+                )
+            elapsed += burned
+            failure = EvaluationResult.failed(
+                f"{type(exc).__name__}: {exc}", status=STATUS_CRASHED, cost=burned
+            )
+        else:
+            if cost_timeout and policy.timeout is not None and result.cost > policy.timeout:
+                # The job would still be running at the deadline: charge the
+                # timeout, hand the worker back, never retry in place.
+                elapsed += policy.timeout
+                return (
+                    EvaluationResult.failed(
+                        f"timed out after {policy.timeout:g}s "
+                        f"(evaluation needed {result.cost:g}s)",
+                        status=STATUS_TIMEOUT,
+                        cost=policy.timeout,
+                    ),
+                    attempts,
+                    elapsed,
+                )
+            elapsed += result.cost
+            if result.ok:
+                return result, attempts, elapsed
+            failure = result
+        if attempts <= policy.max_retries:
+            backoff = policy.retry_backoff * attempts
+            elapsed += backoff
+            if sleep is not None and backoff > 0:
+                sleep(backoff)
+    return failure, attempts, elapsed
+
+
+class FaultInjectionProblem(Problem):
+    """Deterministic, seedable fault injection around any problem.
+
+    Each evaluation draws once from its own RNG stream and, per the
+    configured rates, either raises :class:`SimulationError` (crash), returns
+    a result whose FOM has been poisoned to NaN (bad simulator output), or
+    inflates the evaluation's cost by ``slowdown_factor`` (a job that would
+    hang past any sensible timeout).  Outcomes are a pure function of the
+    seed and the call sequence, so fault scenarios replay exactly.
+
+    Parameters
+    ----------
+    problem:
+        The wrapped problem.
+    crash_rate / nan_rate / slowdown_rate:
+        Per-evaluation probabilities of each fault (must sum to <= 1).
+    slowdown_factor:
+        Multiplier applied to the evaluation's cost on a slowdown.
+    crash_cost:
+        Simulated seconds a crash burns before failing.
+    real_slowdown:
+        Extra *real* seconds to sleep on a slowdown — exercises the thread
+        pool's wall-clock timeout.
+    rng:
+        Seed or generator for the fault stream.
+    """
+
+    def __init__(
+        self,
+        problem: Problem,
+        *,
+        crash_rate: float = 0.0,
+        nan_rate: float = 0.0,
+        slowdown_rate: float = 0.0,
+        slowdown_factor: float = 10.0,
+        crash_cost: float = 0.0,
+        real_slowdown: float = 0.0,
+        rng=None,
+    ):
+        rates = (crash_rate, nan_rate, slowdown_rate)
+        if any(r < 0 for r in rates) or sum(rates) > 1.0 + 1e-12:
+            raise ValueError("fault rates must be non-negative and sum to <= 1")
+        if slowdown_factor < 1:
+            raise ValueError("slowdown_factor must be >= 1")
+        self.problem = problem
+        self.crash_rate = float(crash_rate)
+        self.nan_rate = float(nan_rate)
+        self.slowdown_rate = float(slowdown_rate)
+        self.slowdown_factor = float(slowdown_factor)
+        self.crash_cost = float(crash_cost)
+        self.real_slowdown = float(real_slowdown)
+        self.rng = as_generator(rng)
+        self.name = f"faulty({problem.name})"
+        self.n_calls = 0
+        self.n_crashes = 0
+        self.n_nans = 0
+        self.n_slowdowns = 0
+
+    @property
+    def bounds(self) -> np.ndarray:
+        return self.problem.bounds
+
+    @property
+    def n_faults(self) -> int:
+        return self.n_crashes + self.n_nans + self.n_slowdowns
+
+    def evaluate(self, x: np.ndarray) -> EvaluationResult:
+        self.n_calls += 1
+        u = float(self.rng.uniform())
+        if u < self.crash_rate:
+            self.n_crashes += 1
+            raise SimulationError("injected simulator crash", cost=self.crash_cost)
+        result = self.problem.evaluate(x)
+        if u < self.crash_rate + self.nan_rate:
+            self.n_nans += 1
+            # Poison the finished result the way a buggy simulator would:
+            # mutate past construction-time validation.
+            result.fom = float("nan")
+            return result
+        if u < self.crash_rate + self.nan_rate + self.slowdown_rate:
+            self.n_slowdowns += 1
+            if self.real_slowdown > 0:
+                _time.sleep(self.real_slowdown)
+            return dataclasses.replace(result, cost=result.cost * self.slowdown_factor)
+        return result

@@ -19,7 +19,11 @@ from repro.sched.trace import EvalRecord, ExecutionTrace
 
 __all__ = ["run_to_dict", "run_from_dict", "save_runs", "load_runs"]
 
-_FORMAT_VERSION = 1
+#: Version 2 added failure semantics: per-record status/error/attempts and
+#: run-level failure counters.  Version-1 files (no failures recorded) load
+#: with every record treated as a success.
+_FORMAT_VERSION = 2
+_READABLE_VERSIONS = frozenset({1, 2})
 
 
 def run_to_dict(run: RunResult) -> dict:
@@ -32,17 +36,22 @@ def run_to_dict(run: RunResult) -> dict:
         "best_fom": run.best_fom,
         "n_evaluations": run.n_evaluations,
         "wall_clock": run.wall_clock,
+        "n_failures": run.n_failures,
+        "n_retries": run.n_retries,
         "n_workers": run.trace.n_workers,
         "records": [
             {
                 "index": r.index,
                 "worker": r.worker,
                 "x": r.x.tolist(),
-                "fom": r.fom,
+                "fom": None if not np.isfinite(r.fom) else r.fom,
                 "issue_time": r.issue_time,
                 "finish_time": r.finish_time,
                 "feasible": r.feasible,
                 "batch": r.batch,
+                "status": r.status,
+                "error": r.error,
+                "attempts": r.attempts,
             }
             for r in run.trace.records
         ],
@@ -52,7 +61,7 @@ def run_to_dict(run: RunResult) -> dict:
 def run_from_dict(data: dict) -> RunResult:
     """Rebuild a :class:`RunResult` from :func:`run_to_dict` output."""
     version = data.get("version")
-    if version != _FORMAT_VERSION:
+    if version not in _READABLE_VERSIONS:
         raise ValueError(f"unsupported run format version {version!r}")
     trace = ExecutionTrace(int(data["n_workers"]))
     for r in data["records"]:
@@ -61,11 +70,14 @@ def run_from_dict(data: dict) -> RunResult:
                 index=int(r["index"]),
                 worker=int(r["worker"]),
                 x=np.asarray(r["x"], dtype=float),
-                fom=float(r["fom"]),
+                fom=float("nan") if r["fom"] is None else float(r["fom"]),
                 issue_time=float(r["issue_time"]),
                 finish_time=float(r["finish_time"]),
                 feasible=bool(r["feasible"]),
                 batch=r["batch"] if r["batch"] is None else int(r["batch"]),
+                status=str(r.get("status", "ok")),
+                error=r.get("error"),
+                attempts=int(r.get("attempts", 1)),
             )
         )
     return RunResult(
@@ -76,6 +88,8 @@ def run_from_dict(data: dict) -> RunResult:
         best_fom=float(data["best_fom"]),
         n_evaluations=int(data["n_evaluations"]),
         wall_clock=float(data["wall_clock"]),
+        n_failures=int(data.get("n_failures", 0)),
+        n_retries=int(data.get("n_retries", 0)),
     )
 
 
@@ -94,7 +108,7 @@ def save_runs(path, grid: dict[str, list[RunResult]]) -> None:
 def load_runs(path) -> dict[str, list[RunResult]]:
     """Read back a grid written by :func:`save_runs`."""
     payload = json.loads(pathlib.Path(path).read_text())
-    if payload.get("version") != _FORMAT_VERSION:
+    if payload.get("version") not in _READABLE_VERSIONS:
         raise ValueError(f"unsupported grid format version {payload.get('version')!r}")
     return {
         label: [run_from_dict(d) for d in runs]

@@ -63,12 +63,21 @@ class PortfolioBO(BODriverBase):
         return weights / weights.sum()
 
     def run(self) -> RunResult:
-        pool = self.pool_factory(self.problem, 1)
+        pool = self._make_pool(1)
         for x in self._initial_design():
             pool.submit(x)
             self._absorb(pool.wait_next())
         evaluations = self.n_init
         while evaluations < self.max_evals:
+            if self.session.n_observations < 2:
+                # Dropped failures can starve the GP; explore uniformly
+                # (no Hedge update — no nominees were scored).
+                from repro.core.doe import random_design
+
+                pool.submit(random_design(self.problem.bounds, 1, self.rng)[0])
+                self._absorb(pool.wait_next())
+                evaluations += 1
+                continue
             model = self.session.refit()
             nominees = [self._propose(acq, model=model) for acq in self._members()]
             probs = self._probabilities()

@@ -15,7 +15,25 @@ import numpy as np
 
 from repro.utils.validation import check_bounds, check_vector
 
-__all__ = ["EvaluationResult", "Problem", "FunctionProblem"]
+__all__ = [
+    "EvaluationResult",
+    "Problem",
+    "FunctionProblem",
+    "STATUS_OK",
+    "STATUS_CRASHED",
+    "STATUS_NAN",
+    "STATUS_TIMEOUT",
+    "FAILURE_STATUSES",
+]
+
+#: Evaluation outcome statuses.  ``STATUS_OK`` is a usable observation;
+#: everything else is a failure the driver must impute or drop.
+STATUS_OK = "ok"
+STATUS_CRASHED = "crashed"
+STATUS_NAN = "nan"
+STATUS_TIMEOUT = "timeout"
+FAILURE_STATUSES = frozenset({STATUS_CRASHED, STATUS_NAN, STATUS_TIMEOUT})
+_VALID_STATUSES = frozenset({STATUS_OK}) | FAILURE_STATUSES
 
 
 @dataclasses.dataclass
@@ -25,27 +43,66 @@ class EvaluationResult:
     Attributes
     ----------
     fom:
-        Figure of merit (higher is better).  Failed simulations must be
-        encoded as a finite penalty value, never NaN.
+        Figure of merit (higher is better).  Must be finite when
+        ``status == "ok"``; failed results carry NaN and never reach the
+        surrogate.
     metrics:
         Raw performance numbers behind the FOM (gain/UGF/PM, PAE/Pout...).
     cost:
         Simulation time in seconds charged to the worker that ran it.
     feasible:
-        False when the design failed to simulate or missed a hard validity
-        check; the FOM then holds the penalty value.
+        False when the design missed a hard validity check; the FOM then
+        holds the penalty value (still a usable, finite observation —
+        distinct from ``status != "ok"``, which is a *failed* evaluation).
+    status:
+        ``"ok"``, or one of the failure statuses ``"crashed"`` / ``"nan"``
+        / ``"timeout"``.
+    error:
+        Human-readable failure cause (``None`` for successes).
     """
 
     fom: float
     metrics: dict[str, float] = dataclasses.field(default_factory=dict)
     cost: float = 1.0
     feasible: bool = True
+    status: str = STATUS_OK
+    error: str | None = None
 
     def __post_init__(self):
-        if not np.isfinite(self.fom):
+        if self.status not in _VALID_STATUSES:
+            raise ValueError(
+                f"status must be one of {sorted(_VALID_STATUSES)}, got {self.status!r}"
+            )
+        if self.status == STATUS_OK and not np.isfinite(self.fom):
             raise ValueError(f"fom must be finite, got {self.fom}")
-        if self.cost < 0:
-            raise ValueError(f"cost must be non-negative, got {self.cost}")
+        if not np.isfinite(self.cost) or self.cost < 0:
+            raise ValueError(f"cost must be finite and non-negative, got {self.cost}")
+
+    @property
+    def ok(self) -> bool:
+        """True when this is a usable observation (status ``"ok"``)."""
+        return self.status == STATUS_OK
+
+    @classmethod
+    def failed(
+        cls,
+        error: str,
+        *,
+        status: str = STATUS_CRASHED,
+        cost: float = 0.0,
+        metrics: dict[str, float] | None = None,
+    ) -> "EvaluationResult":
+        """A failed-evaluation record (NaN FOM, infeasible, explicit cause)."""
+        if status not in FAILURE_STATUSES:
+            raise ValueError(f"failed() needs a failure status, got {status!r}")
+        return cls(
+            fom=float("nan"),
+            metrics=metrics or {},
+            cost=cost,
+            feasible=False,
+            status=status,
+            error=str(error),
+        )
 
 
 class Problem(abc.ABC):

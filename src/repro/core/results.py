@@ -19,7 +19,13 @@ __all__ = ["RunResult", "RunSummary", "summarize_runs"]
 
 @dataclasses.dataclass
 class RunResult:
-    """Outcome of one optimization run."""
+    """Outcome of one optimization run.
+
+    ``n_evaluations`` counts every issued evaluation, failed ones included
+    (the budget they consumed is real); ``n_failures`` and ``n_retries``
+    break out how many of those failed outright and how many extra attempts
+    the retry policy spent.
+    """
 
     algorithm: str
     problem: str
@@ -28,6 +34,8 @@ class RunResult:
     best_fom: float
     n_evaluations: int
     wall_clock: float  # simulated (or real) seconds spent on evaluation
+    n_failures: int = 0
+    n_retries: int = 0
 
     @property
     def best_curve(self):
@@ -39,6 +47,8 @@ class RunResult:
             raise ValueError("n_evaluations must be non-negative")
         if self.wall_clock < 0:
             raise ValueError("wall_clock must be non-negative")
+        if self.n_failures < 0 or self.n_retries < 0:
+            raise ValueError("failure counters must be non-negative")
 
 
 @dataclasses.dataclass

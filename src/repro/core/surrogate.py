@@ -21,7 +21,7 @@ from repro.gp import (
     fit_hyperparameters,
 )
 from repro.utils.rng import as_generator
-from repro.utils.validation import check_matrix, check_vector
+from repro.utils.validation import check_finite, check_matrix, check_vector
 
 __all__ = ["SurrogateSession"]
 
@@ -84,14 +84,31 @@ class SurrogateSession:
         return self._X[self.best_index].copy()
 
     def add(self, x, y_value: float) -> None:
-        """Record one observation (does not refit — call :meth:`refit`)."""
-        x = check_vector(x, "x", size=self.dim)
+        """Record one observation (does not refit — call :meth:`refit`).
+
+        Rejects NaN/inf in either the point or the value: a poisoned
+        observation would silently corrupt every subsequent GP fit, so
+        failed evaluations must be imputed or dropped *before* this call
+        (see :class:`~repro.core.faults.FailurePolicy`).
+        """
+        x = check_finite(check_vector(x, "x", size=self.dim), "x")
+        y_value = float(y_value)
+        if not np.isfinite(y_value):
+            raise ValueError(
+                f"observation must be finite, got {y_value!r}; failed "
+                "evaluations must be imputed or dropped, never added raw"
+            )
         self._X = np.vstack([self._X, x])
-        self._y = np.append(self._y, float(y_value))
+        self._y = np.append(self._y, y_value)
 
     def add_batch(self, X, y) -> None:
-        X = check_matrix(X, "X", cols=self.dim)
+        X = check_finite(check_matrix(X, "X", cols=self.dim), "X")
         y = check_vector(y, "y", size=X.shape[0])
+        if not np.all(np.isfinite(y)):
+            raise ValueError(
+                "observations must be finite; failed evaluations must be "
+                "imputed or dropped, never added raw"
+            )
         self._X = np.vstack([self._X, X])
         self._y = np.concatenate([self._y, y])
 

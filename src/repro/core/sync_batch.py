@@ -256,7 +256,7 @@ class SynchronousBatchBO(BODriverBase):
 
     # -------------------------------------------------------------- main loop
     def run(self) -> RunResult:
-        pool = self.pool_factory(self.problem, self.batch_size)
+        pool = self._make_pool(self.batch_size)
         design = self._initial_design()
         batch_index = 0
         # Initial design goes out in synchronous batches too.
@@ -269,7 +269,15 @@ class SynchronousBatchBO(BODriverBase):
         evaluations = self.n_init
         while evaluations < self.max_evals:
             n_points = min(self.batch_size, self.max_evals - evaluations)
-            for x in self._select_batch(n_points):
+            if self.session.n_observations < 2:
+                # Too many dropped failures for the GP: fall back to uniform
+                # exploration for this batch.
+                from repro.core.doe import random_design
+
+                points = list(random_design(self.problem.bounds, n_points, self.rng))
+            else:
+                points = self._select_batch(n_points)
+            for x in points:
                 pool.submit(x, batch=batch_index)
             for completion in pool.wait_all():
                 self._absorb(completion)

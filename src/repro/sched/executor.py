@@ -10,36 +10,58 @@ Python testbenches in this repository are GIL-bound, so for *experiments* the
 virtual pool is both faster and deterministic; the thread pool exists to
 demonstrate the asynchronous mechanism end to end and to host user problems
 that wrap real simulators.
+
+Failure containment
+-------------------
+Each evaluation runs in its own daemon thread under the pool's
+:class:`~repro.core.faults.FailurePolicy`:
+
+* An exception or NaN output is retried in the worker thread (with real
+  backoff sleeps) and, once retries are exhausted, surfaces through
+  ``wait_next`` as a failed :class:`Completion` — it never raises into the
+  driver, and the worker is only freed *after* the outcome is resolved and
+  traced.
+* When ``policy.timeout`` is set, ``wait_next`` enforces it on the real
+  clock: a hung evaluation is *abandoned* — its logical worker slot is
+  freed immediately and a ``"timeout"`` completion returned — while the
+  orphaned daemon thread finishes (or hangs) harmlessly in the background;
+  its late result, if any, is discarded.  Because threads are per-task
+  rather than a fixed executor, an abandoned job cannot starve the
+  remaining B-1 workers.
 """
 
 from __future__ import annotations
 
-import concurrent.futures
+import queue
 import threading
 import time
 
 import numpy as np
 
+from repro.core.faults import FailurePolicy, run_with_policy
+from repro.core.problem import STATUS_TIMEOUT, EvaluationResult
 from repro.sched.trace import EvalRecord, ExecutionTrace
-from repro.sched.workers import Completion
+from repro.sched.workers import Completion, _problem_dim
 
 __all__ = ["ThreadWorkerPool"]
 
 
 class ThreadWorkerPool:
-    """Concurrent evaluation pool backed by ``ThreadPoolExecutor``."""
+    """Concurrent evaluation pool with one daemon thread per in-flight task."""
 
-    def __init__(self, problem, n_workers: int):
+    def __init__(self, problem, n_workers: int, *, policy: FailurePolicy | None = None):
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         self.problem = problem
         self.n_workers = int(n_workers)
+        self.policy = policy or FailurePolicy()
         self.trace = ExecutionTrace(n_workers)
-        self._executor = concurrent.futures.ThreadPoolExecutor(max_workers=n_workers)
         self._lock = threading.Lock()
+        self._results: queue.SimpleQueue = queue.SimpleQueue()
         self._t0 = time.monotonic()
         self._next_index = 0
-        self._futures: dict[concurrent.futures.Future, dict] = {}
+        self._tasks: dict[int, dict] = {}
+        self._abandoned: set[int] = set()
         self._free_workers = list(range(n_workers - 1, -1, -1))
 
     # ------------------------------------------------------------ inspection
@@ -56,13 +78,18 @@ class ThreadWorkerPool:
     @property
     def busy_count(self) -> int:
         with self._lock:
-            return len(self._futures)
+            return len(self._tasks)
 
     def pending_points(self) -> np.ndarray:
+        """In-flight design points in issue order; shape ``(n_busy, dim)``.
+
+        Always two-dimensional — ``(0, dim)`` when idle — so the pending-
+        point hallucination can consume it without special cases.
+        """
         with self._lock:
-            metas = sorted(self._futures.values(), key=lambda m: m["index"])
+            metas = sorted(self._tasks.values(), key=lambda m: m["index"])
         if not metas:
-            return np.empty((0, 0))
+            return np.empty((0, _problem_dim(self.problem)))
         return np.vstack([m["x"] for m in metas])
 
     # ------------------------------------------------------------- operation
@@ -76,34 +103,85 @@ class ThreadWorkerPool:
             self._next_index += 1
         x = np.asarray(x, dtype=float).copy()
         issue_time = self.now
-        future = self._executor.submit(self.problem.evaluate, x)
+        deadline = None if self.policy.timeout is None else issue_time + self.policy.timeout
+        thread = threading.Thread(
+            target=self._run_task, args=(index, x), daemon=True, name=f"eval-{index}"
+        )
         with self._lock:
-            self._futures[future] = {
+            self._tasks[index] = {
                 "index": index,
                 "worker": worker,
                 "x": x,
                 "issue_time": issue_time,
                 "batch": batch,
+                "deadline": deadline,
+                "thread": thread,
             }
+        thread.start()
         return index
 
-    def wait_next(self) -> Completion:
-        """Block until any in-flight evaluation finishes and return it."""
-        with self._lock:
-            futures = list(self._futures)
-        if not futures:
-            raise RuntimeError("nothing is running")
-        done, _ = concurrent.futures.wait(
-            futures, return_when=concurrent.futures.FIRST_COMPLETED
+    def _run_task(self, index: int, x: np.ndarray) -> None:
+        """Worker-thread body: evaluate under the policy, post the outcome."""
+        result, attempts, _ = run_with_policy(
+            self.problem, x, self.policy, sleep=time.sleep
         )
-        # Among simultaneously-done futures pick the lowest issue index so
-        # behaviour is reproducible.
+        self._results.put((index, result, attempts))
+
+    def wait_next(self) -> Completion:
+        """Block until an in-flight evaluation finishes or times out.
+
+        Never raises on evaluation failure: crashed, NaN, and timed-out
+        evaluations come back as completions whose ``result`` carries the
+        failure status, after the outcome has been recorded in the trace
+        and the worker freed — in that order, so the pool stays consistent
+        even for failures.
+        """
+        while True:
+            with self._lock:
+                if not self._tasks:
+                    raise RuntimeError("nothing is running")
+                deadlines = [
+                    (m["deadline"], i)
+                    for i, m in self._tasks.items()
+                    if m["deadline"] is not None
+                ]
+            block = None
+            if deadlines:
+                block = max(min(deadlines)[0] - self.now, 0.0)
+            try:
+                index, result, attempts = self._results.get(timeout=block)
+            except queue.Empty:
+                # No completion before the earliest deadline: time that task
+                # out, abandoning its (possibly hung) thread.
+                expired = min(
+                    (pair for pair in deadlines if pair[0] <= self.now), default=None
+                )
+                if expired is None:
+                    continue
+                failure = EvaluationResult.failed(
+                    f"evaluation exceeded timeout of {self.policy.timeout:g}s",
+                    status=STATUS_TIMEOUT,
+                    cost=self.policy.timeout,
+                )
+                return self._complete(expired[1], failure, attempts=1, abandon=True)
+            with self._lock:
+                stale = index in self._abandoned
+                if stale:
+                    self._abandoned.discard(index)
+            if stale:
+                continue  # late result of a timed-out, abandoned task
+            return self._complete(index, result, attempts)
+
+    def _complete(
+        self, index: int, result: EvaluationResult, attempts: int, *, abandon: bool = False
+    ) -> Completion:
+        """Resolve one task: trace it, free its worker, hand it back."""
         with self._lock:
-            future = min(done, key=lambda f: self._futures[f]["index"])
-            meta = self._futures.pop(future)
+            meta = self._tasks.pop(index)
+            if abandon:
+                self._abandoned.add(index)
             self._free_workers.append(meta["worker"])
             self._free_workers.sort(reverse=True)
-        result = future.result()  # propagate evaluation exceptions
         finish_time = self.now
         completion = Completion(
             index=meta["index"],
@@ -123,6 +201,9 @@ class ThreadWorkerPool:
                 finish_time=finish_time,
                 feasible=result.feasible,
                 batch=meta["batch"],
+                status=result.status,
+                error=result.error,
+                attempts=attempts,
             )
         )
         return completion
@@ -134,8 +215,13 @@ class ThreadWorkerPool:
             completions.append(self.wait_next())
         return completions
 
-    def shutdown(self) -> None:
-        self._executor.shutdown(wait=True)
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work; optionally join live (non-abandoned) threads."""
+        if wait:
+            with self._lock:
+                threads = [m["thread"] for m in self._tasks.values()]
+            for thread in threads:
+                thread.join()
 
     def __enter__(self) -> "ThreadWorkerPool":
         return self

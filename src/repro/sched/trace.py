@@ -17,7 +17,13 @@ __all__ = ["EvalRecord", "ExecutionTrace"]
 
 @dataclasses.dataclass
 class EvalRecord:
-    """One completed evaluation."""
+    """One completed evaluation (successful or failed).
+
+    Failed evaluations (``status != "ok"``) carry a NaN ``fom``; every
+    derived statistic that consumes FOMs filters them out, while time-based
+    statistics (makespan, utilization, Gantt rows) keep them — the worker
+    was genuinely occupied.
+    """
 
     index: int
     worker: int
@@ -27,16 +33,25 @@ class EvalRecord:
     finish_time: float
     feasible: bool = True
     batch: int | None = None
+    status: str = "ok"
+    error: str | None = None
+    attempts: int = 1
 
     @property
     def duration(self) -> float:
         return self.finish_time - self.issue_time
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
 
     def __post_init__(self):
         if self.finish_time < self.issue_time:
             raise ValueError(
                 f"finish_time {self.finish_time} earlier than issue {self.issue_time}"
             )
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
 
 
 class ExecutionTrace:
@@ -53,6 +68,28 @@ class ExecutionTrace:
 
     def __len__(self) -> int:
         return len(self.records)
+
+    # ------------------------------------------------------------- failures
+    def successes(self) -> list[EvalRecord]:
+        """Records of evaluations that produced a usable observation."""
+        return [r for r in self.records if r.ok]
+
+    def failure_records(self) -> list[EvalRecord]:
+        """Records of failed evaluations (crashed / NaN / timed out)."""
+        return [r for r in self.records if not r.ok]
+
+    @property
+    def n_failures(self) -> int:
+        return sum(1 for r in self.records if not r.ok)
+
+    @property
+    def n_retries(self) -> int:
+        """Extra evaluation attempts beyond the first, across all records."""
+        return sum(r.attempts - 1 for r in self.records)
+
+    @property
+    def has_success(self) -> bool:
+        return any(r.ok for r in self.records)
 
     @property
     def makespan(self) -> float:
@@ -80,11 +117,12 @@ class ExecutionTrace:
 
         Returns ``(times, best)`` sorted by completion time; ``best[i]`` is
         the running maximum after the evaluation finishing at ``times[i]``.
-        This is the data behind the paper's Figs. 4 and 6.
+        This is the data behind the paper's Figs. 4 and 6.  Failed
+        evaluations contribute no FOM and are excluded.
         """
-        if not self.records:
+        if not self.has_success:
             return np.empty(0), np.empty(0)
-        order = sorted(self.records, key=lambda r: r.finish_time)
+        order = sorted(self.successes(), key=lambda r: r.finish_time)
         times = np.asarray([r.finish_time for r in order])
         best = np.maximum.accumulate(np.asarray([r.fom for r in order]))
         return times, best
@@ -104,7 +142,10 @@ class ExecutionTrace:
     def best_record(self) -> EvalRecord:
         if not self.records:
             raise ValueError("trace is empty")
-        return max(self.records, key=lambda r: r.fom)
+        successes = self.successes()
+        if not successes:
+            raise ValueError("trace has no successful evaluations")
+        return max(successes, key=lambda r: r.fom)
 
     def gantt_rows(self) -> list[list[tuple[float, float]]]:
         """Per-worker lists of (issue, finish) intervals (Fig. 1 data)."""
@@ -114,10 +155,10 @@ class ExecutionTrace:
         return rows
 
     def as_dataset(self) -> tuple[np.ndarray, np.ndarray]:
-        """All evaluated points and FOMs in completion order: ``(X, y)``."""
-        if not self.records:
-            raise ValueError("trace is empty")
-        order = sorted(self.records, key=lambda r: r.finish_time)
+        """Successful points and FOMs in completion order: ``(X, y)``."""
+        if not self.has_success:
+            raise ValueError("trace has no successful evaluations")
+        order = sorted(self.successes(), key=lambda r: r.finish_time)
         X = np.vstack([r.x for r in order])
         y = np.asarray([r.fom for r in order])
         return X, y

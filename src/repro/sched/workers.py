@@ -22,11 +22,18 @@ import dataclasses
 
 import numpy as np
 
+from repro.core.faults import FailurePolicy, run_with_policy
 from repro.core.problem import EvaluationResult
 from repro.sched.events import EventQueue
 from repro.sched.trace import EvalRecord, ExecutionTrace
 
 __all__ = ["Completion", "VirtualWorkerPool"]
+
+
+def _problem_dim(problem) -> int:
+    """Design-space dimension for empty pending arrays; 0 if unknowable."""
+    dim = getattr(problem, "dim", None)
+    return int(dim) if dim is not None else 0
 
 
 @dataclasses.dataclass(frozen=True)
@@ -49,6 +56,7 @@ class _Running:
     result: EvaluationResult
     issue_time: float
     batch: int | None
+    attempts: int = 1
 
 
 class VirtualWorkerPool:
@@ -62,13 +70,19 @@ class VirtualWorkerPool:
         delayed on the simulated clock by ``result.cost`` seconds.
     n_workers:
         Batch size B of the paper.
+    policy:
+        :class:`~repro.core.faults.FailurePolicy` governing retries,
+        timeouts, and failure costs.  Evaluation exceptions and NaN outputs
+        never escape ``submit``; they come back through ``wait_next`` as
+        failed completions after the policy's retries are exhausted.
     """
 
-    def __init__(self, problem, n_workers: int):
+    def __init__(self, problem, n_workers: int, *, policy: FailurePolicy | None = None):
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         self.problem = problem
         self.n_workers = int(n_workers)
+        self.policy = policy or FailurePolicy()
         self.now = 0.0
         self.trace = ExecutionTrace(n_workers)
         self._events = EventQueue()
@@ -89,10 +103,12 @@ class VirtualWorkerPool:
         """Design points currently under evaluation, in issue order.
 
         This is the ``X-hat`` of the paper's penalization scheme (§III-C).
-        Returns an empty ``(0, d?)`` array when nothing is running.
+        Always returns shape ``(n_busy, dim)`` — in particular ``(0, dim)``
+        when nothing is running, so callers can vstack/hallucinate it
+        unconditionally.
         """
         if not self._running:
-            return np.empty((0, 0))
+            return np.empty((0, _problem_dim(self.problem)))
         running = sorted(self._running.values(), key=lambda r: r.index)
         return np.vstack([r.x for r in running])
 
@@ -101,15 +117,36 @@ class VirtualWorkerPool:
         """Start evaluating ``x`` on a free worker at the current time.
 
         Returns the evaluation index.  Raises if every worker is busy — the
-        driver must ``wait_next()`` first (Alg. 1 line 3).
+        driver must ``wait_next()`` first (Alg. 1 line 3) — *before* the
+        evaluation runs, so a full pool never burns a simulation.
+
+        The evaluation runs under the pool's :class:`FailurePolicy`: crashes
+        and NaN outputs are retried in place, timeouts are charged at the
+        limit, and the worker stays occupied for the *total* simulated time
+        of every attempt plus backoff gaps.
         """
-        result = self.problem.evaluate(np.asarray(x, dtype=float))
-        return self.submit_result(x, result, batch=batch)
+        if not self._free:
+            raise RuntimeError("no idle worker; call wait_next() first")
+        x = np.asarray(x, dtype=float)
+        result, attempts, elapsed = run_with_policy(
+            self.problem, x, self.policy, cost_timeout=True
+        )
+        result = dataclasses.replace(result, cost=elapsed)
+        return self.submit_result(x, result, batch=batch, attempts=attempts)
 
     def submit_result(
-        self, x: np.ndarray, result: EvaluationResult, *, batch: int | None = None
+        self,
+        x: np.ndarray,
+        result: EvaluationResult,
+        *,
+        batch: int | None = None,
+        attempts: int = 1,
     ) -> int:
-        """Like :meth:`submit` but with a precomputed evaluation outcome."""
+        """Like :meth:`submit` but with a precomputed evaluation outcome.
+
+        The outcome is taken as-is (no policy retries) — this is the raw
+        injection point used by tests and replay tooling.
+        """
         if not self._free:
             raise RuntimeError("no idle worker; call wait_next() first")
         worker = self._free.pop()
@@ -122,6 +159,7 @@ class VirtualWorkerPool:
             result=result,
             issue_time=self.now,
             batch=batch,
+            attempts=attempts,
         )
         self._running[index] = task
         self._events.push(self.now + max(result.cost, 0.0), index)
@@ -155,6 +193,9 @@ class VirtualWorkerPool:
                 finish_time=event.time,
                 feasible=task.result.feasible,
                 batch=task.batch,
+                status=task.result.status,
+                error=task.result.error,
+                attempts=task.attempts,
             )
         )
         return completion

@@ -83,11 +83,21 @@ class TestThreadPool:
             with pytest.raises(RuntimeError, match="running"):
                 pool.wait_next()
 
-    def test_evaluation_exception_propagates(self):
+    def test_evaluation_exception_contained(self):
+        """A crashing evaluation surfaces as a failed completion, not a raise,
+        and the pool's worker accounting stays consistent."""
         with ThreadWorkerPool(FailingProblem(), n_workers=1) as pool:
             pool.submit(np.array([0.5]))
-            with pytest.raises(RuntimeError, match="simulator crashed"):
-                pool.wait_next()
+            done = pool.wait_next()
+            assert not done.result.ok
+            assert done.result.status == "crashed"
+            assert "simulator crashed" in done.result.error
+            assert pool.idle_count == 1 and pool.busy_count == 0
+            # The failure is traced, and the pool remains usable.
+            assert len(pool.trace) == 1
+            assert pool.trace.n_failures == 1
+            pool.submit(np.array([0.5]))
+            assert not pool.wait_next().result.ok
 
     def test_worker_count_validation(self):
         with pytest.raises(ValueError):
