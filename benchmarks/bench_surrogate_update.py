@@ -1,0 +1,226 @@
+"""Surrogate update-path bench — incremental rank-k vs full refactorization.
+
+Measures the tentpole claim of the incremental surrogate path: at frozen
+hyperparameters (``refit_every`` large), folding one new observation into
+the GP and hallucinating a batch of pending points costs O(n^2) with the
+rank-k Cholesky append + factor-sharing view, versus O(n^3) for the
+from-scratch rebuild.  Datasets are real op-amp FOMs (and class-E at larger
+scales) sampled by the same random design the drivers use, at the paper's
+dataset sizes (n = 150 is one full op-amp run).
+
+Two checks gate the result:
+
+* **speedup** — the incremental path must be >= 2x faster per event than the
+  full path at n = 150 (the CI perf-smoke job fails otherwise);
+* **trajectory equality** — a seeded sequential EasyBO run on the op-amp
+  queries *exactly* the same points in both modes (no pending points, so
+  the two modes execute bit-identical arithmetic; batch drivers are instead
+  covered per-event by ``tests/test_incremental_equivalence.py``).
+
+Run standalone for larger scales or to export the timing JSON consumed by
+CI::
+
+    python benchmarks/bench_surrogate_update.py --scale reduced --json timings.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+
+import numpy as np
+
+from repro.circuits import ClassEProblem, OpAmpProblem
+from repro.core.doe import random_design
+from repro.core.easybo import make_algorithm
+from repro.core.surrogate import SurrogateSession
+from repro.utils.tables import format_table
+
+
+@dataclasses.dataclass(frozen=True)
+class Scale:
+    name: str
+    sizes: tuple  # dataset sizes n at which per-event cost is measured
+    events: int  # timed events (add + refit + hallucinate) per measurement
+    repetitions: int  # best-of repetitions per (problem, n, mode) cell
+    problems: tuple  # dataset sources
+    trajectory_evals: int  # budget of the seeded equality run
+
+
+SCALES = {
+    "smoke": Scale("smoke", (150,), 30, 3, ("opamp",), 14),
+    "reduced": Scale("reduced", (150, 300), 40, 3, ("opamp", "classe"), 20),
+    "paper": Scale("paper", (150, 300, 600), 50, 5, ("opamp", "classe"), 30),
+}
+
+#: Pending points hallucinated per event (the paper's B-1 at B=5).
+N_PENDING = 4
+
+#: CI gate: minimum per-event speedup of incremental over full at n=150.
+MIN_SPEEDUP_AT_150 = 2.0
+
+
+def make_problem(name: str):
+    if name == "opamp":
+        return OpAmpProblem()
+    if name == "classe":
+        # Reduced transient fidelity: the bench times linear algebra, not
+        # the simulator; the FOM landscape just has to be the real one.
+        return ClassEProblem(settle_periods=10, measure_periods=2,
+                            steps_per_period=48)
+    raise ValueError(f"unknown bench problem {name!r}")
+
+
+def build_dataset(problem, n: int, rng) -> tuple[np.ndarray, np.ndarray]:
+    """Evaluate a random design: the same data a real run would collect."""
+    X = random_design(problem.bounds, n, rng)
+    y = np.asarray([problem.evaluate(x).fom for x in X])
+    # Failed corners produce NaN FOMs on some problems; the session rejects
+    # them (as the drivers' failure policies would), so impute the minimum.
+    bad = ~np.isfinite(y)
+    if bad.any():
+        y[bad] = np.nanmin(y[~bad]) if (~bad).any() else 0.0
+    return X, y
+
+
+def time_mode(problem, X, y, mode: str, n: int, events: int) -> float:
+    """Mean per-event seconds (refit + hallucination) at frozen theta."""
+    session = SurrogateSession(
+        problem.bounds, rng=0, surrogate_update=mode, refit_every=10**9
+    )
+    session.add_batch(X[:n], y[:n])
+    session.refit()  # the one ML-II fit; the timed window starts after it
+    from repro.sched.trace import SurrogateStats
+
+    session.stats = SurrogateStats()  # count and time only the event loop
+    for i in range(events):
+        session.add(X[n + i], y[n + i])
+        session.refit()
+        session.model_with_pending(X[n + i + 1 : n + i + 1 + N_PENDING])
+    stats = session.stats
+    assert stats.n_refits == events and stats.n_fallbacks == 0
+    if mode == "incremental":
+        assert stats.n_incremental_updates == events
+        assert stats.n_hallucinated_views == events
+    else:
+        assert stats.n_refactorizations == events
+        assert stats.n_hallucinated_rebuilds == events
+    return stats.mean_event_seconds
+
+
+def check_trajectory_equality(scale: Scale, seed: int) -> int:
+    """Seeded sequential EasyBO on the op-amp: both modes, same queries.
+
+    Returns the number of compared evaluations.  Sequential EasyBO has no
+    pending points, so the incremental mode must reproduce the full mode's
+    queried points *exactly* — any difference means the fast path changed
+    the algorithm, not just its cost.
+    """
+    queried = {}
+    for mode in ("full", "incremental"):
+        driver = make_algorithm(
+            "EasyBO", OpAmpProblem(), rng=seed, n_init=6,
+            max_evals=scale.trajectory_evals, acq_candidates=256,
+            acq_restarts=1, surrogate_update=mode,
+        )
+        result = driver.run()
+        queried[mode] = np.vstack([r.x for r in result.trace.records])
+    if not np.array_equal(queried["full"], queried["incremental"]):
+        delta = np.abs(queried["full"] - queried["incremental"]).max()
+        raise AssertionError(
+            f"incremental mode changed the queried points (max |dx|={delta:.3e})"
+        )
+    return scale.trajectory_evals
+
+
+def run_bench(scale_name: str = "smoke", seed: int = 0, verbose: bool = True):
+    """Run the timing grid; returns (timings dict, rendered table)."""
+    scale = SCALES[scale_name]
+    max_n = max(scale.sizes)
+    timings = {"scale": scale.name, "seed": seed, "cells": []}
+    rows = []
+    for problem_name in scale.problems:
+        problem = make_problem(problem_name)
+        rng = np.random.default_rng(seed)
+        X, y = build_dataset(problem, max_n + scale.events + N_PENDING, rng)
+        if verbose:
+            print(f"{problem_name}: dataset of {len(y)} evaluations ready")
+        for n in scale.sizes:
+            cell = {"problem": problem_name, "n": n}
+            for mode in ("full", "incremental"):
+                per_event = min(
+                    time_mode(problem, X, y, mode, n, scale.events)
+                    for _ in range(scale.repetitions)
+                )
+                cell[mode] = per_event
+            cell["speedup"] = cell["full"] / cell["incremental"]
+            timings["cells"].append(cell)
+            rows.append([
+                problem_name,
+                str(n),
+                f"{1e6 * cell['full']:.0f}",
+                f"{1e6 * cell['incremental']:.0f}",
+                f"{cell['speedup']:.2f}x",
+            ])
+            if verbose:
+                print(
+                    f"  n={n:>4}  full {1e6 * cell['full']:7.0f} us/event  "
+                    f"incremental {1e6 * cell['incremental']:7.0f} us/event  "
+                    f"({cell['speedup']:.2f}x)"
+                )
+    timings["trajectory_evals_compared"] = check_trajectory_equality(scale, seed)
+    if verbose:
+        print(
+            f"trajectory equality: {timings['trajectory_evals_compared']} "
+            "sequential op-amp queries identical in both modes"
+        )
+    table = format_table(
+        ["Problem", "n", "Full (us/event)", "Incremental (us/event)", "Speedup"],
+        rows,
+        title="Surrogate per-event cost at frozen hyperparameters "
+        f"({N_PENDING} pending points hallucinated per event)",
+    )
+    return timings, table
+
+
+def check_shape(timings: dict) -> None:
+    """Assert the claims the CI perf-smoke job gates on."""
+    at_150 = [c for c in timings["cells"] if c["n"] == 150]
+    assert at_150, "bench must measure n=150 (the paper's full-run size)"
+    for cell in at_150:
+        assert cell["speedup"] >= MIN_SPEEDUP_AT_150, (
+            f"incremental path only {cell['speedup']:.2f}x faster than full "
+            f"at n=150 on {cell['problem']} (required: {MIN_SPEEDUP_AT_150}x)"
+        )
+    # Larger systems must not erode the advantage (O(n^3) vs O(n^2)).
+    for cell in timings["cells"]:
+        if cell["n"] > 150:
+            assert cell["speedup"] >= MIN_SPEEDUP_AT_150
+    assert timings["trajectory_evals_compared"] > 0
+
+
+def test_surrogate_update_smoke(benchmark):
+    timings, rendered = benchmark.pedantic(
+        lambda: run_bench("smoke", seed=0, verbose=False),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + rendered)
+    check_shape(timings)
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=sorted(SCALES), default="smoke")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", type=str, default=None,
+                        help="write the timing cells to this JSON file")
+    args = parser.parse_args()
+    timings, rendered = run_bench(args.scale, args.seed)
+    print("\n" + rendered)
+    check_shape(timings)
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(timings, fh, indent=2, sort_keys=True)
+        print(f"timings written to {args.json}")

@@ -41,7 +41,11 @@ from repro.core.persistence import load_runs, run_from_dict, run_to_dict, save_r
 from repro.core.portfolio import PortfolioBO
 from repro.core.problem import EvaluationResult, FunctionProblem, Problem
 from repro.core.results import RunResult, RunSummary, summarize_runs
-from repro.core.surrogate import SurrogateSession
+from repro.core.surrogate import (
+    SURROGATE_UPDATE_MODES,
+    HallucinatedView,
+    SurrogateSession,
+)
 from repro.core.sync_batch import SYNC_STRATEGIES, SynchronousBatchBO
 
 __all__ = [
@@ -77,6 +81,8 @@ __all__ = [
     "RunSummary",
     "summarize_runs",
     "SurrogateSession",
+    "HallucinatedView",
+    "SURROGATE_UPDATE_MODES",
     "maximize_acquisition",
     "PortfolioBO",
     "save_runs",

@@ -11,6 +11,13 @@ The loop is the paper's Algorithm 1:
 
 ``penalized=False`` gives the EasyBO-A ablation (asynchronous issue, plain
 sigma).  ``batch_size=1`` degenerates to sequential EasyBO.
+
+Step 3 is the hot path: in the default ``surrogate_update="incremental"``
+mode the hallucinated model is a factor-sharing
+:class:`~repro.core.surrogate.HallucinatedView` (one rank-(B-1) append to
+the cached Cholesky factor, discarded for free), and with ``refit_every=K``
+the step-2 refit pays ML-II only every K-th dispatch — between those, new
+observations enter by rank-k factor updates instead of O(n^3) rebuilds.
 """
 
 from __future__ import annotations

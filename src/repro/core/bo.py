@@ -52,6 +52,18 @@ class BODriverBase:
         :class:`~repro.core.faults.FailurePolicy` shared by the pool (retry
         / timeout behaviour) and the driver (impute-or-drop of failed
         evaluations).  Defaults to no retries with pessimistic imputation.
+    surrogate_update:
+        ``"incremental"`` (default) reuses the surrogate's cached Cholesky
+        factor between hyperparameter fits and serves the pending-point
+        hallucination through a factor-sharing view; ``"full"`` rebuilds
+        the factored system from scratch at every event.  Both produce the
+        same posterior up to round-off (see
+        ``tests/test_incremental_equivalence.py``).
+    refit_every:
+        Run ML-II hyperparameter fitting only every K-th surrogate refit
+        (default 1 = every event, the paper's schedule).  Raising K is
+        where the incremental path's O(n^3) -> O(n^2) per-event win comes
+        from.
     """
 
     #: Subclasses set their display name (used in result rows).
@@ -68,6 +80,8 @@ class BODriverBase:
         acq_candidates: int = 2048,
         acq_restarts: int = 4,
         failure_policy: FailurePolicy | None = None,
+        surrogate_update: str = "incremental",
+        refit_every: int = 1,
     ):
         if n_init < 2:
             raise ValueError("n_init must be >= 2 (the GP needs data)")
@@ -81,7 +95,12 @@ class BODriverBase:
         self.failure_policy = failure_policy or FailurePolicy()
         self.acq_candidates = int(acq_candidates)
         self.acq_restarts = int(acq_restarts)
-        self.session = SurrogateSession(problem.bounds, rng=self.rng)
+        self.session = SurrogateSession(
+            problem.bounds,
+            rng=self.rng,
+            surrogate_update=surrogate_update,
+            refit_every=refit_every,
+        )
 
     # ------------------------------------------------------------- helpers
     def _make_pool(self, n_workers: int):
@@ -149,6 +168,7 @@ class BODriverBase:
 
     def _package(self, pool) -> RunResult:
         trace = pool.trace
+        trace.surrogate_stats = self.session.stats
         if trace.has_success:
             best = trace.best_record()
             best_x, best_fom = best.x.copy(), best.fom
@@ -167,6 +187,7 @@ class BODriverBase:
             wall_clock=trace.makespan,
             n_failures=trace.n_failures,
             n_retries=trace.n_retries,
+            surrogate_stats=self.session.stats,
         )
 
     def run(self) -> RunResult:  # pragma: no cover - interface

@@ -15,15 +15,17 @@ import pathlib
 import numpy as np
 
 from repro.core.results import RunResult
-from repro.sched.trace import EvalRecord, ExecutionTrace
+from repro.sched.trace import EvalRecord, ExecutionTrace, SurrogateStats
 
 __all__ = ["run_to_dict", "run_from_dict", "save_runs", "load_runs"]
 
 #: Version 2 added failure semantics: per-record status/error/attempts and
 #: run-level failure counters.  Version-1 files (no failures recorded) load
-#: with every record treated as a success.
-_FORMAT_VERSION = 2
-_READABLE_VERSIONS = frozenset({1, 2})
+#: with every record treated as a success.  Version 3 added the optional
+#: ``surrogate_stats`` block (incremental-update instrumentation); older
+#: files load with it absent.
+_FORMAT_VERSION = 3
+_READABLE_VERSIONS = frozenset({1, 2, 3})
 
 
 def run_to_dict(run: RunResult) -> dict:
@@ -38,6 +40,9 @@ def run_to_dict(run: RunResult) -> dict:
         "wall_clock": run.wall_clock,
         "n_failures": run.n_failures,
         "n_retries": run.n_retries,
+        "surrogate_stats": (
+            None if run.surrogate_stats is None else run.surrogate_stats.as_dict()
+        ),
         "n_workers": run.trace.n_workers,
         "records": [
             {
@@ -80,6 +85,9 @@ def run_from_dict(data: dict) -> RunResult:
                 attempts=int(r.get("attempts", 1)),
             )
         )
+    stats_data = data.get("surrogate_stats")
+    stats = None if stats_data is None else SurrogateStats.from_dict(stats_data)
+    trace.surrogate_stats = stats
     return RunResult(
         algorithm=str(data["algorithm"]),
         problem=str(data["problem"]),
@@ -90,6 +98,7 @@ def run_from_dict(data: dict) -> RunResult:
         wall_clock=float(data["wall_clock"]),
         n_failures=int(data.get("n_failures", 0)),
         n_retries=int(data.get("n_retries", 0)),
+        surrogate_stats=stats,
     )
 
 

@@ -11,7 +11,7 @@ import dataclasses
 
 import numpy as np
 
-from repro.sched.trace import ExecutionTrace
+from repro.sched.trace import ExecutionTrace, SurrogateStats
 from repro.utils.tables import format_duration
 
 __all__ = ["RunResult", "RunSummary", "summarize_runs"]
@@ -24,7 +24,9 @@ class RunResult:
     ``n_evaluations`` counts every issued evaluation, failed ones included
     (the budget they consumed is real); ``n_failures`` and ``n_retries``
     break out how many of those failed outright and how many extra attempts
-    the retry policy spent.
+    the retry policy spent.  ``surrogate_stats`` carries the surrogate's
+    linear-algebra counters (factorizations, incremental updates, PD-loss
+    fallbacks, per-event seconds); it is ``None`` for model-free algorithms.
     """
 
     algorithm: str
@@ -36,6 +38,7 @@ class RunResult:
     wall_clock: float  # simulated (or real) seconds spent on evaluation
     n_failures: int = 0
     n_retries: int = 0
+    surrogate_stats: SurrogateStats | None = None
 
     @property
     def best_curve(self):

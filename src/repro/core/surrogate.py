@@ -6,9 +6,28 @@ the SE-ARD GP by ML-II (warm-started across refits), and exposes the pending-
 point hallucination used by the paper's penalization scheme — all in one
 place so the sequential, synchronous, and asynchronous drivers share exactly
 the same modelling behaviour.
+
+Two orthogonal knobs control what each dispatch costs:
+
+* ``refit_every=K`` — ML-II hyperparameter fitting runs on the first refit
+  and then every K-th refit; in between the hyperparameters are frozen.
+* ``surrogate_update`` — how frozen-hyperparameter refits update the
+  factored system: ``"full"`` rebuilds the kernel matrix and its Cholesky
+  factor from scratch (O(n^3) per event), ``"incremental"`` performs a
+  rank-k append to the cached factor (O(n^2 k) per event) and falls back to
+  a full refactorization automatically if the append loses positive
+  definiteness.  Both modes compute the *same* posterior up to floating-
+  point round-off — `tests/test_incremental_equivalence.py` enforces ≤1e-8.
+
+In incremental mode the pending-point hallucination (Alg. 1 lines 5-6) is a
+:class:`HallucinatedView`: the kriging-believer pseudo-observations are
+appended to the factored system as one rank-k block and discarded by simply
+dropping the view, never refactorizing the base model.
 """
 
 from __future__ import annotations
+
+import time
 
 import numpy as np
 
@@ -20,10 +39,109 @@ from repro.gp import (
     SquaredExponential,
     fit_hyperparameters,
 )
+from repro.gp import linalg
+from repro.gp.gp import VARIANCE_FLOOR
+from repro.sched.trace import SurrogateStats
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_finite, check_matrix, check_vector
 
-__all__ = ["SurrogateSession"]
+__all__ = ["SurrogateSession", "HallucinatedView", "SURROGATE_UPDATE_MODES"]
+
+#: Valid values for ``SurrogateSession(surrogate_update=...)``.
+SURROGATE_UPDATE_MODES = ("incremental", "full")
+
+
+class HallucinatedView:
+    """Posterior view of a GP with pending points folded in, factor-shared.
+
+    The kriging-believer construction (paper §III-C) appends each pending
+    point with its own predictive mean as a pseudo-observation.  Because the
+    pseudo-targets *are* the posterior means, the extended weight vector is
+    exactly ``[alpha, 0]`` — the mean surface is unchanged — and only the
+    variance needs the extended factor.  This view therefore stores just the
+    border blocks of the extended Cholesky factor
+
+        L_ext = [[L, 0], [B^T, L_p]],   B = L^{-1} k(X, X_p),
+        L_p L_p^T = k(X_p, X_p) + sigma_n^2 I - B^T B
+
+    sharing ``L`` with the base model: construction is O(n^2 k) with no copy
+    and no refactorization, and discarding the pending points is dropping
+    the view.  Equivalent to
+    :meth:`~repro.gp.gp.GaussianProcess.condition_on_pending` up to
+    round-off (enforced to ≤1e-8 by the equivalence harness).
+
+    Raises
+    ------
+    numpy.linalg.LinAlgError
+        When the pending block's Schur complement is not positive definite
+        (near-duplicate pending points at tiny noise); callers fall back to
+        the rebuild path.
+    """
+
+    def __init__(self, base: GaussianProcess, X_pending):
+        X_pending = check_matrix(X_pending, "X_pending", cols=base.dim)
+        if X_pending.shape[0] == 0:
+            raise ValueError("HallucinatedView needs at least one pending point")
+        check_finite(X_pending, "X_pending")
+        self.base = base
+        self._X_pending = X_pending.copy()
+        lower = base.cholesky_factor
+        cross = base.kernel(base.X, X_pending)  # (n, k)
+        corner = base.kernel(X_pending) + base.noise_variance * np.eye(
+            X_pending.shape[0]
+        )
+        self._B = linalg.solve_lower(lower, cross)  # (n, k)
+        schur = corner - self._B.T @ self._B
+        schur = 0.5 * (schur + schur.T)
+        self._lower_p = np.linalg.cholesky(schur)  # raises LinAlgError
+
+    # ---------------------------------------------------------- properties
+    @property
+    def dim(self) -> int:
+        return self.base.dim
+
+    @property
+    def n_pending(self) -> int:
+        return self._X_pending.shape[0]
+
+    @property
+    def n_train(self) -> int:
+        """Size of the hallucinated training set (real + pending)."""
+        return self.base.n_train + self.n_pending
+
+    @property
+    def X_pending(self) -> np.ndarray:
+        return self._X_pending.copy()
+
+    # ------------------------------------------------------------- predict
+    def predict(self, X, return_std: bool = True):
+        """Posterior mean (and the paper's sigma-hat) at the rows of ``X``.
+
+        The mean equals the base model's mean exactly (kriging believer);
+        the standard deviation is collapsed around the pending points.
+        """
+        X = check_matrix(X, "X", cols=self.dim)
+        mu = self.base.predict(X, return_std=False)
+        if not return_std:
+            return mu
+        k1 = self.base.kernel(self.base.X, X)  # (n, m)
+        v1 = linalg.solve_lower(self.base.cholesky_factor, k1)
+        k2 = self.base.kernel(self._X_pending, X)  # (k, m)
+        v2 = linalg.solve_lower(self._lower_p, k2 - self._B.T @ v1)
+        var = self.base.kernel.diag(X) - np.sum(v1**2, axis=0) - np.sum(v2**2, axis=0)
+        sigma = np.sqrt(np.maximum(var, VARIANCE_FLOOR))
+        return mu, sigma
+
+    def discard(self) -> GaussianProcess:
+        """Return the untouched base model (the pending points cost nothing
+        to drop — no downdate, no refactorization ever happened)."""
+        return self.base
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HallucinatedView(n_train={self.base.n_train}, "
+            f"n_pending={self.n_pending})"
+        )
 
 
 class SurrogateSession:
@@ -37,19 +155,42 @@ class SurrogateSession:
         Stream used for hyperparameter restarts.
     n_restarts_first / n_restarts_refit:
         ML-II restarts for the very first fit and for warm-started refits.
+    surrogate_update:
+        ``"incremental"`` (default) reuses the cached Cholesky factor via
+        rank-k appends between hyperparameter fits and serves pending-point
+        hallucination through :class:`HallucinatedView`; ``"full"`` rebuilds
+        everything from scratch each refit (the reference path the
+        equivalence harness checks against).
+    refit_every:
+        Run ML-II hyperparameter fitting only every this-many refits
+        (default 1 = every refit, the paper's behaviour).  In between, the
+        kernel is frozen and refits only fold new observations in.
     """
 
     def __init__(self, bounds, *, rng=None, n_restarts_first: int = 3,
-                 n_restarts_refit: int = 1):
+                 n_restarts_refit: int = 1, surrogate_update: str = "incremental",
+                 refit_every: int = 1):
+        surrogate_update = str(surrogate_update).lower()
+        if surrogate_update not in SURROGATE_UPDATE_MODES:
+            raise ValueError(
+                f"unknown surrogate_update {surrogate_update!r}; "
+                f"choose from {SURROGATE_UPDATE_MODES}"
+            )
+        if int(refit_every) < 1:
+            raise ValueError(f"refit_every must be >= 1, got {refit_every}")
         self.transform = BoxTransform(bounds)
         self.rng = as_generator(rng)
         self.n_restarts_first = int(n_restarts_first)
         self.n_restarts_refit = int(n_restarts_refit)
+        self.surrogate_update = surrogate_update
+        self.refit_every = int(refit_every)
         self.output = OutputStandardizer()
         self.model: GaussianProcess | None = None
+        self.stats = SurrogateStats()
         self._hyper_bounds = HyperparameterBounds(self.transform.dim)
         self._X = np.empty((0, self.transform.dim))
         self._y = np.empty(0)
+        self._refit_countdown = 0  # 0 -> the next refit pays ML-II
 
     # ------------------------------------------------------------- dataset
     @property
@@ -113,16 +254,45 @@ class SurrogateSession:
         self._y = np.concatenate([self._y, y])
 
     # ------------------------------------------------------------- fitting
-    def refit(self) -> GaussianProcess:
-        """(Re)fit the GP on all observations, tuning hyperparameters.
+    @property
+    def can_fit(self) -> bool:
+        """Whether the GP has enough data to be (re)fitted."""
+        return self.n_observations >= 2
 
-        Warm-starts from the previous kernel so per-iteration refits are one
-        cheap L-BFGS run; the first fit uses extra random restarts.
+    def refit(self) -> GaussianProcess | None:
+        """(Re)fit the GP on all observations.
+
+        Returns ``None`` with fewer than two observations instead of
+        raising: drivers under a ``"drop"`` failure policy can reach a refit
+        with a starved dataset mid-run, and must degrade to the DoE/prior
+        exploration path rather than crash.
+
+        Hyperparameters are tuned by warm-started ML-II on the first refit
+        and then every ``refit_every``-th refit; other refits keep the
+        kernel frozen and only fold new observations in — by a rank-k
+        Cholesky append in ``"incremental"`` mode (with automatic fallback
+        to a full refactorization on loss of positive definiteness), by a
+        from-scratch rebuild in ``"full"`` mode.
         """
-        if self.n_observations < 2:
-            raise RuntimeError("need at least two observations to fit the GP")
+        if not self.can_fit:
+            return None
+        started = time.perf_counter()
         U = self.transform.to_unit(self._X)
         z = self.output.fit_transform(self._y)
+        if self.model is None or self._refit_countdown <= 0:
+            self._fit_ml2(U, z)
+        elif self.surrogate_update == "incremental":
+            self._fit_incremental(U, z)
+        else:
+            self.model.fit(U, z)
+            self.stats.n_refactorizations += 1
+        self._refit_countdown -= 1
+        self.stats.n_refits += 1
+        self.stats.refit_seconds.append(time.perf_counter() - started)
+        return self.model
+
+    def _fit_ml2(self, U: np.ndarray, z: np.ndarray) -> None:
+        """Full ML-II hyperparameter fit (warm-started after the first)."""
         if self.model is None:
             kernel = SquaredExponential(self.dim, lengthscales=0.3)
             self.model = GaussianProcess(kernel=kernel, noise_variance=1e-4)
@@ -136,7 +306,28 @@ class SurrogateSession:
             n_restarts=restarts,
             rng=self.rng,
         )
-        return self.model
+        self.stats.n_full_fits += 1
+        self._refit_countdown = self.refit_every
+
+    def _fit_incremental(self, U: np.ndarray, z: np.ndarray) -> None:
+        """Fold new observations into the cached factor (frozen kernel)."""
+        n_new = self.n_observations - self.model.n_train
+        try:
+            if n_new < 0:
+                raise np.linalg.LinAlgError("dataset shrank; factor unusable")
+            if n_new:
+                # set_targets below replaces every target anyway, so skip
+                # the append's own weight-vector solve (refresh_alpha=False
+                # leaves the model inconsistent only within this block).
+                self.model.update(U[-n_new:], z[-n_new:], refresh_alpha=False)
+            # Re-standardization moved every target, not just the new ones;
+            # the factor is target-independent so this is one O(n^2) solve.
+            self.model.set_targets(z)
+            self.stats.n_incremental_updates += 1
+        except np.linalg.LinAlgError:
+            self.stats.n_fallbacks += 1
+            self.model.fit(U, z)
+            self.stats.n_refactorizations += 1
 
     def require_model(self) -> GaussianProcess:
         if self.model is None or not self.model.is_fitted:
@@ -144,34 +335,53 @@ class SurrogateSession:
         return self.model
 
     # ------------------------------------------------- pending hallucination
-    def model_with_pending(self, X_pending) -> GaussianProcess:
+    def model_with_pending(self, X_pending):
         """GP with pending points hallucinated at their predictive means.
 
         This is lines 5-6 of Algorithm 1: the returned model's sigma-hat is
         collapsed around the busy locations, providing the diversity
         penalization of Eq. 9.  With no pending points the fitted model is
-        returned unchanged.
+        returned unchanged.  In ``"incremental"`` mode the result is a
+        :class:`HallucinatedView` over the cached factor (no copy, no
+        refactorization); in ``"full"`` mode — or when the view loses
+        positive definiteness — the legacy rebuild-per-point path is used.
         """
         model = self.require_model()
         X_pending = np.asarray(X_pending, dtype=float)
         if X_pending.size == 0:
             return model
-        U_pending = self.transform.to_unit(check_matrix(X_pending, "X_pending", cols=self.dim))
-        return model.condition_on_pending(U_pending)
+        started = time.perf_counter()
+        U_pending = self.transform.to_unit(
+            check_matrix(X_pending, "X_pending", cols=self.dim)
+        )
+        try:
+            if self.surrogate_update == "incremental":
+                try:
+                    view = HallucinatedView(model, U_pending)
+                    self.stats.n_hallucinated_views += 1
+                    return view
+                except np.linalg.LinAlgError:
+                    self.stats.n_fallbacks += 1
+            self.stats.n_hallucinated_rebuilds += 1
+            return model.condition_on_pending(U_pending)
+        finally:
+            self.stats.hallucination_seconds.append(time.perf_counter() - started)
 
     # ------------------------------------------------------------ predict
-    def predict_physical(self, X, model: GaussianProcess | None = None):
+    def predict_physical(self, X, model=None):
         """Posterior in physical units at physical-coordinate points."""
         model = model if model is not None else self.require_model()
         U = self.transform.to_unit(check_matrix(X, "X", cols=self.dim))
         mu, sigma = model.predict(U)
         return self.output.inverse_mean(mu), self.output.inverse_std(sigma)
 
-    def acquisition_on_unit(self, acquisition, model: GaussianProcess | None = None):
+    def acquisition_on_unit(self, acquisition, model=None):
         """Wrap an :class:`Acquisition` as a unit-cube candidate scorer.
 
         Returns a callable suitable for
         :func:`repro.core.optimizers.maximize_acquisition` over the unit cube.
+        ``model`` may be a :class:`~repro.gp.GaussianProcess` or a
+        :class:`HallucinatedView` — acquisitions only need ``predict``.
         """
         model = model if model is not None else self.require_model()
 

@@ -21,6 +21,12 @@ One driver, several batch-selection strategies:
 All strategies share the synchronous schedule: the next batch is only issued
 once every member of the previous batch has finished (the barrier the paper's
 asynchronous scheme removes).
+
+The hallucinating strategies (``easybo-sp``, ``bucb``) build each batch
+member's model through :meth:`SurrogateSession.model_with_pending`, so in
+the default ``surrogate_update="incremental"`` mode every greedy step is a
+rank-k :class:`~repro.core.surrogate.HallucinatedView` over the cached
+factor rather than a per-point posterior rebuild.
 """
 
 from __future__ import annotations

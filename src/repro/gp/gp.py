@@ -96,6 +96,23 @@ class GaussianProcess:
     def n_train(self) -> int:
         return 0 if self._X is None else self._X.shape[0]
 
+    @property
+    def cholesky_factor(self) -> np.ndarray:
+        """Cached lower Cholesky factor of the training covariance.
+
+        Exposed (read-only by convention) so incremental consumers such as
+        :class:`~repro.core.surrogate.HallucinatedView` can extend the
+        factored system without refactorizing; do not mutate it.
+        """
+        self._require_fitted()
+        return self._lower
+
+    @property
+    def alpha(self) -> np.ndarray:
+        """Cached ``K^{-1} (y - m(X))`` weights (read-only by convention)."""
+        self._require_fitted()
+        return self._alpha
+
     # ------------------------------------------------------------------ fit
     def fit(self, X, y) -> "GaussianProcess":
         """Factorize the training covariance and cache ``alpha = K^{-1} r``.
@@ -120,6 +137,84 @@ class GaussianProcess:
         self._lower, _ = linalg.jittered_cholesky(K)
         residual = self._y - self.mean(self._X)
         self._alpha = linalg.cholesky_solve(self._lower, residual)
+
+    def update(self, X_new, y_new, *, refresh_alpha: bool = True) -> "GaussianProcess":
+        """Append a block of observations reusing the cached factor.
+
+        This is the O(n^2 k) incremental path: valid only while the
+        hyperparameters are unchanged since the last factorization (the
+        factor being extended was computed at the current ``theta``).  The
+        model is left exactly as if :meth:`fit` had been called on the
+        concatenated dataset, up to floating-point round-off.
+
+        ``refresh_alpha=False`` skips the weight-vector solve, leaving the
+        model *inconsistent* until a following :meth:`set_targets` call —
+        only for callers that immediately replace every target anyway (the
+        session's re-standardization path), where solving twice would
+        double the per-event cost.
+
+        Raises
+        ------
+        numpy.linalg.LinAlgError
+            When the appended block loses positive definiteness; the model
+            is left untouched so callers can fall back to a full refit.
+        """
+        self._require_fitted()
+        X_new = check_matrix(X_new, "X_new", cols=self.dim)
+        y_new = check_vector(y_new, "y_new", size=X_new.shape[0])
+        if X_new.shape[0] == 0:
+            return self
+        check_finite(X_new, "X_new")
+        check_finite(y_new, "y_new")
+        cross = self.kernel(self._X, X_new)
+        corner = self.kernel(X_new) + self.noise_variance * np.eye(X_new.shape[0])
+        # May raise LinAlgError; assign only afterwards so a PD-loss leaves
+        # the model in its previous, consistent state.
+        lower = linalg.cholesky_append(self._lower, cross, corner)
+        self._lower = lower
+        self._X = np.vstack([self._X, X_new])
+        self._y = np.concatenate([self._y, y_new])
+        if refresh_alpha:
+            self._alpha = linalg.cholesky_solve(
+                self._lower, self._y - self.mean(self._X)
+            )
+        return self
+
+    def downdate(self, k: int = 1) -> "GaussianProcess":
+        """Discard the last ``k`` observations without refactorizing.
+
+        Truncating a Cholesky factor is exact (the leading block of the
+        factor *is* the factor of the leading block), so this never loses
+        positive definiteness — it is how hallucinated pending points are
+        discarded.
+        """
+        self._require_fitted()
+        k = int(k)
+        if not 0 <= k < self.n_train:
+            raise ValueError(
+                f"cannot discard {k} of {self.n_train} observations "
+                "(at least one must remain)"
+            )
+        if k == 0:
+            return self
+        self._lower = linalg.cholesky_shrink(self._lower, k)
+        self._X = self._X[:-k]
+        self._y = self._y[:-k]
+        self._alpha = linalg.cholesky_solve(self._lower, self._y - self.mean(self._X))
+        return self
+
+    def set_targets(self, y) -> "GaussianProcess":
+        """Replace the observation values (same inputs), reusing the factor.
+
+        The covariance factor depends only on ``X`` and the hyperparameters,
+        so re-standardized targets need just an O(n^2) triangular solve.
+        """
+        self._require_fitted()
+        y = check_vector(y, "y", size=self.n_train)
+        check_finite(y, "y")
+        self._y = y.copy()
+        self._alpha = linalg.cholesky_solve(self._lower, self._y - self.mean(self._X))
+        return self
 
     def add_observation(self, x, y_value: float) -> "GaussianProcess":
         """Append one observation using an O(n^2) Cholesky border update."""

@@ -75,7 +75,12 @@ def fit_hyperparameters(
 
     The current hyperparameters seed the first start (warm start across BO
     iterations); additional starts are sampled uniformly in the log-space box.
-    The model is left refactorized at the best hyperparameters found.
+    The model is left refactorized at the best hyperparameters found, and is
+    guaranteed to end no worse than the incumbent: if every restart (clipping
+    of the warm start included) lands below the incumbent's marginal
+    likelihood on the current data, the incumbent hyperparameters are kept.
+    This monotonicity is what makes the every-K-events refit schedule of
+    :class:`~repro.core.surrogate.SurrogateSession` safe.
 
     Returns the same ``model`` for chaining.
     """
@@ -97,7 +102,11 @@ def fit_hyperparameters(
             return 1e25, np.zeros_like(theta)
         return -lml, -grad
 
-    starts = [np.clip(model.get_theta(), log_bounds[:, 0], log_bounds[:, 1])]
+    incumbent_theta = model.get_theta()
+    incumbent_lml = model.log_marginal_likelihood()
+    incumbent_nll = -incumbent_lml if np.isfinite(incumbent_lml) else np.inf
+
+    starts = [np.clip(incumbent_theta, log_bounds[:, 0], log_bounds[:, 1])]
     starts.extend(bounds.sample(rng) for _ in range(max(0, n_restarts - 1)))
 
     best_theta = None
@@ -115,8 +124,10 @@ def fit_hyperparameters(
             best_nll = float(result.fun)
             best_theta = result.x
 
-    if best_theta is None:  # every start failed; keep current hyperparameters
-        model.log_marginal_likelihood(model.get_theta())
+    if best_theta is None or best_nll > incumbent_nll:
+        # No restart beat the incumbent (possible when clipping moved the
+        # warm start); keep the incumbent rather than regress.
+        model.log_marginal_likelihood(incumbent_theta)
         return model
     model.log_marginal_likelihood(best_theta)
     return model

@@ -14,6 +14,11 @@ __all__ = [
     "jittered_cholesky",
     "cholesky_solve",
     "cholesky_update",
+    "cholesky_append",
+    "cholesky_shrink",
+    "cholesky_rank1_update",
+    "cholesky_rank1_downdate",
+    "cholesky_delete_row",
     "solve_lower",
     "log_det_from_cholesky",
 ]
@@ -63,13 +68,22 @@ def jittered_cholesky(matrix: np.ndarray) -> tuple[np.ndarray, float]:
 
 
 def solve_lower(lower: np.ndarray, rhs: np.ndarray) -> np.ndarray:
-    """Solve ``L x = rhs`` for lower-triangular ``L``."""
-    return sla.solve_triangular(lower, rhs, lower=True)
+    """Solve ``L x = rhs`` for lower-triangular ``L``.
+
+    ``check_finite=False``: every factor passed here was produced by this
+    module (which rejects non-finite input up front), so scipy's O(n^2)
+    finiteness scan per call would only re-check known-good data on the
+    incremental hot path.
+    """
+    return sla.solve_triangular(lower, rhs, lower=True, check_finite=False)
 
 
 def cholesky_solve(lower: np.ndarray, rhs: np.ndarray) -> np.ndarray:
-    """Solve ``(L L^T) x = rhs`` given the lower Cholesky factor ``L``."""
-    return sla.cho_solve((lower, True), rhs)
+    """Solve ``(L L^T) x = rhs`` given the lower Cholesky factor ``L``.
+
+    ``check_finite=False`` for the same reason as :func:`solve_lower`.
+    """
+    return sla.cho_solve((lower, True), rhs, check_finite=False)
 
 
 def log_det_from_cholesky(lower: np.ndarray) -> float:
@@ -104,4 +118,130 @@ def cholesky_update(
     out[:n, :n] = lower
     out[n, :n] = row
     out[n, n] = np.sqrt(diag2)
+    return out
+
+
+def cholesky_append(
+    lower: np.ndarray, cross: np.ndarray, corner: np.ndarray
+) -> np.ndarray:
+    """Extend a Cholesky factor by ``k`` rows/columns (rank-k border update).
+
+    Given ``L`` with ``L L^T = K``, the covariance block ``cross`` (n, k) of
+    the new points against the existing ones, and their self-covariance block
+    ``corner`` (k, k), return the factor of the bordered matrix
+    ``[[K, cross], [cross^T, corner]]`` in O(n^2 k) instead of O((n+k)^3).
+
+    Unlike :func:`cholesky_update` this does *not* clamp degenerate blocks:
+    when the Schur complement ``corner - B^T B`` has lost positive
+    definiteness it raises :class:`numpy.linalg.LinAlgError`, so callers can
+    fall back to a full refactorization — an inexact clamp here would break
+    the exactness contract of the incremental surrogate path.
+    """
+    lower = np.asarray(lower, dtype=float)
+    cross = np.asarray(cross, dtype=float)
+    corner = np.asarray(corner, dtype=float)
+    if cross.ndim == 1:
+        cross = cross.reshape(-1, 1)
+    n = lower.shape[0]
+    k = cross.shape[1]
+    if cross.shape[0] != n:
+        raise ValueError(f"cross must have {n} rows, got {cross.shape[0]}")
+    if corner.shape != (k, k):
+        raise ValueError(f"corner must have shape ({k}, {k}), got {corner.shape}")
+    if not (np.all(np.isfinite(cross)) and np.all(np.isfinite(corner))):
+        raise np.linalg.LinAlgError("append block contains non-finite entries")
+    B = solve_lower(lower, cross) if n else np.zeros((0, k))
+    schur = corner - B.T @ B
+    schur = 0.5 * (schur + schur.T)
+    lower_k = np.linalg.cholesky(schur)  # raises LinAlgError on PD loss
+    out = np.zeros((n + k, n + k))
+    out[:n, :n] = lower
+    out[n:, :n] = B.T
+    out[n:, n:] = lower_k
+    return out
+
+
+def cholesky_shrink(lower: np.ndarray, k: int) -> np.ndarray:
+    """Factor with the *last* ``k`` rows/columns removed.
+
+    Because the leading principal block of a lower-triangular factor is the
+    factor of the leading principal block of the matrix, discarding trailing
+    points is exact truncation — this is how hallucinated pending points are
+    dropped without refactorizing.
+    """
+    lower = np.asarray(lower, dtype=float)
+    n = lower.shape[0]
+    if not 0 <= k <= n:
+        raise ValueError(f"cannot remove {k} rows from a {n}x{n} factor")
+    return lower[: n - k, : n - k].copy()
+
+
+def cholesky_rank1_update(lower: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Factor of ``L L^T + v v^T`` via Givens-style rotations in O(n^2)."""
+    L = np.array(lower, dtype=float)
+    x = np.asarray(v, dtype=float).ravel().copy()
+    n = L.shape[0]
+    if x.shape[0] != n:
+        raise ValueError(f"v must have length {n}, got {x.shape[0]}")
+    for i in range(n):
+        r = np.hypot(L[i, i], x[i])
+        c = r / L[i, i]
+        s = x[i] / L[i, i]
+        L[i, i] = r
+        if i + 1 < n:
+            L[i + 1 :, i] = (L[i + 1 :, i] + s * x[i + 1 :]) / c
+            x[i + 1 :] = c * x[i + 1 :] - s * L[i + 1 :, i]
+    return L
+
+
+def cholesky_rank1_downdate(lower: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Factor of ``L L^T - v v^T``; raises on loss of positive definiteness.
+
+    The downdate is the numerically delicate direction: when ``v v^T``
+    carries (numerically) as much mass as the factor itself the hyperbolic
+    rotation has no real solution.  That condition is surfaced as
+    :class:`numpy.linalg.LinAlgError` so callers can refactorize instead of
+    silently producing a corrupted factor.
+    """
+    L = np.array(lower, dtype=float)
+    x = np.asarray(v, dtype=float).ravel().copy()
+    n = L.shape[0]
+    if x.shape[0] != n:
+        raise ValueError(f"v must have length {n}, got {x.shape[0]}")
+    for i in range(n):
+        d = (L[i, i] - x[i]) * (L[i, i] + x[i])
+        if d <= 0.0:
+            raise np.linalg.LinAlgError(
+                f"rank-1 downdate lost positive definiteness at row {i}"
+            )
+        r = np.sqrt(d)
+        c = r / L[i, i]
+        s = x[i] / L[i, i]
+        L[i, i] = r
+        if i + 1 < n:
+            L[i + 1 :, i] = (L[i + 1 :, i] - s * x[i + 1 :]) / c
+            x[i + 1 :] = c * x[i + 1 :] - s * L[i + 1 :, i]
+    return L
+
+
+def cholesky_delete_row(lower: np.ndarray, index: int) -> np.ndarray:
+    """Factor with row/column ``index`` of the underlying matrix removed.
+
+    The leading block is untouched, the trailing block absorbs the deleted
+    column by a (always PD-safe) rank-1 update: with ``L33`` the trailing
+    factor block and ``l32`` the deleted column below the diagonal,
+    ``L33' L33'^T = L33 L33^T + l32 l32^T``.
+    """
+    lower = np.asarray(lower, dtype=float)
+    n = lower.shape[0]
+    if not 0 <= index < n:
+        raise ValueError(f"index {index} out of range for a {n}x{n} factor")
+    out = np.zeros((n - 1, n - 1))
+    out[:index, :index] = lower[:index, :index]
+    out[index:, :index] = lower[index + 1 :, :index]
+    trailing = lower[index + 1 :, index + 1 :]
+    if trailing.shape[0]:
+        out[index:, index:] = cholesky_rank1_update(
+            trailing, lower[index + 1 :, index]
+        )
     return out

@@ -11,7 +11,7 @@
 from repro.sched.durations import ConstantCostModel, CostModel, LognormalCostModel
 from repro.sched.events import Event, EventQueue
 from repro.sched.executor import ThreadWorkerPool
-from repro.sched.trace import EvalRecord, ExecutionTrace
+from repro.sched.trace import EvalRecord, ExecutionTrace, SurrogateStats
 from repro.sched.workers import Completion, VirtualWorkerPool
 
 __all__ = [
@@ -22,6 +22,7 @@ __all__ = [
     "EventQueue",
     "EvalRecord",
     "ExecutionTrace",
+    "SurrogateStats",
     "Completion",
     "VirtualWorkerPool",
     "ThreadWorkerPool",

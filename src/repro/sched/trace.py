@@ -12,7 +12,53 @@ import dataclasses
 
 import numpy as np
 
-__all__ = ["EvalRecord", "ExecutionTrace"]
+__all__ = ["EvalRecord", "ExecutionTrace", "SurrogateStats"]
+
+
+@dataclasses.dataclass
+class SurrogateStats:
+    """Counters for the surrogate's linear-algebra work during one run.
+
+    ``n_full_fits`` counts ML-II hyperparameter fits (each is many internal
+    factorizations inside L-BFGS); ``n_refactorizations`` counts from-scratch
+    O(n^3) rebuilds at frozen hyperparameters (the "full" update mode and
+    every PD-loss fallback); ``n_incremental_updates`` counts rank-k factor
+    appends; ``n_fallbacks`` counts automatic falls from the incremental to
+    the full path; the hallucination counters split pending-point posteriors
+    between the factored :class:`~repro.core.surrogate.HallucinatedView` and
+    the rebuild-per-point legacy path.  ``refit_seconds`` and
+    ``hallucination_seconds`` hold per-event wall-clock seconds.
+    """
+
+    n_refits: int = 0
+    n_full_fits: int = 0
+    n_refactorizations: int = 0
+    n_incremental_updates: int = 0
+    n_fallbacks: int = 0
+    n_hallucinated_views: int = 0
+    n_hallucinated_rebuilds: int = 0
+    refit_seconds: list = dataclasses.field(default_factory=list)
+    hallucination_seconds: list = dataclasses.field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return float(sum(self.refit_seconds) + sum(self.hallucination_seconds))
+
+    @property
+    def mean_event_seconds(self) -> float:
+        """Mean surrogate cost per refit event (hallucination included)."""
+        if not self.refit_seconds:
+            return 0.0
+        return self.total_seconds / len(self.refit_seconds)
+
+    def as_dict(self) -> dict:
+        """JSON-serializable representation (used by persistence v3)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SurrogateStats":
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
 
 
 @dataclasses.dataclass
@@ -62,6 +108,9 @@ class ExecutionTrace:
             raise ValueError("n_workers must be >= 1")
         self.n_workers = int(n_workers)
         self.records: list[EvalRecord] = []
+        #: Filled in by BO drivers at packaging time; None for model-free
+        #: algorithms (random search, DE) and hand-built traces.
+        self.surrogate_stats: SurrogateStats | None = None
 
     def add(self, record: EvalRecord) -> None:
         self.records.append(record)

@@ -1,0 +1,117 @@
+"""Golden-trajectory fixtures: generation and shared scenario definitions.
+
+Each fixture is one fully seeded optimizer run — algorithm label, problem,
+budget, seed — serialized record-by-record (point, FOM, worker, issue/finish
+times) as canonical JSON.  ``tests/test_golden_trajectories.py`` replays the
+scenarios and compares byte-for-byte in ``surrogate_update="full"`` mode;
+see that module and ``tests/golden/README.md`` for what is (and is not)
+guaranteed in incremental mode.
+
+Regenerate after an *intentional* behaviour change with::
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+
+and commit the updated ``tests/golden/*.json`` together with the change that
+motivated them.  Never regenerate to silence a failure you cannot explain —
+a golden diff *is* the regression the harness exists to catch.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent
+
+#: scenario name -> (algorithm label, problem factory name, driver kwargs).
+#: Budgets are tiny on purpose: goldens assert exact trajectories, not
+#: optimizer quality, and must stay cheap enough for every tier-1 run.
+SCENARIOS = {
+    # Sequential LCB: no pending points, so the incremental mode must
+    # reproduce this golden byte-for-byte as well.
+    "lcb-branin": ("LCB", "branin", dict(rng=1, n_init=5, max_evals=10)),
+    # The paper's algorithm proper: asynchronous, penalized, B=3.
+    "easybo-async-branin": ("EasyBO-3", "branin", dict(rng=7, n_init=5, max_evals=12)),
+    # Synchronous pBO baseline on a different landscape.
+    "pbo-sphere2": ("pBO-3", "sphere2", dict(rng=3, n_init=5, max_evals=11)),
+}
+
+#: Acquisition settings shared by every scenario (small but deterministic).
+COMMON_KWARGS = dict(acq_candidates=128, acq_restarts=1)
+
+
+def make_problem(name: str):
+    from repro.circuits import branin, sphere
+
+    if name == "branin":
+        return branin()
+    if name == "sphere2":
+        return sphere(2)
+    raise ValueError(f"unknown golden problem {name!r}")
+
+
+def run_scenario(name: str, *, surrogate_update: str = "full", refit_every: int = 1):
+    """Replay one scenario; deterministic given the scenario's seed."""
+    from repro.core.easybo import make_algorithm
+
+    label, problem_name, kwargs = SCENARIOS[name]
+    algorithm = make_algorithm(
+        label,
+        make_problem(problem_name),
+        surrogate_update=surrogate_update,
+        refit_every=refit_every,
+        **COMMON_KWARGS,
+        **kwargs,
+    )
+    return algorithm.run()
+
+
+def trajectory_payload(name: str, result) -> dict:
+    """JSON-serializable trajectory of one run.
+
+    Floats are kept at full precision: ``json`` serializes via ``repr``,
+    which round-trips ``float`` exactly, so equality on the parsed payload
+    is equality on the underlying bits.
+    """
+    label, problem_name, kwargs = SCENARIOS[name]
+    return {
+        "scenario": name,
+        "algorithm": result.algorithm,
+        "problem": result.problem,
+        "seed": kwargs["rng"],
+        "n_evaluations": result.n_evaluations,
+        "best_fom": result.best_fom,
+        "records": [
+            {
+                "index": r.index,
+                "worker": r.worker,
+                "batch": r.batch,
+                "x": [float(v) for v in r.x],
+                "fom": r.fom,
+                "issue_time": r.issue_time,
+                "finish_time": r.finish_time,
+                "status": r.status,
+            }
+            for r in result.trace.records
+        ],
+    }
+
+
+def canonical_json(payload: dict) -> str:
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def golden_path(name: str) -> pathlib.Path:
+    return GOLDEN_DIR / f"{name}.json"
+
+
+def main() -> None:
+    for name in SCENARIOS:
+        result = run_scenario(name, surrogate_update="full", refit_every=1)
+        path = golden_path(name)
+        path.write_text(canonical_json(trajectory_payload(name, result)))
+        print(f"wrote {path} ({result.n_evaluations} records)")
+
+
+if __name__ == "__main__":
+    main()

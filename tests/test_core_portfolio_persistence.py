@@ -80,6 +80,24 @@ class TestPersistence:
         assert len(grid["EasyBO-3"]) == 2
         assert grid["EasyBO-3"][0].best_fom == sample_run.best_fom
 
+    def test_surrogate_stats_roundtrip(self, sample_run):
+        stats = sample_run.surrogate_stats
+        assert stats is not None and stats.n_refits > 0
+        restored = run_from_dict(run_to_dict(sample_run))
+        assert restored.surrogate_stats is not None
+        assert restored.surrogate_stats.as_dict() == stats.as_dict()
+        # The trace carries the same object, as in a live run.
+        assert restored.trace.surrogate_stats is restored.surrogate_stats
+
+    def test_pre_v3_payload_loads_without_surrogate_stats(self, sample_run):
+        data = run_to_dict(sample_run)
+        data["version"] = 2
+        del data["surrogate_stats"]
+        restored = run_from_dict(data)
+        assert restored.surrogate_stats is None
+        assert restored.trace.surrogate_stats is None
+        assert restored.best_fom == sample_run.best_fom
+
     def test_version_checked(self, sample_run):
         data = run_to_dict(sample_run)
         data["version"] = 99

@@ -45,11 +45,20 @@ class TestFitting:
         mu, sigma = session.predict_physical(session.X[:5])
         np.testing.assert_allclose(mu, session.y[:5], atol=0.5)
 
-    def test_refit_requires_two_points(self):
+    def test_refit_degrades_below_two_points(self):
+        # Drivers under a "drop" failure policy can reach a refit with a
+        # starved dataset; refit must degrade (return None), not crash.
         session = SurrogateSession(BOUNDS)
+        assert session.refit() is None
         session.add([1.0, 0.0], 0.0)
+        assert not session.can_fit
+        assert session.refit() is None
+        assert session.model is None
         with pytest.raises(RuntimeError):
-            session.refit()
+            session.require_model()
+        session.add([2.0, 0.5], 1.0)
+        assert session.can_fit
+        assert session.refit() is not None
 
     def test_require_model_before_fit(self):
         with pytest.raises(RuntimeError):
@@ -67,6 +76,82 @@ class TestFitting:
         assert theta_first.shape == session.model.get_theta().shape
 
 
+class TestIncrementalSchedule:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            SurrogateSession(BOUNDS, surrogate_update="sometimes")
+        with pytest.raises(ValueError):
+            SurrogateSession(BOUNDS, refit_every=0)
+
+    def test_refit_every_schedules_ml2(self):
+        session = make_session()
+        session.surrogate_update = "incremental"
+        session.refit_every = 3
+        for i in range(7):
+            session.refit()
+            session.add([1.0 + 0.5 * i, 0.1], float(i))
+        # Refits 1, 4, 7 pay ML-II; 2, 3, 5, 6 are incremental updates.
+        assert session.stats.n_full_fits == 3
+        assert session.stats.n_incremental_updates == 4
+        assert session.stats.n_refits == 7
+        assert len(session.stats.refit_seconds) == 7
+
+    def test_full_mode_counts_refactorizations(self):
+        session = SurrogateSession(
+            BOUNDS, rng=0, surrogate_update="full", refit_every=4
+        )
+        rng = np.random.default_rng(3)
+        X = rng.uniform(BOUNDS[:, 0], BOUNDS[:, 1], size=(10, 2))
+        session.add_batch(X, X[:, 0])
+        for i in range(4):
+            session.refit()
+            session.add([1.0 + i, 0.2], float(i))
+        assert session.stats.n_full_fits == 1
+        assert session.stats.n_refactorizations == 3
+        assert session.stats.n_incremental_updates == 0
+
+    def test_incremental_tracks_growing_dataset(self):
+        session = SurrogateSession(
+            BOUNDS, rng=0, surrogate_update="incremental", refit_every=100
+        )
+        rng = np.random.default_rng(4)
+        X = rng.uniform(BOUNDS[:, 0], BOUNDS[:, 1], size=(8, 2))
+        session.add_batch(X, np.sin(X[:, 0]))
+        session.refit()
+        theta = session.model.get_theta().copy()
+        for i in range(5):
+            session.add(rng.uniform(BOUNDS[:, 0], BOUNDS[:, 1]), float(i))
+            session.refit()
+        assert session.model.n_train == 13
+        # Hyperparameters frozen between ML-II events.
+        np.testing.assert_array_equal(session.model.get_theta(), theta)
+        assert session.stats.n_incremental_updates == 5
+
+    def test_pd_loss_falls_back_to_refactorization(self, monkeypatch):
+        session = SurrogateSession(
+            BOUNDS, rng=0, surrogate_update="incremental", refit_every=100
+        )
+        rng = np.random.default_rng(5)
+        X = rng.uniform(BOUNDS[:, 0], BOUNDS[:, 1], size=(10, 2))
+        session.add_batch(X, X[:, 1])
+        session.refit()
+
+        from repro.gp.gp import GaussianProcess
+
+        def boom(self, X_new, y_new, **kwargs):
+            raise np.linalg.LinAlgError("simulated PD loss")
+
+        monkeypatch.setattr(GaussianProcess, "update", boom)
+        session.add([3.3, -0.4], 0.7)
+        model = session.refit()
+        assert model is not None and model.n_train == 11
+        assert session.stats.n_fallbacks == 1
+        assert session.stats.n_refactorizations == 1
+        # The fallback refactorization must still serve predictions.
+        mu, sigma = session.predict_physical(session.X[:3])
+        assert np.all(np.isfinite(mu)) and np.all(sigma > 0)
+
+
 class TestPending:
     def test_hallucination_collapses_sigma(self):
         session = make_session()
@@ -81,6 +166,45 @@ class TestPending:
         session = make_session()
         model = session.refit()
         assert session.model_with_pending(np.empty((0, 0))) is model
+
+    def test_incremental_mode_returns_view(self):
+        from repro.core.surrogate import HallucinatedView
+
+        session = make_session()
+        session.surrogate_update = "incremental"
+        session.refit()
+        model = session.model_with_pending(np.array([[7.7, 0.3]]))
+        assert isinstance(model, HallucinatedView)
+        assert model.discard() is session.model
+        assert session.stats.n_hallucinated_views == 1
+
+    def test_full_mode_returns_rebuilt_model(self):
+        from repro.gp import GaussianProcess
+
+        session = make_session()
+        session.surrogate_update = "full"
+        session.refit()
+        model = session.model_with_pending(np.array([[7.7, 0.3]]))
+        assert isinstance(model, GaussianProcess)
+        assert session.stats.n_hallucinated_rebuilds == 1
+
+    def test_view_pd_loss_falls_back_to_rebuild(self, monkeypatch):
+        from repro.core import surrogate as surrogate_mod
+        from repro.gp import GaussianProcess
+
+        session = make_session()
+        session.surrogate_update = "incremental"
+        session.refit()
+
+        class Doomed(surrogate_mod.HallucinatedView):
+            def __init__(self, base, X_pending):
+                raise np.linalg.LinAlgError("simulated PD loss")
+
+        monkeypatch.setattr(surrogate_mod, "HallucinatedView", Doomed)
+        model = session.model_with_pending(np.array([[7.7, 0.3]]))
+        assert isinstance(model, GaussianProcess)
+        assert session.stats.n_fallbacks == 1
+        assert session.stats.n_hallucinated_rebuilds == 1
 
     def test_acquisition_scorer_on_unit_cube(self):
         session = make_session()

@@ -63,6 +63,40 @@ class TestFit:
         with pytest.raises(ValueError):
             fit_hyperparameters(gp, bounds=HyperparameterBounds(3))
 
+    def test_warm_start_never_regresses(self):
+        # Drift guard for the every-K-events refit policy: across a stream of
+        # warm-started refits, the ending marginal likelihood must never be
+        # worse than the incumbent hyperparameters' likelihood on the same
+        # data — fit_hyperparameters keeps the incumbent when no restart
+        # beats it.
+        rng = np.random.default_rng(5)
+        X = rng.uniform(0, 1, size=(12, 2))
+        y = np.sin(5 * X[:, 0]) + 0.3 * X[:, 1]
+        gp = GaussianProcess(2).fit(X, y)
+        fit_hyperparameters(gp, n_restarts=3, rng=0)
+        for step in range(8):
+            x_new = rng.uniform(0, 1, size=(1, 2))
+            X = np.vstack([X, x_new])
+            y = np.append(y, np.sin(5 * x_new[0, 0]) + 0.3 * x_new[0, 1])
+            gp.fit(X, y)
+            incumbent_lml = gp.log_marginal_likelihood()
+            fit_hyperparameters(gp, n_restarts=1, rng=step)
+            assert gp.log_marginal_likelihood() >= incumbent_lml - 1e-9, (
+                f"warm-started refit {step} drifted below the incumbent"
+            )
+
+    def test_keeps_incumbent_when_restarts_lose(self):
+        # With zero restarts the optimizer only polishes the incumbent start;
+        # the result must still be at least as good as the incumbent.
+        rng = np.random.default_rng(6)
+        X = rng.uniform(0, 1, size=(20, 1))
+        y = np.sin(9 * X[:, 0])
+        gp = GaussianProcess(1).fit(X, y)
+        fit_hyperparameters(gp, n_restarts=2, rng=0)
+        before = gp.log_marginal_likelihood()
+        fit_hyperparameters(gp, n_restarts=0, rng=1)
+        assert gp.log_marginal_likelihood() >= before - 1e-9
+
     def test_deterministic_given_seed(self):
         rng = np.random.default_rng(4)
         X = rng.uniform(0, 1, size=(25, 2))

@@ -89,3 +89,32 @@ class TestDataset:
         X, y = trace.as_dataset()
         np.testing.assert_array_equal(y, [3.0, 1.0, 2.0])
         np.testing.assert_array_equal(X.ravel(), [1.0, 0.0, 2.0])
+
+
+class TestSurrogateStats:
+    def test_dict_roundtrip(self):
+        from repro.sched.trace import SurrogateStats
+
+        stats = SurrogateStats(
+            n_refits=5, n_full_fits=1, n_incremental_updates=4,
+            n_hallucinated_views=5, refit_seconds=[0.1, 0.2],
+            hallucination_seconds=[0.05],
+        )
+        restored = SurrogateStats.from_dict(stats.as_dict())
+        assert restored == stats
+
+    def test_from_dict_ignores_unknown_keys(self):
+        from repro.sched.trace import SurrogateStats
+
+        restored = SurrogateStats.from_dict({"n_refits": 3, "future_field": 7})
+        assert restored.n_refits == 3
+
+    def test_timing_aggregates(self):
+        from repro.sched.trace import SurrogateStats
+
+        stats = SurrogateStats()
+        assert stats.mean_event_seconds == 0.0
+        stats.refit_seconds.extend([0.2, 0.4])
+        stats.hallucination_seconds.extend([0.1, 0.1])
+        assert stats.total_seconds == pytest.approx(0.8)
+        assert stats.mean_event_seconds == pytest.approx(0.4)
