@@ -39,6 +39,7 @@ from repro.core import (
     SimulationError,
     SynchronousBatchBO,
     make_algorithm,
+    resume,
     summarize_runs,
 )
 
@@ -56,6 +57,7 @@ __all__ = [
     "FaultInjectionProblem",
     "SimulationError",
     "RunResult",
+    "resume",
     "summarize_runs",
     "__version__",
 ]

@@ -8,6 +8,9 @@ Commands
     Run a 30-second EasyBO demonstration on a synthetic benchmark.
 ``opamp`` / ``classe``
     Size one of the paper's circuits at a small budget.
+``resume``
+    Continue a crashed run from its write-ahead journal (see ``--journal``
+    on the run commands and ``docs/crash_recovery.md``).
 """
 
 from __future__ import annotations
@@ -34,6 +37,11 @@ def cmd_info(_args) -> int:
     return 0
 
 
+def _journal_kwargs(args) -> dict:
+    journal = getattr(args, "journal", None)
+    return {} if journal is None else {"journal": journal, "checkpoint_every": 5}
+
+
 def cmd_demo(args) -> int:
     from repro import EasyBO
     from repro.circuits import hartmann6
@@ -43,7 +51,7 @@ def cmd_demo(args) -> int:
           f"batch size {args.batch}, {args.budget} evaluations...")
     result = EasyBO(
         problem, batch_size=args.batch, n_init=15, max_evals=args.budget,
-        rng=args.seed,
+        rng=args.seed, **_journal_kwargs(args),
     ).optimize()
     print(f"best value {result.best_fom:.4f} "
           f"(regret {problem.regret(result.best_fom):.4f})")
@@ -58,7 +66,7 @@ def cmd_opamp(args) -> int:
 
     result = EasyBO(
         OpAmpProblem(), batch_size=args.batch, n_init=15,
-        max_evals=args.budget, rng=args.seed,
+        max_evals=args.budget, rng=args.seed, **_journal_kwargs(args),
     ).optimize()
     check = OpAmpProblem().evaluate(result.best_x)
     print(f"best FOM {result.best_fom:.2f}")
@@ -76,12 +84,22 @@ def cmd_classe(args) -> int:
                             steps_per_period=48)
     result = EasyBO(
         problem, batch_size=args.batch, n_init=15, max_evals=args.budget,
-        rng=args.seed,
+        rng=args.seed, **_journal_kwargs(args),
     ).optimize()
     check = problem.evaluate(result.best_x)
     print(f"best FOM {result.best_fom:.3f}")
     print(f"  PAE  {check.metrics['pae']:.1%}")
     print(f"  Pout {1e3 * check.metrics['p_out_w']:.1f} mW")
+    return 0
+
+
+def cmd_resume(args) -> int:
+    from repro import resume
+
+    result = resume(args.journal)
+    print(f"resumed {result.algorithm} on {result.problem}: "
+          f"best FOM {result.best_fom:.4f} after {result.n_evaluations} "
+          f"evaluations ({result.trace.n_orphaned} orphaned at the crash)")
     return 0
 
 
@@ -95,6 +113,20 @@ def main(argv=None) -> int:
         p.add_argument("--budget", type=int, default=default_budget)
         p.add_argument("--batch", type=int, default=5)
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument(
+            "--journal", default=None, metavar="PATH",
+            help="write a crash-safe run journal to PATH (resumable with "
+                 "'python -m repro resume PATH')",
+        )
+    p = sub.add_parser(
+        "resume",
+        help="continue a crashed run from its journal",
+        description="Replay a run journal written with --journal and finish "
+                    "the run.  Problems with non-default constructor "
+                    "arguments must be resumed through the API "
+                    "(repro.resume(path, problem=...)) instead.",
+    )
+    p.add_argument("journal", help="journal file the crashed run was writing")
 
     args = parser.parse_args(argv)
     handler = {
@@ -102,6 +134,7 @@ def main(argv=None) -> int:
         "demo": cmd_demo,
         "opamp": cmd_opamp,
         "classe": cmd_classe,
+        "resume": cmd_resume,
     }[args.command]
     return handler(args)
 

@@ -11,6 +11,8 @@ Public surface:
 * Plumbing: :class:`Problem`, :class:`EvaluationResult`, :class:`RunResult`,
   :func:`summarize_runs`, initial designs, the acquisition maximizer, and
   :class:`SurrogateSession`.
+* Crash safety: :class:`JournalWriter` (write-ahead run journal) and
+  :func:`resume` (replay + continue after a crash).
 """
 
 from repro.core.acquisition import (
@@ -33,11 +35,21 @@ from repro.core.easybo import ALGORITHM_FAMILIES, EasyBO, make_algorithm
 from repro.core.faults import (
     FailurePolicy,
     FaultInjectionProblem,
+    KillSwitchJournal,
+    KillSwitchProblem,
+    ProcessKilled,
     SimulationError,
     run_with_policy,
 )
+from repro.core.journal import (
+    JournalError,
+    JournalWriter,
+    read_journal,
+    recover_journal,
+)
 from repro.core.optimizers import maximize_acquisition
 from repro.core.persistence import load_runs, run_from_dict, run_to_dict, save_runs
+from repro.core.recovery import resolve_problem, resume
 from repro.core.portfolio import PortfolioBO
 from repro.core.problem import EvaluationResult, FunctionProblem, Problem
 from repro.core.results import RunResult, RunSummary, summarize_runs
@@ -91,4 +103,13 @@ __all__ = [
     "run_from_dict",
     "random_design",
     "latin_hypercube",
+    "JournalWriter",
+    "JournalError",
+    "read_journal",
+    "recover_journal",
+    "resume",
+    "resolve_problem",
+    "ProcessKilled",
+    "KillSwitchProblem",
+    "KillSwitchJournal",
 ]

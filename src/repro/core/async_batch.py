@@ -68,25 +68,49 @@ class AsynchronousBatchBO(BODriverBase):
         w = sample_easybo_weight(self.rng, self.lam)
         return self._propose(WeightedAcquisition(w), model=model)
 
+    def _resume_config(self) -> dict:
+        config = super()._resume_config()
+        config.update(lam=self.lam)
+        return config
+
     def run(self) -> RunResult:
         pool = self._make_pool(self.batch_size)
+        self._begin_run(self.batch_size)
         design = self._initial_design()
-        issued = 0
+        self._journal_doe(design)
+        return self._drive(pool, design, 0)
+
+    def _resume_drive(self, pool, state) -> RunResult:
+        design = state.design
+        if design is None:
+            # Crashed before the DoE record was durable: redraw it (the RNG
+            # was restored to the pre-draw state, so it is the same design).
+            design = self._initial_design()
+            self._journal_doe(design)
+        return self._drive(pool, design, state.issued)
+
+    def _drive(self, pool, design: np.ndarray, issued: int) -> RunResult:
+        """Alg. 1 loop, resumable at any (issued, in-flight) boundary.
+
+        ``refill`` is a fixpoint (fill every idle worker, budget permitting),
+        so entering the loop with restored in-flight points behaves exactly
+        as the uninterrupted run at the same boundary would.
+        """
 
         def refill() -> None:
             """Keep every idle worker busy (initial design first, then BO)."""
             nonlocal issued
             while issued < self.max_evals and pool.idle_count > 0:
                 if issued < self.n_init:
-                    pool.submit(design[issued])
+                    self._submit(pool, design[issued])
                 else:
-                    pool.submit(self._propose_async(pool))
+                    self._submit(pool, self._propose_async(pool))
                 issued += 1
 
         refill()
         while issued < self.max_evals:
-            self._absorb(pool.wait_next())
+            self._consume(pool, pool.wait_next())
             refill()
-        for completion in pool.wait_all():
-            self._absorb(completion)
+        while pool.busy_count:
+            self._consume(pool, pool.wait_next())
         return self._package(pool)

@@ -9,6 +9,8 @@ EasyBO's randomized-weight rule).
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 
 from repro.core.acquisition import (
@@ -21,12 +23,14 @@ from repro.core.acquisition import (
 )
 from repro.core.doe import random_design
 from repro.core.faults import FailurePolicy
+from repro.core.journal import JOURNAL_VERSION, JournalWriter
 from repro.core.optimizers import maximize_acquisition
-from repro.core.problem import Problem
+from repro.core.problem import STATUS_ORPHANED, Problem
 from repro.core.results import RunResult
 from repro.core.surrogate import SurrogateSession
+from repro.sched.trace import EvalRecord
 from repro.sched.workers import Completion, VirtualWorkerPool
-from repro.utils.rng import as_generator
+from repro.utils.rng import as_generator, rng_state_to_dict
 
 __all__ = ["BODriverBase", "SequentialBO"]
 
@@ -64,6 +68,19 @@ class BODriverBase:
         (default 1 = every event, the paper's schedule).  Raising K is
         where the incremental path's O(n^3) -> O(n^2) per-event win comes
         from.
+    journal:
+        Crash-safety sink: a path (a :class:`~repro.core.journal.JournalWriter`
+        is opened on it) or any object with an ``append(record)`` method.
+        Every state transition of the run — start, initial design, issue,
+        completion, batch selection, checkpoint, end — is appended as one
+        fsync'd framed record, and :func:`repro.core.recovery.resume` can
+        replay the file to continue a crashed run on the exact trajectory
+        the uninterrupted run would have taken.  ``None`` (default)
+        disables journaling; it changes nothing about the trajectory.
+    checkpoint_every:
+        Emit an integrity ``checkpoint`` record every this-many completed
+        evaluations (0 = never).  Checkpoints are cross-checks, not the
+        recovery mechanism — resume replays the full event log.
     """
 
     #: Subclasses set their display name (used in result rows).
@@ -82,11 +99,15 @@ class BODriverBase:
         failure_policy: FailurePolicy | None = None,
         surrogate_update: str = "incremental",
         refit_every: int = 1,
+        journal=None,
+        checkpoint_every: int = 0,
     ):
         if n_init < 2:
             raise ValueError("n_init must be >= 2 (the GP needs data)")
         if max_evals < n_init:
             raise ValueError("max_evals must be >= n_init")
+        if checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be non-negative")
         self.problem = problem
         self.n_init = int(n_init)
         self.max_evals = int(max_evals)
@@ -95,12 +116,20 @@ class BODriverBase:
         self.failure_policy = failure_policy or FailurePolicy()
         self.acq_candidates = int(acq_candidates)
         self.acq_restarts = int(acq_restarts)
+        self.journal = journal
+        self.checkpoint_every = int(checkpoint_every)
         self.session = SurrogateSession(
             problem.bounds,
             rng=self.rng,
             surrogate_update=surrogate_update,
             refit_every=refit_every,
         )
+        self._journal = None
+        self._owns_journal = False
+        self._reissue_counts: dict[bytes, int] = {}
+        self._since_checkpoint = 0
+        self._pending_failure_action: str | None = None
+        self._last_absorb: tuple[str | None, float | None] = (None, None)
 
     # ------------------------------------------------------------- helpers
     def _make_pool(self, n_workers: int):
@@ -119,6 +148,163 @@ class BODriverBase:
     def _initial_design(self) -> np.ndarray:
         return random_design(self.problem.bounds, self.n_init, self.rng)
 
+    # ------------------------------------------------------------ journaling
+    def _begin_run(self, n_workers: int) -> None:
+        """Open the journal sink and write the ``run_start`` record."""
+        self._reissue_counts = {}
+        self._since_checkpoint = 0
+        self._pending_failure_action = None
+        spec = self.journal
+        if spec is None:
+            self._journal, self._owns_journal = None, False
+        elif hasattr(spec, "append"):
+            self._journal, self._owns_journal = spec, False
+        else:
+            self._journal, self._owns_journal = JournalWriter(spec), True
+        self._journal_event(
+            {
+                "type": "run_start",
+                "journal_version": JOURNAL_VERSION,
+                "algorithm": self.algorithm_name,
+                "problem": self.problem.name,
+                "n_workers": int(n_workers),
+                "config": self._resume_config(),
+                "rng_state": rng_state_to_dict(self.rng),
+            }
+        )
+
+    def _journal_event(self, record: dict) -> None:
+        if self._journal is not None:
+            self._journal.append(record)
+
+    def _journal_doe(self, design: np.ndarray) -> None:
+        if self._journal is not None:
+            self._journal.append(
+                {
+                    "type": "doe",
+                    "design": [[float(v) for v in row] for row in np.asarray(design)],
+                    "rng_state": rng_state_to_dict(self.rng),
+                }
+            )
+
+    def _resume_config(self) -> dict:
+        """Constructor kwargs that reproduce this driver at resume time.
+
+        Together with the ``algorithm`` label (which encodes family, batch
+        size, and strategy) this must round-trip through
+        :func:`repro.core.easybo.make_algorithm` to an identically-configured
+        driver.  Subclasses extend it with their own knobs.
+        """
+        return {
+            "n_init": self.n_init,
+            "max_evals": self.max_evals,
+            "acq_candidates": self.acq_candidates,
+            "acq_restarts": self.acq_restarts,
+            "surrogate_update": self.session.surrogate_update,
+            "refit_every": self.session.refit_every,
+            "checkpoint_every": self.checkpoint_every,
+            "failure_policy": dataclasses.asdict(self.failure_policy),
+        }
+
+    def _submit(self, pool, x, *, batch: int | None = None, counts: bool = True) -> int:
+        """Submit one point and journal the issue (with post-proposal state).
+
+        The issue record carries the RNG state *after* every draw the
+        proposal consumed plus a surrogate hyperparameter snapshot, so replay
+        can continue from this exact boundary; ``counts=False`` marks budget-
+        neutral re-issues of orphaned points.
+        """
+        index = pool.submit(x, batch=batch)
+        if self._journal is not None:
+            info = pool.task_info(index)
+            self._journal.append(
+                {
+                    "type": "issue",
+                    "index": int(index),
+                    "worker": int(info["worker"]),
+                    "x": [float(v) for v in np.asarray(x).ravel()],
+                    "batch": None if batch is None else int(batch),
+                    "issue_time": float(info["issue_time"]),
+                    "lease": info["lease"],
+                    "counts_budget": bool(counts),
+                    "rng_state": rng_state_to_dict(self.rng),
+                    "surrogate": self.session.snapshot(),
+                }
+            )
+        return index
+
+    def _consume(self, pool, completion: Completion) -> bool:
+        """Resolve one completion: reconcile orphans, absorb, journal.
+
+        Orphaned completions (a worker whose lease expired with the point
+        still in flight) follow ``failure_policy.on_orphan``: re-issue the
+        point budget-neutrally (up to ``max_reissues`` per point, then fall
+        back to imputation), impute like any failure, or drop it.
+        """
+        result = completion.result
+        if result.status == STATUS_ORPHANED:
+            policy = self.failure_policy
+            key = np.asarray(completion.x, dtype=float).tobytes()
+            prior = self._reissue_counts.get(key, 0)
+            if policy.on_orphan == "reissue" and prior < policy.max_reissues:
+                self._reissue_counts[key] = prior + 1
+                self._journal_complete(pool, completion, "reissued", None)
+                self._submit(pool, completion.x, batch=completion.batch, counts=False)
+                return False
+            self._pending_failure_action = (
+                "impute" if policy.on_orphan == "reissue" else policy.on_orphan
+            )
+        added = self._absorb(completion)
+        action, value = self._last_absorb
+        self._journal_complete(pool, completion, action, value)
+        self._maybe_checkpoint(pool)
+        return added
+
+    def _journal_complete(self, pool, completion: Completion, action, value) -> None:
+        if self._journal is None:
+            return
+        record = EvalRecord(
+            index=completion.index,
+            worker=completion.worker,
+            x=np.asarray(completion.x, dtype=float),
+            fom=completion.result.fom,
+            issue_time=completion.issue_time,
+            finish_time=completion.finish_time,
+            feasible=completion.result.feasible,
+            batch=completion.batch,
+            status=completion.result.status,
+            error=completion.result.error,
+            attempts=completion.attempts,
+        )
+        self._journal.append(
+            {
+                "type": "complete",
+                "record": record.as_dict(),
+                "action": action,
+                "value": None if value is None else float(value),
+                "clock": float(pool.now),
+            }
+        )
+
+    def _maybe_checkpoint(self, pool) -> None:
+        if self._journal is None or not self.checkpoint_every:
+            return
+        self._since_checkpoint += 1
+        if self._since_checkpoint < self.checkpoint_every:
+            return
+        self._since_checkpoint = 0
+        y = self.session.y
+        self._journal.append(
+            {
+                "type": "checkpoint",
+                "n_observations": int(len(y)),
+                "y": [float(v) for v in y],
+                "best_fom": float(y.max()) if len(y) else None,
+                "clock": float(pool.now),
+                "rng_state": rng_state_to_dict(self.rng),
+            }
+        )
+
     def _absorb(self, completion: Completion) -> bool:
         """Fold a finished evaluation into the surrogate dataset.
 
@@ -132,13 +318,16 @@ class BODriverBase:
         result = completion.result
         if result.ok:
             self.session.add(completion.x, result.fom)
+            self._last_absorb = ("added", float(result.fom))
             return True
-        if (
-            self.failure_policy.on_failure == "impute"
-            and self.session.n_observations > 0
-        ):
-            self.session.add(completion.x, self._imputed_fom())
+        action = self._pending_failure_action or self.failure_policy.on_failure
+        self._pending_failure_action = None
+        if action == "impute" and self.session.n_observations > 0:
+            value = self._imputed_fom()
+            self.session.add(completion.x, value)
+            self._last_absorb = ("imputed", value)
             return True
+        self._last_absorb = ("dropped", None)
         return False
 
     def _imputed_fom(self) -> float:
@@ -177,7 +366,7 @@ class BODriverBase:
             # rather than crashing a run that survived to the end.
             best_x = np.full(self.problem.dim, np.nan)
             best_fom = float("-inf")
-        return RunResult(
+        result = RunResult(
             algorithm=self.algorithm_name,
             problem=self.problem.name,
             trace=trace,
@@ -188,9 +377,26 @@ class BODriverBase:
             n_failures=trace.n_failures,
             n_retries=trace.n_retries,
             surrogate_stats=self.session.stats,
+            rng_state=rng_state_to_dict(self.rng),
         )
+        self._journal_event(
+            {
+                "type": "run_end",
+                "best_fom": best_fom,
+                "n_evaluations": len(trace),
+                "n_orphaned": trace.n_orphaned,
+            }
+        )
+        if self._owns_journal and self._journal is not None:
+            self._journal.close()
+            self._journal = None
+        return result
 
     def run(self) -> RunResult:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def _resume_drive(self, pool, state) -> RunResult:  # pragma: no cover
+        """Continue a replayed run; implemented by each driver."""
         raise NotImplementedError
 
 
@@ -236,21 +442,51 @@ class SequentialBO(BODriverBase):
             return ProbabilityOfImprovement(self._standardized_best(), xi=self.ei_xi)
         return UpperConfidenceBound(self.ucb_kappa)
 
+    def _resume_config(self) -> dict:
+        config = super()._resume_config()
+        config.update(lam=self.lam, ucb_kappa=self.ucb_kappa, ei_xi=self.ei_xi)
+        return config
+
     def run(self) -> RunResult:
         pool = self._make_pool(1)
-        for x in self._initial_design():
-            pool.submit(x)
-            self._absorb(pool.wait_next())
-        evaluations = self.n_init
-        while evaluations < self.max_evals:
-            if self.session.n_observations < 2:
-                # Failures (under a "drop" policy) can leave the GP with too
-                # little data; explore uniformly until it has a footing.
-                x_next = random_design(self.problem.bounds, 1, self.rng)[0]
+        self._begin_run(1)
+        design = self._initial_design()
+        self._journal_doe(design)
+        return self._drive(pool, design, 0)
+
+    def _resume_drive(self, pool, state) -> RunResult:
+        design = state.design
+        if design is None:
+            # Crashed before the DoE record was durable: redraw it (the RNG
+            # was restored to the pre-draw state, so it is the same design).
+            design = self._initial_design()
+            self._journal_doe(design)
+        return self._drive(pool, design, state.issued)
+
+    def _drive(self, pool, design: np.ndarray, issued: int) -> RunResult:
+        """One-at-a-time loop, resumable at any (issued, in-flight) boundary.
+
+        Identical trajectory to the classic submit/absorb interleaving: with
+        one worker the pool alternates strictly between busy (consume the
+        completion) and idle (issue the next point).
+        """
+        while True:
+            if pool.busy_count:
+                self._consume(pool, pool.wait_next())
+            elif issued >= self.max_evals:
+                break
+            elif issued < self.n_init:
+                self._submit(pool, design[issued])
+                issued += 1
             else:
-                self.session.refit()
-                x_next = self._propose(self._make_acquisition())
-            pool.submit(x_next)
-            self._absorb(pool.wait_next())
-            evaluations += 1
+                if self.session.n_observations < 2:
+                    # Failures (under a "drop" policy) can leave the GP with
+                    # too little data; explore uniformly until it has a
+                    # footing.
+                    x_next = random_design(self.problem.bounds, 1, self.rng)[0]
+                else:
+                    self.session.refit()
+                    x_next = self._propose(self._make_acquisition())
+                self._submit(pool, x_next)
+                issued += 1
         return self._package(pool)

@@ -52,6 +52,12 @@ class EasyBO:
         Cholesky factor between ML-II fits, and ``refit_every=K`` pays the
         hyperparameter fit only every K dispatches.  See
         :class:`~repro.core.surrogate.SurrogateSession`.
+    journal / checkpoint_every:
+        Crash safety (forwarded like any driver kwarg): ``journal=path``
+        appends every state transition to a write-ahead journal that
+        :func:`repro.core.recovery.resume` can replay after a crash, and
+        ``checkpoint_every=N`` adds a verification checkpoint record every
+        N completions.  See :mod:`repro.core.journal`.
     """
 
     def __init__(

@@ -46,12 +46,29 @@ from repro.utils.rng import as_generator
 __all__ = [
     "FailurePolicy",
     "SimulationError",
+    "ProcessKilled",
     "run_with_policy",
     "FaultInjectionProblem",
+    "KillSwitchProblem",
+    "KillSwitchJournal",
 ]
 
 #: Driver-side reactions to an evaluation that stayed failed after retries.
 FAILURE_ACTIONS = ("impute", "drop")
+
+#: Reactions to an *orphaned* point — one issued before a crash (or to a
+#: worker whose lease expired) whose result will never arrive.
+ORPHAN_ACTIONS = ("reissue", "impute", "drop")
+
+
+class ProcessKilled(BaseException):
+    """A simulated hard process death for chaos testing.
+
+    Deliberately derives from :class:`BaseException` so the fault-containment
+    retry loop (:func:`run_with_policy`, which catches ``Exception``) cannot
+    absorb it — exactly like a real SIGKILL, it tears down the whole run and
+    can only be observed from outside.
+    """
 
 
 class SimulationError(RuntimeError):
@@ -103,6 +120,18 @@ class FailurePolicy:
     failure_cost:
         Simulated seconds charged for a crash whose exception carries no
         cost of its own.
+    on_orphan:
+        What to do with an in-flight point whose worker died (found pending
+        in the journal at resume, or past its lease at ``wait_next``):
+        ``"reissue"`` re-evaluates it (up to ``max_reissues`` times per
+        point), ``"impute"`` records a pessimistic FOM like ``on_failure``,
+        ``"drop"`` spends the budget slot and counts the orphan.
+    max_reissues:
+        Cap on re-issues per orphaned point before falling back to impute.
+    lease_slack:
+        Lease deadline multiplier: a point issued when completed evaluations
+        average ``c`` seconds gets a lease of ``lease_slack * c`` seconds
+        (``None`` disables leases).
     """
 
     max_retries: int = 0
@@ -112,6 +141,9 @@ class FailurePolicy:
     impute_value: float | None = None
     impute_margin: float = 1.0
     failure_cost: float = 0.0
+    on_orphan: str = "reissue"
+    max_reissues: int = 1
+    lease_slack: float | None = None
 
     def __post_init__(self):
         if self.max_retries < 0:
@@ -126,6 +158,14 @@ class FailurePolicy:
             )
         if self.failure_cost < 0:
             raise ValueError("failure_cost must be non-negative")
+        if self.on_orphan not in ORPHAN_ACTIONS:
+            raise ValueError(
+                f"on_orphan must be one of {ORPHAN_ACTIONS}, got {self.on_orphan!r}"
+            )
+        if self.max_reissues < 0:
+            raise ValueError("max_reissues must be non-negative")
+        if self.lease_slack is not None and self.lease_slack <= 0:
+            raise ValueError("lease_slack must be positive (or None)")
 
 
 def _sanitize(result) -> EvaluationResult:
@@ -316,3 +356,68 @@ class FaultInjectionProblem(Problem):
                 _time.sleep(self.real_slowdown)
             return dataclasses.replace(result, cost=result.cost * self.slowdown_factor)
         return result
+
+
+class KillSwitchProblem(Problem):
+    """Kill the whole process on the ``kill_at``-th evaluation.
+
+    Unlike :class:`FaultInjectionProblem` (whose crashes are contained by the
+    retry loop), this raises :class:`ProcessKilled` — a ``BaseException`` —
+    from inside ``evaluate``, modelling the driver process dying while a
+    simulation is in flight.  Chaos tests catch it at top level and then
+    resume from the journal.
+    """
+
+    def __init__(self, problem: Problem, *, kill_at: int):
+        if kill_at < 1:
+            raise ValueError("kill_at must be >= 1")
+        self.problem = problem
+        self.kill_at = int(kill_at)
+        self.n_calls = 0
+        self.name = problem.name
+
+    @property
+    def bounds(self) -> np.ndarray:
+        return self.problem.bounds
+
+    def evaluate(self, x: np.ndarray) -> EvaluationResult:
+        self.n_calls += 1
+        if self.n_calls == self.kill_at:
+            raise ProcessKilled(f"process killed at evaluation {self.n_calls}")
+        return self.problem.evaluate(x)
+
+
+class KillSwitchJournal:
+    """Journal wrapper that kills the process before the ``kill_at``-th append.
+
+    Wraps a real :class:`~repro.core.journal.JournalWriter` and raises
+    :class:`ProcessKilled` *before* writing record number ``kill_at`` —
+    modelling a crash between the state transition and its durable record.
+    Because the kill fires at the append boundary, sweeping ``kill_at`` over
+    the event count exercises a crash between every pair of consecutive
+    journal records.
+    """
+
+    def __init__(self, journal, *, kill_at: int):
+        if kill_at < 1:
+            raise ValueError("kill_at must be >= 1")
+        self.journal = journal
+        self.kill_at = int(kill_at)
+
+    @property
+    def path(self):
+        return self.journal.path
+
+    @property
+    def n_appends(self) -> int:
+        return self.journal.n_appends
+
+    def append(self, record: dict) -> None:
+        if self.journal.n_appends + 1 >= self.kill_at:
+            raise ProcessKilled(
+                f"process killed before journal append {self.journal.n_appends + 1}"
+            )
+        self.journal.append(record)
+
+    def close(self) -> None:
+        self.journal.close()

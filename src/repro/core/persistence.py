@@ -10,6 +10,7 @@ of pickle's versioning hazards.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 
 import numpy as np
@@ -23,9 +24,10 @@ __all__ = ["run_to_dict", "run_from_dict", "save_runs", "load_runs"]
 #: run-level failure counters.  Version-1 files (no failures recorded) load
 #: with every record treated as a success.  Version 3 added the optional
 #: ``surrogate_stats`` block (incremental-update instrumentation); older
-#: files load with it absent.
-_FORMAT_VERSION = 3
-_READABLE_VERSIONS = frozenset({1, 2, 3})
+#: files load with it absent.  Version 4 added the optional final
+#: ``rng_state`` block (crash-safe runs); older files load with it ``None``.
+_FORMAT_VERSION = 4
+_READABLE_VERSIONS = frozenset({1, 2, 3, 4})
 
 
 def run_to_dict(run: RunResult) -> dict:
@@ -43,23 +45,9 @@ def run_to_dict(run: RunResult) -> dict:
         "surrogate_stats": (
             None if run.surrogate_stats is None else run.surrogate_stats.as_dict()
         ),
+        "rng_state": run.rng_state,
         "n_workers": run.trace.n_workers,
-        "records": [
-            {
-                "index": r.index,
-                "worker": r.worker,
-                "x": r.x.tolist(),
-                "fom": None if not np.isfinite(r.fom) else r.fom,
-                "issue_time": r.issue_time,
-                "finish_time": r.finish_time,
-                "feasible": r.feasible,
-                "batch": r.batch,
-                "status": r.status,
-                "error": r.error,
-                "attempts": r.attempts,
-            }
-            for r in run.trace.records
-        ],
+        "records": [r.as_dict() for r in run.trace.records],
     }
 
 
@@ -70,21 +58,7 @@ def run_from_dict(data: dict) -> RunResult:
         raise ValueError(f"unsupported run format version {version!r}")
     trace = ExecutionTrace(int(data["n_workers"]))
     for r in data["records"]:
-        trace.add(
-            EvalRecord(
-                index=int(r["index"]),
-                worker=int(r["worker"]),
-                x=np.asarray(r["x"], dtype=float),
-                fom=float("nan") if r["fom"] is None else float(r["fom"]),
-                issue_time=float(r["issue_time"]),
-                finish_time=float(r["finish_time"]),
-                feasible=bool(r["feasible"]),
-                batch=r["batch"] if r["batch"] is None else int(r["batch"]),
-                status=str(r.get("status", "ok")),
-                error=r.get("error"),
-                attempts=int(r.get("attempts", 1)),
-            )
-        )
+        trace.add(EvalRecord.from_dict(r))
     stats_data = data.get("surrogate_stats")
     stats = None if stats_data is None else SurrogateStats.from_dict(stats_data)
     trace.surrogate_stats = stats
@@ -99,11 +73,18 @@ def run_from_dict(data: dict) -> RunResult:
         n_failures=int(data.get("n_failures", 0)),
         n_retries=int(data.get("n_retries", 0)),
         surrogate_stats=stats,
+        rng_state=data.get("rng_state"),
     )
 
 
 def save_runs(path, grid: dict[str, list[RunResult]]) -> None:
-    """Write a label -> repetitions grid to a JSON file."""
+    """Write a label -> repetitions grid to a JSON file.
+
+    The write is atomic: the payload lands in a same-directory temp file
+    that is fsync'd and then :func:`os.replace`-d over the target, so a
+    crash mid-save leaves either the previous grid or the new one — never
+    a truncated file that :func:`load_runs` would choke on.
+    """
     payload = {
         "version": _FORMAT_VERSION,
         "grid": {
@@ -111,7 +92,12 @@ def save_runs(path, grid: dict[str, list[RunResult]]) -> None:
         },
     }
     path = pathlib.Path(path)
-    path.write_text(json.dumps(payload))
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(payload))
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
 
 
 def load_runs(path) -> dict[str, list[RunResult]]:

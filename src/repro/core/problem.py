@@ -23,6 +23,7 @@ __all__ = [
     "STATUS_CRASHED",
     "STATUS_NAN",
     "STATUS_TIMEOUT",
+    "STATUS_ORPHANED",
     "FAILURE_STATUSES",
 ]
 
@@ -32,7 +33,10 @@ STATUS_OK = "ok"
 STATUS_CRASHED = "crashed"
 STATUS_NAN = "nan"
 STATUS_TIMEOUT = "timeout"
-FAILURE_STATUSES = frozenset({STATUS_CRASHED, STATUS_NAN, STATUS_TIMEOUT})
+STATUS_ORPHANED = "orphaned"
+FAILURE_STATUSES = frozenset(
+    {STATUS_CRASHED, STATUS_NAN, STATUS_TIMEOUT, STATUS_ORPHANED}
+)
 _VALID_STATUSES = frozenset({STATUS_OK}) | FAILURE_STATUSES
 
 

@@ -1,0 +1,333 @@
+"""Checkpoint/resume: replay a run journal and continue the run.
+
+:func:`resume` is the recovery entry point.  It reads the longest valid
+prefix of a :mod:`repro.core.journal` file (truncating any torn tail),
+rebuilds the optimizer from the ``run_start`` record, replays every event to
+reconstruct the exact state at the crash boundary — the GP training set, the
+surrogate hyperparameters and refit schedule, the execution trace, the
+simulated clock, and the bit-exact ``np.random.Generator`` state — reconciles
+any points that were in flight when the process died, and hands control back
+to the driver's resumable loop.
+
+Resume-equivalence guarantee
+----------------------------
+On a deterministic problem, with the default ``on_orphan="reissue"`` policy
+and ``surrogate_update="full"``, a run killed at *any* event and resumed from
+its journal produces bit-for-bit the trajectory the uninterrupted run would
+have produced: orphaned points are re-evaluated at their original index,
+worker, and issue time, and every RNG draw after the crash boundary comes
+from the restored generator state.  In ``"incremental"`` mode the rebuilt
+Cholesky factor can differ from the crashed run's incrementally-updated one
+by round-off, so equivalence holds to the same tolerance the incremental
+mode's own equivalence harness grants.  With ``on_orphan="impute"``/"drop"``
+(the right choice when evaluations are non-deterministic or expensive) the
+resumed run deliberately diverges at the orphaned points but remains a valid
+continuation: no budget is lost and ``wait_next`` can never wedge on a dead
+worker.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+
+import numpy as np
+
+from repro.core.faults import FailurePolicy
+from repro.core.journal import JournalError, JournalWriter, recover_journal
+from repro.core.problem import STATUS_ORPHANED
+from repro.core.results import RunResult
+from repro.sched.trace import EvalRecord
+from repro.utils.rng import set_rng_state
+
+__all__ = ["resume", "replay_events", "ReplayState", "resolve_problem"]
+
+_DIM_SUFFIX = re.compile(r"^([a-zA-Z]+?)(\d+)$")
+
+
+def resolve_problem(name: str):
+    """Rebuild a problem instance from its journaled ``name``.
+
+    Synthetic benchmarks resolve through the factory registry (with a
+    ``name<dim>`` suffix convention, e.g. ``sphere2``); the circuit
+    testbenches resolve by their class defaults.  Anything else —
+    custom problems, wrapped problems — must be passed to :func:`resume`
+    explicitly via ``problem=``.
+    """
+    from repro.circuits import benchmarks
+
+    try:
+        return benchmarks.by_name(name)
+    except (KeyError, TypeError):
+        pass
+    match = _DIM_SUFFIX.match(name)
+    if match:
+        try:
+            return benchmarks.by_name(match.group(1), dim=int(match.group(2)))
+        except (KeyError, TypeError):
+            pass
+    import repro.circuits as circuits
+
+    for attr in (
+        "OpAmpProblem",
+        "ClassEProblem",
+        "OtaProblem",
+        "ConstrainedOpAmpProblem",
+    ):
+        cls = getattr(circuits, attr, None)
+        if cls is None:
+            continue
+        try:
+            instance = cls()
+        except Exception:  # noqa: BLE001 — registry probing only
+            continue
+        if instance.name == name:
+            return instance
+    raise ValueError(
+        f"cannot rebuild problem {name!r} from the journal alone; "
+        "pass problem=... to resume()"
+    )
+
+
+@dataclasses.dataclass
+class ReplayState:
+    """Optimizer state reconstructed by :func:`replay_events`."""
+
+    n_workers: int = 1
+    design: np.ndarray | None = None
+    issued: int = 0
+    pending: dict = dataclasses.field(default_factory=dict)
+    records: list = dataclasses.field(default_factory=list)
+    clock: float = 0.0
+    next_index: int = 0
+    snapshot: dict | None = None
+    rng_state: dict | None = None
+    batch_counts: dict = dataclasses.field(default_factory=dict)
+    last_issue_batch: int | None = None
+    last_batch: tuple | None = None
+    reissue_counts: dict = dataclasses.field(default_factory=dict)
+    finished: bool = False
+
+
+def replay_events(events: list[dict], session) -> ReplayState:
+    """Fold journal events into a :class:`ReplayState`, feeding ``session``.
+
+    Observations are replayed into the surrogate session exactly as the
+    original ``_absorb`` calls recorded them (including imputed values), so
+    the caller can afterwards restore the hyperparameter snapshot and refit.
+    """
+    state = ReplayState()
+    for event in events:
+        kind = event.get("type")
+        if kind == "run_start":
+            state.n_workers = int(event.get("n_workers", 1))
+            state.rng_state = event.get("rng_state")
+        elif kind == "doe":
+            state.design = np.asarray(event["design"], dtype=float)
+            state.rng_state = event.get("rng_state", state.rng_state)
+        elif kind == "issue":
+            index = int(event["index"])
+            state.pending[index] = event
+            state.next_index = max(state.next_index, index + 1)
+            counts = bool(event.get("counts_budget", True))
+            if counts:
+                state.issued += 1
+            batch = event.get("batch")
+            if batch is not None:
+                if counts:
+                    state.batch_counts[batch] = state.batch_counts.get(batch, 0) + 1
+                state.last_issue_batch = int(batch)
+            state.clock = max(state.clock, float(event.get("issue_time", 0.0)))
+            state.rng_state = event.get("rng_state", state.rng_state)
+            if event.get("surrogate") is not None:
+                state.snapshot = event["surrogate"]
+        elif kind == "batch":
+            state.last_batch = (int(event["batch"]), list(event["points"]))
+            state.rng_state = event.get("rng_state", state.rng_state)
+            if event.get("surrogate") is not None:
+                state.snapshot = event["surrogate"]
+        elif kind == "complete":
+            record = EvalRecord.from_dict(event["record"])
+            state.pending.pop(record.index, None)
+            state.records.append(record)
+            state.clock = max(state.clock, float(event.get("clock", record.finish_time)))
+            action = event.get("action")
+            if action == "added":
+                session.add(record.x, record.fom)
+            elif action == "imputed":
+                session.add(record.x, float(event["value"]))
+            elif action == "reissued":
+                key = np.asarray(record.x, dtype=float).tobytes()
+                state.reissue_counts[key] = state.reissue_counts.get(key, 0) + 1
+        elif kind == "orphan":
+            index = int(event["index"])
+            disposition = event.get("disposition")
+            if disposition == "reissue":
+                issue = state.pending.get(index)
+                if issue is not None:
+                    key = np.asarray(issue["x"], dtype=float).tobytes()
+                    state.reissue_counts[key] = state.reissue_counts.get(key, 0) + 1
+                continue  # stays pending; reconciled again by this resume
+            state.pending.pop(index, None)
+            if event.get("record") is not None:
+                record = EvalRecord.from_dict(event["record"])
+                state.records.append(record)
+                state.clock = max(state.clock, record.finish_time)
+            if event.get("value") is not None:
+                session.add(
+                    np.asarray(event["record"]["x"], dtype=float),
+                    float(event["value"]),
+                )
+        elif kind == "checkpoint":
+            expected = int(event.get("n_observations", -1))
+            if expected >= 0 and expected != session.n_observations:
+                raise JournalError(
+                    f"checkpoint expects {expected} observations but replay "
+                    f"reconstructed {session.n_observations}"
+                )
+            state.rng_state = event.get("rng_state", state.rng_state)
+        elif kind == "resume":
+            continue
+        elif kind == "run_end":
+            state.finished = True
+    return state
+
+
+def _reconcile_orphans(driver, pool, state: ReplayState) -> None:
+    """Classify every point that was in flight at the crash.
+
+    ``on_orphan="reissue"`` re-evaluates the point at its original index /
+    worker / issue time (budget-neutral; deterministic problems land exactly
+    on the uninterrupted trajectory).  ``"impute"`` records a pessimistic
+    observation, ``"drop"`` just counts the orphan; both spend the already-
+    issued budget slot so a dead worker never wedges the run.
+    """
+    policy = driver.failure_policy
+    for index in sorted(state.pending):
+        issue = state.pending[index]
+        x = np.asarray(issue["x"], dtype=float)
+        key = x.tobytes()
+        disposition = policy.on_orphan
+        if (
+            disposition == "reissue"
+            and driver._reissue_counts.get(key, 0) >= policy.max_reissues
+        ):
+            disposition = "impute"
+        if disposition == "impute" and driver.session.n_observations == 0:
+            disposition = "drop"  # nothing to derive a pessimistic value from
+        if disposition == "reissue":
+            driver._reissue_counts[key] = driver._reissue_counts.get(key, 0) + 1
+            # Journal the reissue BEFORE attempting it: if the re-evaluation
+            # kills the process too, the next resume must see the spent
+            # attempt, or a poisoned point would be reissued forever instead
+            # of downgrading to impute after max_reissues.
+            driver._journal_event(
+                {"type": "orphan", "index": index, "disposition": "reissue"}
+            )
+            pool.restore_task(
+                index,
+                int(issue["worker"]),
+                x,
+                batch=issue.get("batch"),
+                issue_time=float(issue["issue_time"]),
+            )
+            continue
+        record = EvalRecord(
+            index=index,
+            worker=int(issue["worker"]),
+            x=x,
+            fom=float("nan"),
+            issue_time=float(issue["issue_time"]),
+            finish_time=max(state.clock, float(issue["issue_time"])),
+            feasible=False,
+            batch=issue.get("batch"),
+            status=STATUS_ORPHANED,
+            error="in flight at crash; reconciled at resume",
+        )
+        pool.trace.add(record)
+        value = None
+        if disposition == "impute":
+            value = driver._imputed_fom()
+            driver.session.add(x, value)
+        driver._journal_event(
+            {
+                "type": "orphan",
+                "index": index,
+                "disposition": disposition,
+                "value": value,
+                "record": record.as_dict(),
+            }
+        )
+
+
+def resume(journal_path, *, problem=None, pool_factory=None) -> RunResult:
+    """Resume a crashed run from its write-ahead journal.
+
+    Parameters
+    ----------
+    journal_path:
+        The journal the crashed run was writing.  Any torn tail record is
+        truncated in place; new events are appended to the same file, so a
+        resumed run that crashes again can be resumed again.
+    problem:
+        The problem instance to evaluate.  Defaults to rebuilding it from the
+        journaled name via :func:`resolve_problem`; required for custom or
+        wrapped problems.
+    pool_factory:
+        Evaluation pool factory, as for the drivers.
+
+    Returns
+    -------
+    RunResult
+        The completed run, with the pre-crash history replayed into its
+        trace.
+    """
+    events = recover_journal(journal_path)
+    if not events or events[0].get("type") != "run_start":
+        raise JournalError(
+            f"{journal_path} has no usable run_start record; nothing to resume"
+        )
+    start = events[0]
+    if any(event.get("type") == "run_end" for event in events):
+        raise RuntimeError(
+            f"the run in {journal_path} already completed; nothing to resume"
+        )
+    if problem is None:
+        problem = resolve_problem(start.get("problem", ""))
+
+    from repro.core.easybo import make_algorithm
+
+    config = dict(start.get("config", {}))
+    policy_dict = config.pop("failure_policy", None)
+    policy = FailurePolicy(**policy_dict) if policy_dict else None
+    driver = make_algorithm(
+        start["algorithm"],
+        problem,
+        rng=0,  # placeholder stream; overwritten below with the journaled state
+        pool_factory=pool_factory,
+        failure_policy=policy,
+        **config,
+    )
+    if not hasattr(driver, "_resume_drive"):
+        raise ValueError(
+            f"algorithm {start['algorithm']!r} does not support resume"
+        )
+    set_rng_state(driver.rng, start["rng_state"])
+
+    state = replay_events(events, driver.session)
+    driver.session.restore_snapshot(state.snapshot)
+    if state.rng_state is not None:
+        set_rng_state(driver.rng, state.rng_state)
+
+    pool = driver._make_pool(state.n_workers)
+    pool.restore(now=state.clock, next_index=state.next_index, records=state.records)
+
+    driver._journal = JournalWriter(journal_path)
+    driver._owns_journal = True
+    driver._reissue_counts = dict(state.reissue_counts)
+    driver._since_checkpoint = 0
+    driver._journal_event(
+        {"type": "resume", "n_pending": len(state.pending), "clock": state.clock}
+    )
+    _reconcile_orphans(driver, pool, state)
+    return driver._resume_drive(pool, state)

@@ -39,6 +39,11 @@ class RunResult:
     n_failures: int = 0
     n_retries: int = 0
     surrogate_stats: SurrogateStats | None = None
+    #: Final ``np.random.Generator`` bit-generator state (JSON-safe dict, see
+    #: :func:`repro.utils.rng.rng_state_to_dict`); lets a follow-up run
+    #: continue this run's random stream exactly.  ``None`` for runs loaded
+    #: from pre-v4 files and for drivers that do not record it.
+    rng_state: dict | None = None
 
     @property
     def best_curve(self):

@@ -334,6 +334,65 @@ class SurrogateSession:
             raise RuntimeError("call refit() before using the surrogate")
         return self.model
 
+    # ------------------------------------------------------------- recovery
+    def snapshot(self) -> dict:
+        """JSON-serializable hyperparameter/schedule state for the journal.
+
+        Captures the *physical* kernel parameters (lengthscales, variance,
+        noise variance) rather than log-space theta: JSON round-trips floats
+        exactly, so restoring avoids the one-ulp drift an ``exp(log(x))``
+        round-trip could introduce and keeps warm-started ML-II bit-exact.
+        The training set itself is not captured — it is replayed from the
+        journal's completion records.
+        """
+        snap = {
+            "countdown": int(self._refit_countdown),
+            "stats": self.stats.as_dict(),
+            "model": None,
+        }
+        if self.model is not None:
+            snap["model"] = {
+                "lengthscales": [float(v) for v in self.model.kernel.lengthscales],
+                "variance": float(self.model.kernel.variance),
+                "noise_variance": float(self.model.noise_variance),
+            }
+        return snap
+
+    def restore_snapshot(self, snap: dict | None) -> None:
+        """Restore hyperparameters, refit schedule, and stats from a snapshot.
+
+        Must be called *after* the observations have been replayed into the
+        session: the model is re-fitted on the current dataset at the
+        restored hyperparameters, which reproduces exactly what the next
+        ``"full"``-mode refit (or ML-II warm start) of the uninterrupted run
+        would compute.  In ``"incremental"`` mode the rebuilt factor can
+        differ from the crashed run's incrementally-updated one by round-off
+        — within the tolerance the equivalence harness already grants that
+        mode.
+        """
+        if snap is None:
+            return
+        self._refit_countdown = int(snap.get("countdown", 0))
+        stats = snap.get("stats")
+        if stats is not None:
+            self.stats = SurrogateStats.from_dict(stats)
+        params = snap.get("model")
+        if params is None:
+            self.model = None
+            return
+        kernel = SquaredExponential(
+            self.dim,
+            lengthscales=np.asarray(params["lengthscales"], dtype=float),
+            variance=float(params["variance"]),
+        )
+        self.model = GaussianProcess(
+            kernel=kernel, noise_variance=float(params["noise_variance"])
+        )
+        if self.can_fit:
+            U = self.transform.to_unit(self._X)
+            z = self.output.fit_transform(self._y)
+            self.model.fit(U, z)
+
     # ------------------------------------------------- pending hallucination
     def model_with_pending(self, X_pending):
         """GP with pending points hallucinated at their predictive means.

@@ -45,7 +45,9 @@ from repro.core.acquisition import (
     sample_easybo_weight,
 )
 from repro.core.bo import BODriverBase
+from repro.core.doe import random_design
 from repro.core.results import RunResult
+from repro.utils.rng import rng_state_to_dict
 
 __all__ = ["SynchronousBatchBO", "SYNC_STRATEGIES"]
 
@@ -261,32 +263,109 @@ class SynchronousBatchBO(BODriverBase):
         return max(lipschitz, 1e-6)
 
     # -------------------------------------------------------------- main loop
+    def _resume_config(self) -> dict:
+        config = super()._resume_config()
+        config.update(lam=self.lam, ucb_kappa=self.ucb_kappa)
+        return config
+
+    def _journal_batch(self, batch_index: int, points) -> None:
+        """Journal a selected batch *before* any of it is submitted.
+
+        Selection consumes RNG for the whole batch up front, so a crash
+        between two submits of the same batch must not re-select: replay
+        re-submits the journaled points with the journaled post-selection
+        RNG state instead.
+        """
+        if self._journal is None:
+            return
+        self._journal.append(
+            {
+                "type": "batch",
+                "batch": int(batch_index),
+                "points": [[float(v) for v in np.asarray(p).ravel()] for p in points],
+                "rng_state": rng_state_to_dict(self.rng),
+                "surrogate": self.session.snapshot(),
+            }
+        )
+
     def run(self) -> RunResult:
         pool = self._make_pool(self.batch_size)
+        self._begin_run(self.batch_size)
         design = self._initial_design()
-        batch_index = 0
-        # Initial design goes out in synchronous batches too.
-        for start in range(0, self.n_init, self.batch_size):
-            for x in design[start : start + self.batch_size]:
-                pool.submit(x, batch=batch_index)
-            for completion in pool.wait_all():
-                self._absorb(completion)
+        self._journal_doe(design)
+        return self._drive(pool, design, issued=0, batch_index=0, leftover=())
+
+    def _resume_drive(self, pool, state) -> RunResult:
+        design = state.design
+        if design is None:
+            design = self._initial_design()
+            self._journal_doe(design)
+        batch_index, leftover = self._resume_position(state, design, pool)
+        return self._drive(pool, design, state.issued, batch_index, leftover)
+
+    def _resume_position(self, state, design, pool):
+        """Locate the crash inside the batch structure.
+
+        Returns ``(batch_index, leftover)`` where ``leftover`` holds the
+        already-selected points of the current batch that were never
+        submitted (selection consumes RNG for the whole batch before the
+        first submit, so they must be re-submitted, not re-selected).
+        """
+        issued = state.issued
+        # A selected-but-not-fully-submitted BO batch takes precedence: its
+        # selection already consumed the RNG, so its points must be
+        # re-submitted, never re-selected.
+        if state.last_batch is not None:
+            b, points = state.last_batch
+            submitted = state.batch_counts.get(b, 0)
+            if submitted < len(points):
+                return b, tuple(np.asarray(p, dtype=float) for p in points[submitted:])
+        if issued == 0 and pool.busy_count == 0:
+            return 0, ()
+        if issued <= self.n_init and state.last_batch is None:
+            current = (issued - 1) // self.batch_size
+            batch_end = min((current + 1) * self.batch_size, self.n_init)
+            if issued < batch_end:
+                return current, tuple(design[issued:batch_end])
+            if pool.busy_count:
+                return current, ()
+            return current + 1, ()
+        # BO phase with the latest batch fully submitted.
+        current = state.last_batch[0] if state.last_batch is not None else state.last_issue_batch
+        if pool.busy_count:
+            return current, ()
+        return current + 1, ()
+
+    def _drive(self, pool, design, issued: int, batch_index: int, leftover) -> RunResult:
+        # Finish a partially-completed batch (resume only; no-op fresh).
+        if leftover or pool.busy_count:
+            for x in leftover:
+                self._submit(pool, x, batch=batch_index)
+                issued += 1
+            while pool.busy_count:
+                self._consume(pool, pool.wait_next())
             batch_index += 1
-        evaluations = self.n_init
-        while evaluations < self.max_evals:
-            n_points = min(self.batch_size, self.max_evals - evaluations)
+        # Initial design goes out in synchronous batches too.
+        while issued < self.n_init:
+            for x in design[issued : min(issued + self.batch_size, self.n_init)]:
+                self._submit(pool, x, batch=batch_index)
+                issued += 1
+            while pool.busy_count:
+                self._consume(pool, pool.wait_next())
+            batch_index += 1
+        while issued < self.max_evals:
+            n_points = min(self.batch_size, self.max_evals - issued)
             if self.session.n_observations < 2:
                 # Too many dropped failures for the GP: fall back to uniform
                 # exploration for this batch.
-                from repro.core.doe import random_design
-
                 points = list(random_design(self.problem.bounds, n_points, self.rng))
             else:
                 points = self._select_batch(n_points)
+            self._journal_batch(batch_index, points)
             for x in points:
-                pool.submit(x, batch=batch_index)
-            for completion in pool.wait_all():
-                self._absorb(completion)
-            evaluations += n_points
+                self._submit(pool, x, batch=batch_index)
+                issued += 1
+            while pool.busy_count:
+                self._consume(pool, pool.wait_next())
             batch_index += 1
         return self._package(pool)

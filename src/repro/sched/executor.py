@@ -39,7 +39,7 @@ import time
 import numpy as np
 
 from repro.core.faults import FailurePolicy, run_with_policy
-from repro.core.problem import STATUS_TIMEOUT, EvaluationResult
+from repro.core.problem import STATUS_ORPHANED, STATUS_TIMEOUT, EvaluationResult
 from repro.sched.trace import EvalRecord, ExecutionTrace
 from repro.sched.workers import Completion, _problem_dim
 
@@ -47,14 +47,30 @@ __all__ = ["ThreadWorkerPool"]
 
 
 class ThreadWorkerPool:
-    """Concurrent evaluation pool with one daemon thread per in-flight task."""
+    """Concurrent evaluation pool with one daemon thread per in-flight task.
 
-    def __init__(self, problem, n_workers: int, *, policy: FailurePolicy | None = None):
+    ``wait_next`` never blocks unboundedly: queue waits are capped at
+    ``poll_interval`` seconds, so a ``KeyboardInterrupt`` surfaces promptly
+    and lease/timeout deadlines are checked on every poll even when no
+    completion ever arrives.
+    """
+
+    def __init__(
+        self,
+        problem,
+        n_workers: int,
+        *,
+        policy: FailurePolicy | None = None,
+        poll_interval: float = 0.5,
+    ):
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
+        if poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
         self.problem = problem
         self.n_workers = int(n_workers)
         self.policy = policy or FailurePolicy()
+        self.poll_interval = float(poll_interval)
         self.trace = ExecutionTrace(n_workers)
         self._lock = threading.Lock()
         self._results: queue.SimpleQueue = queue.SimpleQueue()
@@ -63,6 +79,8 @@ class ThreadWorkerPool:
         self._tasks: dict[int, dict] = {}
         self._abandoned: set[int] = set()
         self._free_workers = list(range(n_workers - 1, -1, -1))
+        self._cost_total = 0.0
+        self._cost_count = 0
 
     # ------------------------------------------------------------ inspection
     @property
@@ -104,6 +122,7 @@ class ThreadWorkerPool:
         x = np.asarray(x, dtype=float).copy()
         issue_time = self.now
         deadline = None if self.policy.timeout is None else issue_time + self.policy.timeout
+        lease = self._lease_deadline(issue_time)
         thread = threading.Thread(
             target=self._run_task, args=(index, x), daemon=True, name=f"eval-{index}"
         )
@@ -115,10 +134,30 @@ class ThreadWorkerPool:
                 "issue_time": issue_time,
                 "batch": batch,
                 "deadline": deadline,
+                "lease": lease,
                 "thread": thread,
             }
         thread.start()
         return index
+
+    def _lease_deadline(self, issue_time: float) -> float | None:
+        """Lease expiry (mean completed duration x slack); ``None`` if unleased."""
+        slack = self.policy.lease_slack
+        with self._lock:
+            if slack is None or self._cost_count == 0:
+                return None
+            return issue_time + (self._cost_total / self._cost_count) * slack
+
+    def task_info(self, index: int) -> dict:
+        """Issue metadata for an in-flight evaluation (for the run journal)."""
+        with self._lock:
+            meta = self._tasks[index]
+            return {
+                "worker": meta["worker"],
+                "issue_time": meta["issue_time"],
+                "batch": meta["batch"],
+                "lease": meta["lease"],
+            }
 
     def _run_task(self, index: int, x: np.ndarray) -> None:
         """Worker-thread body: evaluate under the policy, post the outcome."""
@@ -141,29 +180,47 @@ class ThreadWorkerPool:
                 if not self._tasks:
                     raise RuntimeError("nothing is running")
                 deadlines = [
-                    (m["deadline"], i)
+                    (m["deadline"], i, "timeout")
                     for i, m in self._tasks.items()
                     if m["deadline"] is not None
+                ] + [
+                    (m["lease"], i, "lease")
+                    for i, m in self._tasks.items()
+                    if m["lease"] is not None
                 ]
-            block = None
+            # Never block unboundedly: cap every wait at poll_interval so
+            # KeyboardInterrupt is honored promptly and deadlines are polled
+            # even when no completion ever arrives.
+            block = self.poll_interval
             if deadlines:
-                block = max(min(deadlines)[0] - self.now, 0.0)
+                block = min(block, max(min(deadlines)[0] - self.now, 0.0))
             try:
                 index, result, attempts = self._results.get(timeout=block)
+            except KeyboardInterrupt:
+                raise
             except queue.Empty:
-                # No completion before the earliest deadline: time that task
-                # out, abandoning its (possibly hung) thread.
+                # No completion yet; expire the earliest overdue deadline, if
+                # any, abandoning its (possibly hung or dead) thread.
                 expired = min(
-                    (pair for pair in deadlines if pair[0] <= self.now), default=None
+                    (entry for entry in deadlines if entry[0] <= self.now),
+                    default=None,
                 )
                 if expired is None:
                     continue
-                failure = EvaluationResult.failed(
-                    f"evaluation exceeded timeout of {self.policy.timeout:g}s",
-                    status=STATUS_TIMEOUT,
-                    cost=self.policy.timeout,
-                )
-                return self._complete(expired[1], failure, attempts=1, abandon=True)
+                _, task_index, kind = expired
+                if kind == "timeout":
+                    failure = EvaluationResult.failed(
+                        f"evaluation exceeded timeout of {self.policy.timeout:g}s",
+                        status=STATUS_TIMEOUT,
+                        cost=self.policy.timeout,
+                    )
+                else:
+                    failure = EvaluationResult.failed(
+                        "worker lease expired with the evaluation still in "
+                        "flight (worker presumed dead)",
+                        status=STATUS_ORPHANED,
+                    )
+                return self._complete(task_index, failure, attempts=1, abandon=True)
             with self._lock:
                 stale = index in self._abandoned
                 if stale:
@@ -176,13 +233,15 @@ class ThreadWorkerPool:
         self, index: int, result: EvaluationResult, attempts: int, *, abandon: bool = False
     ) -> Completion:
         """Resolve one task: trace it, free its worker, hand it back."""
+        finish_time = self.now
         with self._lock:
             meta = self._tasks.pop(index)
             if abandon:
                 self._abandoned.add(index)
             self._free_workers.append(meta["worker"])
             self._free_workers.sort(reverse=True)
-        finish_time = self.now
+            self._cost_total += max(finish_time - meta["issue_time"], 0.0)
+            self._cost_count += 1
         completion = Completion(
             index=meta["index"],
             worker=meta["worker"],
@@ -190,6 +249,8 @@ class ThreadWorkerPool:
             result=result,
             issue_time=meta["issue_time"],
             finish_time=finish_time,
+            batch=meta["batch"],
+            attempts=attempts,
         )
         self.trace.add(
             EvalRecord(
@@ -214,6 +275,71 @@ class ThreadWorkerPool:
         while self.busy_count:
             completions.append(self.wait_next())
         return completions
+
+    # -------------------------------------------------------------- recovery
+    def restore(self, *, now: float, next_index: int, records=()) -> None:
+        """Rewind a fresh pool to a journaled state (crash recovery).
+
+        Shifts the pool epoch so ``self.now`` continues from the journaled
+        clock, sets the next evaluation index, and replays completed records
+        into the trace (rebuilding the duration statistics behind leases).
+        """
+        with self._lock:
+            if self._tasks or self.trace.records:
+                raise RuntimeError("restore() requires a fresh pool")
+            self._t0 = time.monotonic() - float(now)
+            self._next_index = int(next_index)
+            for record in records:
+                self.trace.add(record)
+                self._cost_total += max(record.duration, 0.0)
+                self._cost_count += 1
+
+    def restore_task(
+        self,
+        index: int,
+        worker: int,
+        x: np.ndarray,
+        *,
+        batch: int | None = None,
+        issue_time: float | None = None,
+        attempts_offset: int = 0,
+    ) -> int:
+        """Re-issue an orphaned in-flight evaluation at a chosen slot.
+
+        Real clocks cannot be rewound per-task, so the journaled
+        ``issue_time`` is kept for the trace (the point *was* first issued
+        then) while timeout/lease deadlines restart from the current time —
+        the re-run gets a full fresh allowance.  ``attempts_offset`` is unused
+        here (the retry loop reports its own attempt count) but accepted for
+        pool-protocol compatibility.
+        """
+        x = np.asarray(x, dtype=float).copy()
+        start = self.now
+        issue_time = start if issue_time is None else float(issue_time)
+        deadline = None if self.policy.timeout is None else start + self.policy.timeout
+        lease = self._lease_deadline(start)
+        thread = threading.Thread(
+            target=self._run_task, args=(index, x), daemon=True, name=f"eval-{index}"
+        )
+        with self._lock:
+            if worker not in self._free_workers:
+                raise RuntimeError(f"worker {worker} is not idle")
+            if index in self._tasks:
+                raise RuntimeError(f"evaluation {index} is already running")
+            self._free_workers.remove(worker)
+            self._tasks[index] = {
+                "index": int(index),
+                "worker": int(worker),
+                "x": x,
+                "issue_time": issue_time,
+                "batch": batch,
+                "deadline": deadline,
+                "lease": lease,
+                "thread": thread,
+            }
+            self._next_index = max(self._next_index, int(index) + 1)
+        thread.start()
+        return int(index)
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop accepting work; optionally join live (non-abandoned) threads."""

@@ -99,6 +99,43 @@ class EvalRecord:
         if self.attempts < 1:
             raise ValueError(f"attempts must be >= 1, got {self.attempts}")
 
+    def as_dict(self) -> dict:
+        """JSON-serializable form shared by persistence and the run journal.
+
+        A non-finite ``fom`` (failed evaluation) is stored as ``None`` since
+        JSON has no NaN.
+        """
+        return {
+            "index": int(self.index),
+            "worker": int(self.worker),
+            "x": [float(v) for v in np.asarray(self.x).ravel()],
+            "fom": float(self.fom) if np.isfinite(self.fom) else None,
+            "issue_time": float(self.issue_time),
+            "finish_time": float(self.finish_time),
+            "feasible": bool(self.feasible),
+            "batch": None if self.batch is None else int(self.batch),
+            "status": self.status,
+            "error": self.error,
+            "attempts": int(self.attempts),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EvalRecord":
+        fom = data.get("fom")
+        return cls(
+            index=int(data["index"]),
+            worker=int(data["worker"]),
+            x=np.asarray(data["x"], dtype=float),
+            fom=float("nan") if fom is None else float(fom),
+            issue_time=float(data["issue_time"]),
+            finish_time=float(data["finish_time"]),
+            feasible=bool(data.get("feasible", True)),
+            batch=data.get("batch"),
+            status=data.get("status", "ok"),
+            error=data.get("error"),
+            attempts=int(data.get("attempts", 1)),
+        )
+
 
 class ExecutionTrace:
     """Ordered collection of :class:`EvalRecord` with derived statistics."""
@@ -135,6 +172,11 @@ class ExecutionTrace:
     def n_retries(self) -> int:
         """Extra evaluation attempts beyond the first, across all records."""
         return sum(r.attempts - 1 for r in self.records)
+
+    @property
+    def n_orphaned(self) -> int:
+        """Points abandoned because their worker died or its lease expired."""
+        return sum(1 for r in self.records if r.status == "orphaned")
 
     @property
     def has_success(self) -> bool:

@@ -46,6 +46,8 @@ class Completion:
     result: EvaluationResult
     issue_time: float
     finish_time: float
+    batch: int | None = None
+    attempts: int = 1
 
 
 @dataclasses.dataclass
@@ -57,6 +59,7 @@ class _Running:
     issue_time: float
     batch: int | None
     attempts: int = 1
+    lease: float | None = None
 
 
 class VirtualWorkerPool:
@@ -89,6 +92,9 @@ class VirtualWorkerPool:
         self._free = list(range(n_workers - 1, -1, -1))  # pop() yields worker 0 first
         self._running: dict[int, _Running] = {}
         self._next_index = 0
+        # Completed-duration statistics feeding lease deadlines.
+        self._cost_total = 0.0
+        self._cost_count = 0
 
     # ------------------------------------------------------------ inspection
     @property
@@ -98,6 +104,28 @@ class VirtualWorkerPool:
     @property
     def busy_count(self) -> int:
         return len(self._running)
+
+    def task_info(self, index: int) -> dict:
+        """Issue metadata for an in-flight evaluation (for the run journal)."""
+        task = self._running[index]
+        return {
+            "worker": task.worker,
+            "issue_time": task.issue_time,
+            "batch": task.batch,
+            "lease": task.lease,
+        }
+
+    def _lease_deadline(self, issue_time: float) -> float | None:
+        """Lease expiry for a point issued at ``issue_time``.
+
+        The lease is ``mean completed duration x policy.lease_slack``; before
+        any evaluation has completed there is no basis for an expectation and
+        the point is unleased.
+        """
+        slack = self.policy.lease_slack
+        if slack is None or self._cost_count == 0:
+            return None
+        return issue_time + (self._cost_total / self._cost_count) * slack
 
     def pending_points(self) -> np.ndarray:
         """Design points currently under evaluation, in issue order.
@@ -160,6 +188,7 @@ class VirtualWorkerPool:
             issue_time=self.now,
             batch=batch,
             attempts=attempts,
+            lease=self._lease_deadline(self.now),
         )
         self._running[index] = task
         self._events.push(self.now + max(result.cost, 0.0), index)
@@ -175,6 +204,8 @@ class VirtualWorkerPool:
         self._free.append(task.worker)
         # Keep worker reuse deterministic: lowest-numbered worker first.
         self._free.sort(reverse=True)
+        self._cost_total += max(event.time - task.issue_time, 0.0)
+        self._cost_count += 1
         completion = Completion(
             index=task.index,
             worker=task.worker,
@@ -182,6 +213,8 @@ class VirtualWorkerPool:
             result=task.result,
             issue_time=task.issue_time,
             finish_time=event.time,
+            batch=task.batch,
+            attempts=task.attempts,
         )
         self.trace.add(
             EvalRecord(
@@ -210,3 +243,65 @@ class VirtualWorkerPool:
         while self._events:
             completions.append(self.wait_next())
         return completions
+
+    # -------------------------------------------------------------- recovery
+    def restore(self, *, now: float, next_index: int, records=()) -> None:
+        """Rewind a fresh pool to a journaled state (crash recovery).
+
+        Sets the simulated clock and the next evaluation index, and replays
+        completed :class:`EvalRecord` rows into the trace (also rebuilding the
+        duration statistics that drive lease deadlines).  Only valid on a pool
+        that has not run anything yet.
+        """
+        if self._running or self.trace.records:
+            raise RuntimeError("restore() requires a fresh pool")
+        self.now = float(now)
+        self._next_index = int(next_index)
+        for record in records:
+            self.trace.add(record)
+            self._cost_total += max(record.duration, 0.0)
+            self._cost_count += 1
+
+    def restore_task(
+        self,
+        index: int,
+        worker: int,
+        x: np.ndarray,
+        *,
+        batch: int | None = None,
+        issue_time: float | None = None,
+        attempts_offset: int = 0,
+    ) -> int:
+        """Re-issue an orphaned in-flight evaluation at its original slot.
+
+        Unlike :meth:`submit`, the caller chooses the evaluation index, the
+        worker, and the (past) issue time, so on a deterministic problem the
+        re-run completes at exactly the moment the original would have — the
+        resumed trajectory is indistinguishable from the uninterrupted one.
+        ``attempts_offset`` adds the attempts already burned before the crash.
+        """
+        if worker not in self._free:
+            raise RuntimeError(f"worker {worker} is not idle")
+        if index in self._running:
+            raise RuntimeError(f"evaluation {index} is already running")
+        x = np.asarray(x, dtype=float)
+        result, attempts, elapsed = run_with_policy(
+            self.problem, x, self.policy, cost_timeout=True
+        )
+        result = dataclasses.replace(result, cost=elapsed)
+        issue_time = self.now if issue_time is None else float(issue_time)
+        self._free.remove(worker)
+        task = _Running(
+            index=int(index),
+            worker=int(worker),
+            x=x.copy(),
+            result=result,
+            issue_time=issue_time,
+            batch=batch,
+            attempts=attempts + int(attempts_offset),
+            lease=self._lease_deadline(issue_time),
+        )
+        self._running[task.index] = task
+        self._events.push(issue_time + max(result.cost, 0.0), task.index)
+        self._next_index = max(self._next_index, task.index + 1)
+        return task.index

@@ -11,7 +11,13 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["as_generator", "spawn_generators"]
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "rng_state_to_dict",
+    "set_rng_state",
+    "generator_from_state",
+]
 
 
 def as_generator(seed: int | np.random.Generator | None) -> np.random.Generator:
@@ -43,3 +49,50 @@ def spawn_generators(
     root = as_generator(seed)
     seeds = root.integers(0, 2**63 - 1, size=count, dtype=np.int64)
     return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def _jsonify(value):
+    """Recursively coerce a bit-generator state dict into JSON-safe types.
+
+    PCG64 states are plain Python big ints already; other bit generators (e.g.
+    MT19937) carry numpy arrays and numpy scalars, which ``json`` rejects.
+    """
+    if isinstance(value, dict):
+        return {k: _jsonify(v) for k, v in value.items()}
+    if isinstance(value, np.ndarray):
+        return [_jsonify(v) for v in value.tolist()]
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value
+
+
+def rng_state_to_dict(rng: np.random.Generator) -> dict:
+    """Snapshot the exact state of ``rng`` as a JSON-serializable dict.
+
+    The snapshot round-trips bit-for-bit through :func:`set_rng_state`: a
+    generator restored from it produces the identical stream of draws the
+    original would have produced.
+    """
+    return _jsonify(rng.bit_generator.state)
+
+
+def set_rng_state(rng: np.random.Generator, state: dict) -> np.random.Generator:
+    """Restore a state snapshot from :func:`rng_state_to_dict` in place."""
+    kind = state.get("bit_generator")
+    current = type(rng.bit_generator).__name__
+    if kind is not None and kind != current:
+        raise ValueError(
+            f"state was captured from a {kind!r} bit generator but the "
+            f"target uses {current!r}"
+        )
+    rng.bit_generator.state = state
+    return rng
+
+
+def generator_from_state(state: dict) -> np.random.Generator:
+    """Build a fresh generator positioned at a saved state snapshot."""
+    return set_rng_state(np.random.default_rng(0), state)

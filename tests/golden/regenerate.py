@@ -50,8 +50,15 @@ def make_problem(name: str):
     raise ValueError(f"unknown golden problem {name!r}")
 
 
-def run_scenario(name: str, *, surrogate_update: str = "full", refit_every: int = 1):
-    """Replay one scenario; deterministic given the scenario's seed."""
+def run_scenario(
+    name: str, *, surrogate_update: str = "full", refit_every: int = 1, **extra
+):
+    """Replay one scenario; deterministic given the scenario's seed.
+
+    ``extra`` driver kwargs (e.g. ``journal=``, ``checkpoint_every=``) let the
+    crash-resume harness run the *same* scenarios with a write-ahead journal
+    attached and compare against the same fixtures.
+    """
     from repro.core.easybo import make_algorithm
 
     label, problem_name, kwargs = SCENARIOS[name]
@@ -62,6 +69,7 @@ def run_scenario(name: str, *, surrogate_update: str = "full", refit_every: int 
         refit_every=refit_every,
         **COMMON_KWARGS,
         **kwargs,
+        **extra,
     )
     return algorithm.run()
 
