@@ -1,0 +1,240 @@
+"""Distributed-pool bench — wall-clock speedup of process workers.
+
+Evaluates a fixed stream of op-amp FOM points sequentially (single
+in-process worker) and through :class:`ProcessWorkerPool` at several worker
+counts, and reports the wall-clock speedup per count.  Two load shapes:
+
+``cpu``
+    The op-amp evaluation repeated until one call is genuinely CPU-bound
+    (~100 ms of linear algebra).  Speedup here needs real cores — the whole
+    point of escaping the GIL onto processes.
+``latency``
+    The op-amp evaluation plus a real ``sleep``, modelling waiting on a
+    remote simulator licence/farm.  Sleeps overlap across workers, so the
+    speedup is core-count independent.
+``auto`` (default)
+    ``cpu`` when the machine exposes >= 4 usable cores, else ``latency`` —
+    so ``--check`` (assert >= 2x speedup at 4 workers) is meaningful on
+    both build machines and single-core CI runners.
+
+Run standalone::
+
+    python benchmarks/bench_distributed.py --scale smoke --check
+
+Under pytest-benchmark the smoke scale runs once, prints the speedup table,
+and asserts the >= 2x claim plus a chaos case: a worker killed mid-run must
+not cost the run its budget, hang it, or leave a zombie process behind.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import os
+import time
+
+import numpy as np
+
+from repro.circuits import OpAmpProblem
+from repro.circuits.benchmarks import RepeatedProblem
+from repro.core.easybo import EasyBO
+from repro.core.faults import FailurePolicy
+from repro.distributed import ProcessWorkerPool
+from repro.utils.tables import format_table
+
+#: Supervision knobs tightened for bench turnaround (not contention-safe
+#: defaults — the library defaults stay conservative).
+FAST = dict(heartbeat_interval=0.25, poll_interval=0.05, respawn_backoff=0.25)
+
+
+@dataclasses.dataclass(frozen=True)
+class Scale:
+    name: str
+    n_points: int  #: evaluations per timing leg
+    cpu_repeat: int  #: op-amp repeats per evaluation in cpu mode
+    latency: float  #: per-evaluation sleep in latency mode (seconds)
+    worker_counts: tuple  #: process-pool sizes timed against sequential
+
+
+SCALES = {
+    "smoke": Scale("smoke", 8, 8, 0.25, (1, 2, 4)),
+    "reduced": Scale("reduced", 24, 16, 0.25, (1, 2, 4)),
+    "paper": Scale("paper", 64, 32, 0.25, (1, 2, 4, 8)),
+}
+
+
+def usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def resolve_mode(mode: str) -> str:
+    if mode != "auto":
+        return mode
+    return "cpu" if usable_cores() >= 4 else "latency"
+
+
+def make_problem(mode: str, scale: Scale) -> RepeatedProblem:
+    if mode == "cpu":
+        return RepeatedProblem(OpAmpProblem(), repeat=scale.cpu_repeat)
+    return RepeatedProblem(OpAmpProblem(), repeat=1, latency=scale.latency)
+
+
+def bench_points(problem, n: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.uniform(problem.bounds[:, 0], problem.bounds[:, 1],
+                       size=(n, problem.dim))
+
+
+def time_sequential(problem, X) -> float:
+    problem.evaluate(X[0])  # warm caches outside the timed region
+    start = time.perf_counter()
+    for x in X:
+        problem.evaluate(x)
+    return time.perf_counter() - start
+
+
+def time_pool(problem, X, n_workers: int) -> float:
+    """Wall-clock for the point stream through a warmed-up process pool."""
+    with ProcessWorkerPool(problem, n_workers, **FAST) as pool:
+        # Warm-up: wait out process spawn + handshake + one evaluation per
+        # worker, so the timing measures steady-state dispatch, not Python
+        # startup.
+        for x in X[:n_workers]:
+            pool.submit(x)
+        pool.wait_all()
+        start = time.perf_counter()
+        submitted = 0
+        done = 0
+        while done < len(X):
+            while submitted < len(X) and pool.idle_count > 0:
+                pool.submit(X[submitted])
+                submitted += 1
+            pool.wait_next()
+            done += 1
+        return time.perf_counter() - start
+
+
+def run_bench(scale_name: str = "smoke", mode: str = "auto",
+              verbose: bool = True):
+    """Time the grid; returns (speedups dict, rendered table)."""
+    scale = SCALES[scale_name]
+    mode = resolve_mode(mode)
+    problem = make_problem(mode, scale)
+    X = bench_points(problem, scale.n_points)
+    if verbose:
+        print(f"Distributed bench at scale {scale.name!r}, mode {mode!r} "
+              f"({usable_cores()} usable cores), {scale.n_points} op-amp "
+              f"evaluations per leg")
+    baseline = time_sequential(problem, X)
+    if verbose:
+        print(f"  sequential          {baseline:8.2f} s")
+    rows = [["sequential", f"{baseline:.2f}", "1.00x"]]
+    speedups = {}
+    for n_workers in scale.worker_counts:
+        elapsed = time_pool(problem, X, n_workers)
+        speedups[n_workers] = baseline / elapsed
+        rows.append([f"process x{n_workers}", f"{elapsed:.2f}",
+                     f"{speedups[n_workers]:.2f}x"])
+        if verbose:
+            print(f"  process x{n_workers:<10} {elapsed:8.2f} s "
+                  f"({speedups[n_workers]:.2f}x)")
+    table = format_table(
+        ["Backend", "Wall-clock", "Speedup"], rows,
+        title=f"ProcessWorkerPool speedup, {mode}-bound op-amp FOM",
+    )
+    return speedups, table
+
+
+def check_speedup(speedups: dict) -> None:
+    """The subsystem's headline claim: >= 2x with 4 process workers."""
+    assert 4 in speedups, "bench did not time the 4-worker leg"
+    assert speedups[4] >= 2.0, (
+        f"expected >= 2x speedup with 4 process workers, got "
+        f"{speedups[4]:.2f}x"
+    )
+
+
+def run_chaos(verbose: bool = True) -> None:
+    """Kill a worker mid-run; the run must still spend its whole budget.
+
+    The evaluation is latency-padded so the kill reliably lands while the
+    point is in flight (a bare op-amp call is ~15 ms — fast enough that
+    the victim often finishes before the signal, which is survival too,
+    but not the path this case exists to exercise).
+    """
+    problem = RepeatedProblem(OpAmpProblem(), latency=0.3)
+    policy = FailurePolicy(on_orphan="reissue")
+    pools = []
+    killed = {}
+
+    def factory(p, n, policy=policy):
+        pool = ProcessWorkerPool(p, n, policy=policy, **FAST)
+        pools.append(pool)
+        original = pool.wait_next
+
+        def wait_next():
+            completion = original()
+            if len(pool.trace.records) >= 3 and not killed:
+                busy = next(
+                    (s for s in pool._slots
+                     if s.task is not None and s.proc is not None
+                     and s.proc.poll() is None),
+                    None,
+                )
+                if busy is not None:
+                    busy.proc.kill()
+                    killed["worker"] = busy.worker_id
+            return completion
+
+        pool.wait_next = wait_next
+        return pool
+
+    start = time.monotonic()
+    result = EasyBO(
+        problem, batch_size=2, n_init=4, max_evals=10, rng=0,
+        pool_factory=factory, failure_policy=policy,
+        acq_candidates=64, acq_restarts=1,
+    ).optimize()
+    elapsed = time.monotonic() - start
+    assert killed, "chaos hook never found a busy worker to kill"
+    assert elapsed < 300, "run did not complete promptly after the kill"
+    statuses = [r.status for r in result.trace.records]
+    assert statuses.count("orphaned") >= 1, "kill left no orphan record"
+    assert statuses.count("ok") >= 10, "orphaned point was not re-evaluated"
+    for pool in pools:
+        assert all(p.poll() is not None for p in pool._all_procs), "zombie!"
+    if verbose:
+        print(f"  chaos: killed worker {killed['worker']} mid-run; run "
+              f"finished with {statuses.count('orphaned')} orphan(s) "
+              f"re-issued, no zombies ({elapsed:.1f} s)")
+
+
+def test_distributed_smoke(benchmark):
+    speedups, rendered = benchmark.pedantic(
+        lambda: run_bench("smoke", verbose=False),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + rendered)
+    check_speedup(speedups)
+    run_chaos(verbose=False)
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=sorted(SCALES), default="smoke")
+    parser.add_argument("--mode", choices=("auto", "cpu", "latency"),
+                        default="auto")
+    parser.add_argument("--check", action="store_true",
+                        help="assert the >= 2x @ 4 workers claim and run "
+                             "the kill-a-worker chaos case")
+    args = parser.parse_args()
+    speedups, rendered = run_bench(args.scale, args.mode)
+    print("\n" + rendered)
+    if args.check:
+        check_speedup(speedups)
+        run_chaos()
+        print("checks passed")

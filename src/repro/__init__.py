@@ -23,6 +23,9 @@ Subpackages
     The paper's two testbenches (op-amp, class-E PA) and synthetic functions.
 ``repro.sched``
     Worker pools: deterministic simulated clock and real thread backend.
+``repro.distributed``
+    Process-based evaluation pool: one OS process per worker, socket RPC,
+    heartbeats, crash supervision (``--pool process`` on the CLI).
 ``repro.baselines``
     Differential evolution and random search.
 """
@@ -42,6 +45,7 @@ from repro.core import (
     resume,
     summarize_runs,
 )
+from repro.distributed import ProcessWorkerPool
 
 __version__ = "0.1.0"
 
@@ -59,5 +63,6 @@ __all__ = [
     "RunResult",
     "resume",
     "summarize_runs",
+    "ProcessWorkerPool",
     "__version__",
 ]

@@ -11,6 +11,13 @@ Commands
 ``resume``
     Continue a crashed run from its write-ahead journal (see ``--journal``
     on the run commands and ``docs/crash_recovery.md``).
+``summary``
+    Print the paper-style table (Best/Worst/Mean/Std/Time) and the pool
+    telemetry of a saved runs file.
+
+The run commands take ``--pool {virtual,thread,process}`` to pick the
+evaluation backend (see ``docs/distributed.md``) and ``--workers N`` to
+size the pool independently of the proposal batch.
 """
 
 from __future__ import annotations
@@ -42,21 +49,51 @@ def _journal_kwargs(args) -> dict:
     return {} if journal is None else {"journal": journal, "checkpoint_every": 5}
 
 
+def _pool_kwargs(args) -> dict:
+    """Driver kwargs for the ``--pool`` / ``--workers`` CLI flags."""
+    from repro.sched import pool_factory_by_name
+
+    pool = getattr(args, "pool", "virtual")
+    if pool == "virtual":
+        return {}
+    return {"pool_factory": pool_factory_by_name(pool)}
+
+
+def _batch(args) -> int:
+    """Pool size: ``--workers`` wins over ``--batch`` when given.
+
+    EasyBO keeps exactly B points in flight, so the worker count and the
+    batch size are the same knob; ``--workers`` is the spelling that makes
+    sense next to ``--pool process``.
+    """
+    workers = getattr(args, "workers", None)
+    return int(workers) if workers is not None else int(args.batch)
+
+
+def _print_telemetry(result, args) -> None:
+    """Surface pool telemetry for the real (non-virtual-clock) backends."""
+    telemetry = result.pool_telemetry
+    if telemetry is not None and getattr(args, "pool", "virtual") != "virtual":
+        print(telemetry.summary_line())
+
+
 def cmd_demo(args) -> int:
     from repro import EasyBO
     from repro.circuits import hartmann6
 
     problem = hartmann6()
+    batch = _batch(args)
     print(f"EasyBO on Hartmann-6 (optimum {problem.optimum:.3f}), "
-          f"batch size {args.batch}, {args.budget} evaluations...")
+          f"batch size {batch}, {args.budget} evaluations...")
     result = EasyBO(
-        problem, batch_size=args.batch, n_init=15, max_evals=args.budget,
-        rng=args.seed, **_journal_kwargs(args),
+        problem, batch_size=batch, n_init=15, max_evals=args.budget,
+        rng=args.seed, **_journal_kwargs(args), **_pool_kwargs(args),
     ).optimize()
     print(f"best value {result.best_fom:.4f} "
           f"(regret {problem.regret(result.best_fom):.4f})")
     print(f"simulated wall-clock {result.wall_clock:.0f} s at "
           f"{result.trace.utilization():.0%} worker utilization")
+    _print_telemetry(result, args)
     return 0
 
 
@@ -65,14 +102,16 @@ def cmd_opamp(args) -> int:
     from repro.circuits import OpAmpProblem
 
     result = EasyBO(
-        OpAmpProblem(), batch_size=args.batch, n_init=15,
+        OpAmpProblem(), batch_size=_batch(args), n_init=15,
         max_evals=args.budget, rng=args.seed, **_journal_kwargs(args),
+        **_pool_kwargs(args),
     ).optimize()
     check = OpAmpProblem().evaluate(result.best_x)
     print(f"best FOM {result.best_fom:.2f}")
     for key, value in check.metrics.items():
         print(f"  {key:<8} {value:.2f}")
     print(f"design: {np.array2string(result.best_x, precision=3)}")
+    _print_telemetry(result, args)
     return 0
 
 
@@ -83,13 +122,14 @@ def cmd_classe(args) -> int:
     problem = ClassEProblem(settle_periods=12, measure_periods=3,
                             steps_per_period=48)
     result = EasyBO(
-        problem, batch_size=args.batch, n_init=15, max_evals=args.budget,
-        rng=args.seed, **_journal_kwargs(args),
+        problem, batch_size=_batch(args), n_init=15, max_evals=args.budget,
+        rng=args.seed, **_journal_kwargs(args), **_pool_kwargs(args),
     ).optimize()
     check = problem.evaluate(result.best_x)
     print(f"best FOM {result.best_fom:.3f}")
     print(f"  PAE  {check.metrics['pae']:.1%}")
     print(f"  Pout {1e3 * check.metrics['p_out_w']:.1f} mW")
+    _print_telemetry(result, args)
     return 0
 
 
@@ -100,6 +140,27 @@ def cmd_resume(args) -> int:
     print(f"resumed {result.algorithm} on {result.problem}: "
           f"best FOM {result.best_fom:.4f} after {result.n_evaluations} "
           f"evaluations ({result.trace.n_orphaned} orphaned at the crash)")
+    return 0
+
+
+def cmd_summary(args) -> int:
+    from repro import summarize_runs
+    from repro.core.persistence import load_runs
+    from repro.utils.tables import format_table
+
+    grid = load_runs(args.runs)
+    rows = [summarize_runs(runs).as_row() for runs in grid.values() if runs]
+    print(format_table(["Algorithm", "Best", "Worst", "Mean", "Std", "Time"],
+                       rows))
+    telemetry_lines = []
+    for label, runs in grid.items():
+        pools = [r.pool_telemetry for r in runs if r.pool_telemetry is not None]
+        if pools:
+            telemetry_lines.append(f"  {label}: {pools[-1].summary_line()}")
+    if telemetry_lines:
+        print("\npool telemetry (last repetition per algorithm):")
+        for line in telemetry_lines:
+            print(line)
     return 0
 
 
@@ -118,6 +179,17 @@ def main(argv=None) -> int:
             help="write a crash-safe run journal to PATH (resumable with "
                  "'python -m repro resume PATH')",
         )
+        p.add_argument(
+            "--pool", choices=("virtual", "thread", "process"),
+            default="virtual",
+            help="evaluation backend: simulated clock (default), threads, "
+                 "or one OS process per worker",
+        )
+        p.add_argument(
+            "--workers", type=int, default=None, metavar="N",
+            help="pool size (overrides --batch; EasyBO keeps one point in "
+                 "flight per worker)",
+        )
     p = sub.add_parser(
         "resume",
         help="continue a crashed run from its journal",
@@ -127,6 +199,15 @@ def main(argv=None) -> int:
                     "(repro.resume(path, problem=...)) instead.",
     )
     p.add_argument("journal", help="journal file the crashed run was writing")
+    p = sub.add_parser(
+        "summary",
+        help="print the paper-style table and pool telemetry of a runs file",
+        description="Summarize a JSON runs file written with "
+                    "repro.core.persistence.save_runs: Best/Worst/Mean/Std/"
+                    "Time per algorithm, plus evaluation-pool telemetry for "
+                    "runs that recorded it (format v5+).",
+    )
+    p.add_argument("runs", help="runs file written by save_runs")
 
     args = parser.parse_args(argv)
     handler = {
@@ -135,6 +216,7 @@ def main(argv=None) -> int:
         "opamp": cmd_opamp,
         "classe": cmd_classe,
         "resume": cmd_resume,
+        "summary": cmd_summary,
     }[args.command]
     return handler(args)
 

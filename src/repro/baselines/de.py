@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.bo import shutdown_pool
 from repro.core.problem import Problem
 from repro.core.results import RunResult
 from repro.sched.workers import VirtualWorkerPool
@@ -66,9 +67,15 @@ class DifferentialEvolution:
         self.pool_factory = pool_factory or VirtualWorkerPool
 
     def run(self) -> RunResult:
+        pool = self.pool_factory(self.problem, self.n_workers)
+        try:
+            return self._drive(pool)
+        finally:
+            shutdown_pool(pool)
+
+    def _drive(self, pool) -> RunResult:
         bounds = self.problem.bounds
         d = self.problem.dim
-        pool = self.pool_factory(self.problem, self.n_workers)
         budget = self.max_evals
 
         def evaluate_all(X: np.ndarray) -> np.ndarray:

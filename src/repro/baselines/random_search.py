@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro.core.bo import shutdown_pool
 from repro.core.doe import random_design
 from repro.core.problem import Problem
 from repro.core.results import RunResult
@@ -35,6 +36,12 @@ class RandomSearch:
 
     def run(self) -> RunResult:
         pool = self.pool_factory(self.problem, self.n_workers)
+        try:
+            return self._drive(pool)
+        finally:
+            shutdown_pool(pool)
+
+    def _drive(self, pool) -> RunResult:
         X = random_design(self.problem.bounds, self.max_evals, self.rng)
         submitted = 0
         while submitted < self.max_evals and pool.idle_count > 0:

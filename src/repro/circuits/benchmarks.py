@@ -9,6 +9,8 @@ the asynchronous scheduling machinery can be exercised cheaply.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.core.problem import EvaluationResult, Problem
@@ -17,6 +19,7 @@ from repro.utils.validation import check_bounds
 
 __all__ = [
     "SyntheticProblem",
+    "RepeatedProblem",
     "branin",
     "hartmann6",
     "ackley",
@@ -155,6 +158,43 @@ def sphere(dim: int = 3, cost_model: CostModel | None = None) -> SyntheticProble
     return SyntheticProblem(
         f"sphere{dim}", f, [[-5.0, 5.0]] * dim, optimum=0.0, cost_model=cost_model
     )
+
+
+class RepeatedProblem(Problem):
+    """Inflate a problem's real evaluation cost: repeat it, then sleep.
+
+    The inner problem is evaluated ``repeat`` times per call (pure CPU
+    work; the first result is returned) and ``latency`` adds a real
+    ``time.sleep`` — modelling the wait on a remote simulator licence or
+    farm.  Parallel-speedup benchmarks use it to dial evaluation cost up
+    to where process-level parallelism is measurable: CPU repeats scale
+    with cores, sleeps overlap across workers regardless of core count.
+
+    Lives in the library (not in a benchmark script) so that instances
+    pickle by module reference into worker processes.
+    """
+
+    def __init__(self, problem: Problem, *, repeat: int = 1, latency: float = 0.0):
+        if repeat < 1:
+            raise ValueError("repeat must be >= 1")
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        self.problem = problem
+        self.repeat = int(repeat)
+        self.latency = float(latency)
+        self.name = problem.name
+
+    @property
+    def bounds(self) -> np.ndarray:
+        return self.problem.bounds
+
+    def evaluate(self, x: np.ndarray) -> EvaluationResult:
+        result = self.problem.evaluate(x)
+        for _ in range(self.repeat - 1):
+            self.problem.evaluate(x)
+        if self.latency > 0:
+            time.sleep(self.latency)
+        return result
 
 
 _FACTORIES = {

@@ -25,7 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.acquisition import EASYBO_LAMBDA, WeightedAcquisition, sample_easybo_weight
-from repro.core.bo import BODriverBase
+from repro.core.bo import BODriverBase, shutdown_pool
 from repro.core.results import RunResult
 
 __all__ = ["AsynchronousBatchBO"]
@@ -75,10 +75,13 @@ class AsynchronousBatchBO(BODriverBase):
 
     def run(self) -> RunResult:
         pool = self._make_pool(self.batch_size)
-        self._begin_run(self.batch_size)
-        design = self._initial_design()
-        self._journal_doe(design)
-        return self._drive(pool, design, 0)
+        try:
+            self._begin_run(self.batch_size)
+            design = self._initial_design()
+            self._journal_doe(design)
+            return self._drive(pool, design, 0)
+        finally:
+            shutdown_pool(pool)
 
     def _resume_drive(self, pool, state) -> RunResult:
         design = state.design

@@ -32,7 +32,19 @@ from repro.sched.trace import EvalRecord
 from repro.sched.workers import Completion, VirtualWorkerPool
 from repro.utils.rng import as_generator, rng_state_to_dict
 
-__all__ = ["BODriverBase", "SequentialBO"]
+__all__ = ["BODriverBase", "SequentialBO", "shutdown_pool"]
+
+
+def shutdown_pool(pool) -> None:
+    """Release a pool's resources if it has any (``close()`` is optional).
+
+    Drivers call this from a ``finally`` so that an exception mid-run —
+    a KeyboardInterrupt, a surrogate failure, a problem bug — cannot leak
+    live worker threads or processes behind the traceback.
+    """
+    close = getattr(pool, "close", None)
+    if callable(close):
+        close()
 
 
 class BODriverBase:
@@ -358,6 +370,9 @@ class BODriverBase:
     def _package(self, pool) -> RunResult:
         trace = pool.trace
         trace.surrogate_stats = self.session.stats
+        tele_fn = getattr(pool, "telemetry", None)
+        telemetry = tele_fn() if callable(tele_fn) else None
+        trace.pool_telemetry = telemetry
         if trace.has_success:
             best = trace.best_record()
             best_x, best_fom = best.x.copy(), best.fom
@@ -378,6 +393,7 @@ class BODriverBase:
             n_retries=trace.n_retries,
             surrogate_stats=self.session.stats,
             rng_state=rng_state_to_dict(self.rng),
+            pool_telemetry=telemetry,
         )
         self._journal_event(
             {
@@ -449,10 +465,13 @@ class SequentialBO(BODriverBase):
 
     def run(self) -> RunResult:
         pool = self._make_pool(1)
-        self._begin_run(1)
-        design = self._initial_design()
-        self._journal_doe(design)
-        return self._drive(pool, design, 0)
+        try:
+            self._begin_run(1)
+            design = self._initial_design()
+            self._journal_doe(design)
+            return self._drive(pool, design, 0)
+        finally:
+            shutdown_pool(pool)
 
     def _resume_drive(self, pool, state) -> RunResult:
         design = state.design

@@ -50,6 +50,7 @@ __all__ = [
     "run_with_policy",
     "FaultInjectionProblem",
     "KillSwitchProblem",
+    "HangProblem",
     "KillSwitchJournal",
 ]
 
@@ -384,6 +385,59 @@ class KillSwitchProblem(Problem):
         self.n_calls += 1
         if self.n_calls == self.kill_at:
             raise ProcessKilled(f"process killed at evaluation {self.n_calls}")
+        return self.problem.evaluate(x)
+
+
+class HangProblem(Problem):
+    """Freeze (real ``time.sleep``) on chosen evaluations.
+
+    Unlike the simulated-clock slowdowns of :class:`FaultInjectionProblem`,
+    this wrapper genuinely stops responding for ``hang_seconds`` of wall
+    time — the deterministic stand-in for a wedged SPICE process.  It
+    exercises the supervision paths that only exist against real workers:
+    a thread pool's deadline expiry and a process pool's timeout-kill /
+    heartbeat machinery.  Two triggers:
+
+    ``hang_at``
+        Hang on the N-th ``evaluate`` call of this instance.  Call counts
+        are per-process, so this is for in-process pools (virtual/thread).
+    ``hang_above``
+        Hang whenever ``x[0] >= hang_above``.  The trigger travels with
+        the *point*, so it stays deterministic when each worker process
+        holds its own copy of the problem.
+
+    The wrapper holds no closures; with a picklable inner problem it
+    pickles cleanly into worker processes (named-spec fallbacks would
+    rebuild the inner problem *without* the hang — see
+    :func:`repro.distributed.protocol.problem_spec`).
+    """
+
+    def __init__(self, problem: Problem, *, hang_seconds: float,
+                 hang_at: int | None = None, hang_above: float | None = None):
+        if hang_seconds <= 0:
+            raise ValueError("hang_seconds must be positive")
+        if hang_at is None and hang_above is None:
+            raise ValueError("need a trigger: hang_at and/or hang_above")
+        if hang_at is not None and hang_at < 1:
+            raise ValueError("hang_at must be >= 1")
+        self.problem = problem
+        self.hang_seconds = float(hang_seconds)
+        self.hang_at = None if hang_at is None else int(hang_at)
+        self.hang_above = None if hang_above is None else float(hang_above)
+        self.n_calls = 0
+        self.name = problem.name
+
+    @property
+    def bounds(self) -> np.ndarray:
+        return self.problem.bounds
+
+    def evaluate(self, x: np.ndarray) -> EvaluationResult:
+        self.n_calls += 1
+        triggered = (self.hang_at is not None and self.n_calls == self.hang_at) or (
+            self.hang_above is not None and float(x[0]) >= self.hang_above
+        )
+        if triggered:
+            _time.sleep(self.hang_seconds)
         return self.problem.evaluate(x)
 
 

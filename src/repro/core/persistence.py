@@ -16,7 +16,7 @@ import pathlib
 import numpy as np
 
 from repro.core.results import RunResult
-from repro.sched.trace import EvalRecord, ExecutionTrace, SurrogateStats
+from repro.sched.trace import EvalRecord, ExecutionTrace, PoolTelemetry, SurrogateStats
 
 __all__ = ["run_to_dict", "run_from_dict", "save_runs", "load_runs"]
 
@@ -26,8 +26,10 @@ __all__ = ["run_to_dict", "run_from_dict", "save_runs", "load_runs"]
 #: ``surrogate_stats`` block (incremental-update instrumentation); older
 #: files load with it absent.  Version 4 added the optional final
 #: ``rng_state`` block (crash-safe runs); older files load with it ``None``.
-_FORMAT_VERSION = 4
-_READABLE_VERSIONS = frozenset({1, 2, 3, 4})
+#: Version 5 added the optional ``pool_telemetry`` block (evaluation-pool
+#: operational counters); older files load with it ``None``.
+_FORMAT_VERSION = 5
+_READABLE_VERSIONS = frozenset({1, 2, 3, 4, 5})
 
 
 def run_to_dict(run: RunResult) -> dict:
@@ -46,6 +48,9 @@ def run_to_dict(run: RunResult) -> dict:
             None if run.surrogate_stats is None else run.surrogate_stats.as_dict()
         ),
         "rng_state": run.rng_state,
+        "pool_telemetry": (
+            None if run.pool_telemetry is None else run.pool_telemetry.as_dict()
+        ),
         "n_workers": run.trace.n_workers,
         "records": [r.as_dict() for r in run.trace.records],
     }
@@ -62,6 +67,9 @@ def run_from_dict(data: dict) -> RunResult:
     stats_data = data.get("surrogate_stats")
     stats = None if stats_data is None else SurrogateStats.from_dict(stats_data)
     trace.surrogate_stats = stats
+    tele_data = data.get("pool_telemetry")
+    telemetry = None if tele_data is None else PoolTelemetry.from_dict(tele_data)
+    trace.pool_telemetry = telemetry
     return RunResult(
         algorithm=str(data["algorithm"]),
         problem=str(data["problem"]),
@@ -74,6 +82,7 @@ def run_from_dict(data: dict) -> RunResult:
         n_retries=int(data.get("n_retries", 0)),
         surrogate_stats=stats,
         rng_state=data.get("rng_state"),
+        pool_telemetry=telemetry,
     )
 
 

@@ -17,7 +17,7 @@ from repro.core.acquisition import (
     ProbabilityOfImprovement,
     UpperConfidenceBound,
 )
-from repro.core.bo import BODriverBase
+from repro.core.bo import BODriverBase, shutdown_pool
 from repro.core.results import RunResult
 
 __all__ = ["PortfolioBO"]
@@ -64,6 +64,12 @@ class PortfolioBO(BODriverBase):
 
     def run(self) -> RunResult:
         pool = self._make_pool(1)
+        try:
+            return self._drive(pool)
+        finally:
+            shutdown_pool(pool)
+
+    def _drive(self, pool) -> RunResult:
         for x in self._initial_design():
             pool.submit(x)
             self._absorb(pool.wait_next())

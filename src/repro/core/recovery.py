@@ -33,6 +33,7 @@ import re
 
 import numpy as np
 
+from repro.core.bo import shutdown_pool
 from repro.core.faults import FailurePolicy
 from repro.core.journal import JournalError, JournalWriter, recover_journal
 from repro.core.problem import STATUS_ORPHANED
@@ -320,14 +321,19 @@ def resume(journal_path, *, problem=None, pool_factory=None) -> RunResult:
         set_rng_state(driver.rng, state.rng_state)
 
     pool = driver._make_pool(state.n_workers)
-    pool.restore(now=state.clock, next_index=state.next_index, records=state.records)
+    try:
+        pool.restore(
+            now=state.clock, next_index=state.next_index, records=state.records
+        )
 
-    driver._journal = JournalWriter(journal_path)
-    driver._owns_journal = True
-    driver._reissue_counts = dict(state.reissue_counts)
-    driver._since_checkpoint = 0
-    driver._journal_event(
-        {"type": "resume", "n_pending": len(state.pending), "clock": state.clock}
-    )
-    _reconcile_orphans(driver, pool, state)
-    return driver._resume_drive(pool, state)
+        driver._journal = JournalWriter(journal_path)
+        driver._owns_journal = True
+        driver._reissue_counts = dict(state.reissue_counts)
+        driver._since_checkpoint = 0
+        driver._journal_event(
+            {"type": "resume", "n_pending": len(state.pending), "clock": state.clock}
+        )
+        _reconcile_orphans(driver, pool, state)
+        return driver._resume_drive(pool, state)
+    finally:
+        shutdown_pool(pool)

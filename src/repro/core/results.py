@@ -11,7 +11,7 @@ import dataclasses
 
 import numpy as np
 
-from repro.sched.trace import ExecutionTrace, SurrogateStats
+from repro.sched.trace import ExecutionTrace, PoolTelemetry, SurrogateStats
 from repro.utils.tables import format_duration
 
 __all__ = ["RunResult", "RunSummary", "summarize_runs"]
@@ -44,6 +44,11 @@ class RunResult:
     #: continue this run's random stream exactly.  ``None`` for runs loaded
     #: from pre-v4 files and for drivers that do not record it.
     rng_state: dict | None = None
+    #: Operational counters of the evaluation pool that ran this run —
+    #: backend, per-worker utilization, queue waits, respawn/heartbeat/
+    #: timeout counts (:class:`~repro.sched.trace.PoolTelemetry`).  ``None``
+    #: for runs loaded from pre-v5 files.
+    pool_telemetry: PoolTelemetry | None = None
 
     @property
     def best_curve(self):

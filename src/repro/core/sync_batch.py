@@ -44,7 +44,7 @@ from repro.core.acquisition import (
     pbo_weights,
     sample_easybo_weight,
 )
-from repro.core.bo import BODriverBase
+from repro.core.bo import BODriverBase, shutdown_pool
 from repro.core.doe import random_design
 from repro.core.results import RunResult
 from repro.utils.rng import rng_state_to_dict
@@ -290,10 +290,13 @@ class SynchronousBatchBO(BODriverBase):
 
     def run(self) -> RunResult:
         pool = self._make_pool(self.batch_size)
-        self._begin_run(self.batch_size)
-        design = self._initial_design()
-        self._journal_doe(design)
-        return self._drive(pool, design, issued=0, batch_index=0, leftover=())
+        try:
+            self._begin_run(self.batch_size)
+            design = self._initial_design()
+            self._journal_doe(design)
+            return self._drive(pool, design, issued=0, batch_index=0, leftover=())
+        finally:
+            shutdown_pool(pool)
 
     def _resume_drive(self, pool, state) -> RunResult:
         design = state.design

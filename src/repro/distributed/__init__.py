@@ -1,0 +1,33 @@
+"""Distributed evaluation: process workers behind the shared pool contract.
+
+The subsystem has four pieces:
+
+* :mod:`~repro.distributed.protocol` — message vocabulary and portable
+  problem specs;
+* :mod:`~repro.distributed.transport` — journal-framed messages over
+  loopback TCP;
+* :mod:`~repro.distributed.worker` — the per-process evaluation daemon
+  (``python -m repro.distributed.worker``);
+* :mod:`~repro.distributed.pool` — :class:`ProcessWorkerPool`, the
+  supervisor that presents the fleet through the same ``submit`` /
+  ``wait_next`` contract as the virtual and thread pools.
+"""
+
+from repro.distributed.pool import ProcessWorkerPool
+from repro.distributed.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    load_problem,
+    problem_spec,
+)
+from repro.distributed.transport import ConnectionClosed, FramedConnection
+
+__all__ = [
+    "ProcessWorkerPool",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "problem_spec",
+    "load_problem",
+    "ConnectionClosed",
+    "FramedConnection",
+]

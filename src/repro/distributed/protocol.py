@@ -1,0 +1,141 @@
+"""Wire protocol of the process-worker RPC.
+
+Supervisor and workers exchange JSON records framed exactly like the run
+journal (``J1 <length> <crc32> <payload>\\n`` — see
+:mod:`repro.core.journal`): the length+CRC framing turns a byte stream into
+self-validating messages, so a half-written frame from a dying worker is
+detected instead of being parsed as garbage.  This module defines the
+message vocabulary and the problem *spec* — the portable description a
+worker daemon uses to rebuild the evaluation problem in its own process.
+
+Message types
+-------------
+``hello``      worker -> supervisor, once per connection: worker id + pid.
+``init``       supervisor -> worker: problem spec, failure policy,
+               heartbeat interval.
+``task``       supervisor -> worker: evaluation index + design point.
+``started``    worker -> supervisor: evaluation has begun (queue-wait
+               telemetry).
+``heartbeat``  worker -> supervisor, every ``heartbeat_interval`` seconds
+               from a background thread — flows even while an evaluation
+               is grinding, so a *silent* worker is a dead or frozen one.
+``result``     worker -> supervisor: the evaluation outcome (never an
+               exception — the worker runs the shared retry loop
+               :func:`repro.core.faults.run_with_policy`).
+``error``      worker -> supervisor: fatal worker-side failure (e.g. the
+               problem spec would not load).
+``shutdown``   supervisor -> worker: exit the daemon loop.
+
+Problem specs
+-------------
+``problem_spec`` prefers pickling the problem instance (full fidelity:
+custom cost models, fault-injection state, wrapped problems) and falls back
+to the by-name registry used by crash recovery
+(:func:`repro.core.recovery.resolve_problem`) for problems that cannot be
+pickled, such as the synthetic benchmarks built around closures.  Named
+specs rebuild the problem with constructor defaults — pass a picklable
+problem when non-default construction matters.
+"""
+
+from __future__ import annotations
+
+import base64
+import pickle
+
+import numpy as np
+
+from repro.core.problem import EvaluationResult
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "problem_spec",
+    "load_problem",
+    "result_to_dict",
+    "result_from_dict",
+]
+
+#: Bumped when the message vocabulary changes incompatibly; the supervisor
+#: stamps it into ``init`` and workers refuse a mismatch.
+PROTOCOL_VERSION = 1
+
+
+class ProtocolError(RuntimeError):
+    """A malformed or out-of-order message on a worker connection."""
+
+
+def problem_spec(problem) -> dict:
+    """Portable description of ``problem`` for a worker process.
+
+    Prefers a pickle spec (exact state transfer).  Classes defined in
+    ``__main__`` pickle by reference to a module the worker does not have,
+    so those — and anything else unpicklable — fall back to a named spec
+    resolved through the crash-recovery problem registry.
+    """
+    pickled = None
+    if type(problem).__module__ != "__main__":
+        try:
+            pickled = pickle.dumps(problem)
+        except Exception:  # noqa: BLE001 — closures et al.; fall through to named
+            pickled = None
+    if pickled is not None:
+        return {
+            "kind": "pickle",
+            "data": base64.b64encode(pickled).decode("ascii"),
+            "name": getattr(problem, "name", "problem"),
+        }
+    name = getattr(problem, "name", None)
+    if name:
+        from repro.core.recovery import resolve_problem
+
+        try:
+            rebuilt = resolve_problem(name)
+        except Exception:  # noqa: BLE001 — registry probing only
+            rebuilt = None
+        if rebuilt is not None and np.array_equal(rebuilt.bounds, problem.bounds):
+            return {"kind": "named", "name": str(name)}
+    raise ValueError(
+        f"problem {getattr(problem, 'name', problem)!r} is neither picklable "
+        "nor resolvable by name; process workers cannot load it"
+    )
+
+
+def load_problem(spec: dict):
+    """Rebuild a problem from a :func:`problem_spec` dict (worker side)."""
+    kind = spec.get("kind")
+    if kind == "pickle":
+        return pickle.loads(base64.b64decode(spec["data"]))
+    if kind == "named":
+        from repro.core.recovery import resolve_problem
+
+        return resolve_problem(spec["name"])
+    raise ProtocolError(f"unknown problem spec kind {kind!r}")
+
+
+def result_to_dict(result: EvaluationResult) -> dict:
+    """JSON-framable form of an evaluation outcome.
+
+    Non-finite floats survive the trip: the journal framing serializes with
+    Python's JSON dialect (``NaN``/``Infinity`` tokens), which round-trips
+    symmetrically between supervisor and worker.
+    """
+    return {
+        "fom": float(result.fom),
+        "metrics": {k: float(v) for k, v in result.metrics.items()},
+        "cost": float(result.cost),
+        "feasible": bool(result.feasible),
+        "status": result.status,
+        "error": result.error,
+    }
+
+
+def result_from_dict(data: dict) -> EvaluationResult:
+    """Inverse of :func:`result_to_dict` (supervisor side)."""
+    return EvaluationResult(
+        fom=float(data["fom"]),
+        metrics=dict(data.get("metrics", {})),
+        cost=float(data.get("cost", 0.0)),
+        feasible=bool(data.get("feasible", True)),
+        status=data.get("status", "ok"),
+        error=data.get("error"),
+    )

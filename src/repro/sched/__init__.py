@@ -3,6 +3,8 @@
 * :class:`VirtualWorkerPool` — deterministic simulated-clock pool; the
   backend behind every Table/Figure bench (see DESIGN.md §2 for why).
 * :class:`ThreadWorkerPool` — real concurrent backend with the same protocol.
+* :class:`~repro.distributed.ProcessWorkerPool` — real OS-process backend
+  (socket RPC, heartbeats), reachable here via :func:`pool_factory_by_name`.
 * :class:`ExecutionTrace` — per-evaluation records and derived statistics
   (makespan, utilization, best-FOM-versus-time, Gantt rows).
 * Cost models calibrated to the paper's tables (:mod:`repro.sched.durations`).
@@ -11,7 +13,7 @@
 from repro.sched.durations import ConstantCostModel, CostModel, LognormalCostModel
 from repro.sched.events import Event, EventQueue
 from repro.sched.executor import ThreadWorkerPool
-from repro.sched.trace import EvalRecord, ExecutionTrace, SurrogateStats
+from repro.sched.trace import EvalRecord, ExecutionTrace, PoolTelemetry, SurrogateStats
 from repro.sched.workers import Completion, VirtualWorkerPool
 
 __all__ = [
@@ -22,8 +24,34 @@ __all__ = [
     "EventQueue",
     "EvalRecord",
     "ExecutionTrace",
+    "PoolTelemetry",
     "SurrogateStats",
     "Completion",
     "VirtualWorkerPool",
     "ThreadWorkerPool",
+    "POOL_BACKENDS",
+    "pool_factory_by_name",
 ]
+
+#: Names accepted by :func:`pool_factory_by_name` (and the CLI ``--pool``).
+POOL_BACKENDS = ("virtual", "thread", "process")
+
+
+def pool_factory_by_name(name: str):
+    """Resolve a pool backend name to a driver-compatible factory.
+
+    The returned callable has the ``(problem, n_workers, *, policy=None)``
+    signature every driver's ``pool_factory`` hook expects.  ``"process"``
+    imports the distributed subsystem lazily — the other backends stay
+    import-light.
+    """
+    name = str(name).lower()
+    if name == "virtual":
+        return VirtualWorkerPool
+    if name == "thread":
+        return ThreadWorkerPool
+    if name == "process":
+        from repro.distributed import ProcessWorkerPool
+
+        return ProcessWorkerPool
+    raise ValueError(f"unknown pool backend {name!r}; choose from {POOL_BACKENDS}")

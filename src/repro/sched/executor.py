@@ -40,7 +40,7 @@ import numpy as np
 
 from repro.core.faults import FailurePolicy, run_with_policy
 from repro.core.problem import STATUS_ORPHANED, STATUS_TIMEOUT, EvaluationResult
-from repro.sched.trace import EvalRecord, ExecutionTrace
+from repro.sched.trace import EvalRecord, ExecutionTrace, PoolTelemetry
 from repro.sched.workers import Completion, _problem_dim
 
 __all__ = ["ThreadWorkerPool"]
@@ -341,6 +341,10 @@ class ThreadWorkerPool:
         thread.start()
         return int(index)
 
+    def telemetry(self) -> PoolTelemetry:
+        """Operational counters for this pool (trace-derived subset)."""
+        return PoolTelemetry.from_trace(self.trace, backend="thread", elapsed=self.now)
+
     def shutdown(self, wait: bool = True) -> None:
         """Stop accepting work; optionally join live (non-abandoned) threads."""
         if wait:
@@ -348,6 +352,16 @@ class ThreadWorkerPool:
                 threads = [m["thread"] for m in self._tasks.values()]
             for thread in threads:
                 thread.join()
+
+    def close(self) -> None:
+        """Release the pool without blocking on in-flight work.
+
+        Worker threads are daemons and cannot be cancelled from Python, so
+        a close on the exception path simply abandons them — they die with
+        the interpreter instead of wedging the caller the way a joining
+        shutdown would on a hung evaluation.
+        """
+        self.shutdown(wait=False)
 
     def __enter__(self) -> "ThreadWorkerPool":
         return self

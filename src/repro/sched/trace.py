@@ -12,7 +12,7 @@ import dataclasses
 
 import numpy as np
 
-__all__ = ["EvalRecord", "ExecutionTrace", "SurrogateStats"]
+__all__ = ["EvalRecord", "ExecutionTrace", "PoolTelemetry", "SurrogateStats"]
 
 
 @dataclasses.dataclass
@@ -59,6 +59,103 @@ class SurrogateStats:
     def from_dict(cls, data: dict) -> "SurrogateStats":
         known = {f.name for f in dataclasses.fields(cls)}
         return cls(**{k: v for k, v in data.items() if k in known})
+
+
+@dataclasses.dataclass
+class PoolTelemetry:
+    """Operational counters for one evaluation pool over one run.
+
+    Every pool backend reports the same schema so runs on the virtual clock,
+    the thread pool, and the process pool compare side by side:
+
+    ``worker_busy_seconds`` / ``worker_tasks`` are per-worker (index =
+    worker id); ``queue_wait_seconds`` holds one entry per dispatched task —
+    the delay between ``submit()`` and the worker actually starting the
+    evaluation (socket latency plus any wait for a respawning process);
+    ``heartbeat_age_seconds`` is the per-worker time since the last
+    heartbeat frame at snapshot time (empty for backends without
+    heartbeats).  ``n_respawns`` / ``n_heartbeat_expiries`` /
+    ``n_timeout_kills`` only move on the process backend, where a worker is
+    a real OS process that can die, go silent, or wedge.
+    """
+
+    backend: str = "virtual"
+    n_workers: int = 0
+    n_tasks: int = 0
+    n_respawns: int = 0
+    n_heartbeat_expiries: int = 0
+    n_timeout_kills: int = 0
+    elapsed_seconds: float = 0.0
+    worker_busy_seconds: list = dataclasses.field(default_factory=list)
+    worker_tasks: list = dataclasses.field(default_factory=list)
+    queue_wait_seconds: list = dataclasses.field(default_factory=list)
+    heartbeat_age_seconds: list = dataclasses.field(default_factory=list)
+
+    @property
+    def utilization(self) -> float:
+        """Busy fraction of ``n_workers * elapsed_seconds`` (1.0 = no idle)."""
+        if self.n_workers <= 0 or self.elapsed_seconds <= 0:
+            return 1.0
+        busy = float(sum(self.worker_busy_seconds))
+        return busy / (self.n_workers * self.elapsed_seconds)
+
+    @property
+    def mean_queue_wait(self) -> float:
+        if not self.queue_wait_seconds:
+            return 0.0
+        return float(sum(self.queue_wait_seconds)) / len(self.queue_wait_seconds)
+
+    @property
+    def max_heartbeat_age(self) -> float:
+        if not self.heartbeat_age_seconds:
+            return 0.0
+        return float(max(self.heartbeat_age_seconds))
+
+    def summary_line(self) -> str:
+        """One-line operator view (printed by the ``summary`` CLI verb)."""
+        parts = [
+            f"{self.backend} pool, {self.n_workers} workers",
+            f"{self.n_tasks} tasks",
+            f"{self.utilization:.0%} utilization",
+        ]
+        if self.queue_wait_seconds:
+            parts.append(f"mean queue wait {self.mean_queue_wait * 1e3:.1f} ms")
+        if self.heartbeat_age_seconds:
+            parts.append(f"max heartbeat age {self.max_heartbeat_age:.2f} s")
+        if self.n_respawns:
+            parts.append(f"{self.n_respawns} respawns")
+        if self.n_heartbeat_expiries:
+            parts.append(f"{self.n_heartbeat_expiries} heartbeat expiries")
+        if self.n_timeout_kills:
+            parts.append(f"{self.n_timeout_kills} timeout kills")
+        return ", ".join(parts)
+
+    def as_dict(self) -> dict:
+        """JSON-serializable representation (used by persistence v5)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PoolTelemetry":
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    @classmethod
+    def from_trace(cls, trace: "ExecutionTrace", *, backend: str,
+                   elapsed: float | None = None) -> "PoolTelemetry":
+        """Derive the trace-computable subset (virtual/thread backends)."""
+        busy = [0.0] * trace.n_workers
+        tasks = [0] * trace.n_workers
+        for record in trace.records:
+            busy[record.worker] += max(record.duration, 0.0)
+            tasks[record.worker] += 1
+        return cls(
+            backend=backend,
+            n_workers=trace.n_workers,
+            n_tasks=len(trace.records),
+            elapsed_seconds=float(trace.makespan if elapsed is None else elapsed),
+            worker_busy_seconds=busy,
+            worker_tasks=tasks,
+        )
 
 
 @dataclasses.dataclass
@@ -148,6 +245,9 @@ class ExecutionTrace:
         #: Filled in by BO drivers at packaging time; None for model-free
         #: algorithms (random search, DE) and hand-built traces.
         self.surrogate_stats: SurrogateStats | None = None
+        #: Pool operational counters, filled in at packaging time from the
+        #: pool that produced this trace; None for hand-built traces.
+        self.pool_telemetry: PoolTelemetry | None = None
 
     def add(self, record: EvalRecord) -> None:
         self.records.append(record)

@@ -25,7 +25,7 @@ import numpy as np
 from repro.core.faults import FailurePolicy, run_with_policy
 from repro.core.problem import EvaluationResult
 from repro.sched.events import EventQueue
-from repro.sched.trace import EvalRecord, ExecutionTrace
+from repro.sched.trace import EvalRecord, ExecutionTrace, PoolTelemetry
 
 __all__ = ["Completion", "VirtualWorkerPool"]
 
@@ -243,6 +243,19 @@ class VirtualWorkerPool:
         while self._events:
             completions.append(self.wait_next())
         return completions
+
+    def telemetry(self) -> PoolTelemetry:
+        """Operational counters for this pool (simulated-clock subset)."""
+        return PoolTelemetry.from_trace(self.trace, backend="virtual", elapsed=self.now)
+
+    def close(self) -> None:
+        """No-op (nothing to release); part of the shared pool contract."""
+
+    def __enter__(self) -> "VirtualWorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -------------------------------------------------------------- recovery
     def restore(self, *, now: float, next_index: int, records=()) -> None:

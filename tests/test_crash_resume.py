@@ -330,22 +330,26 @@ class TestPersistenceV4:
     def test_round_trip_preserves_rng_state(self):
         result = run_scenario("lcb-branin")
         data = run_to_dict(result)
-        assert data["version"] == 4
+        assert data["version"] == 5
         clone = run_from_dict(json.loads(json.dumps(data)))
         assert clone.rng_state == result.rng_state
         assert clone.best_fom == result.best_fom
 
-    def test_v2_and_v3_files_still_load(self):
+    def test_v2_through_v4_files_still_load(self):
         result = run_scenario("lcb-branin")
         data = run_to_dict(result)
-        for version in (2, 3):
+        for version in (2, 3, 4):
             old = json.loads(json.dumps(data))
             old["version"] = version
-            old.pop("rng_state", None)
+            old.pop("pool_telemetry", None)
+            if version < 4:
+                old.pop("rng_state", None)
             if version < 3:
                 old.pop("surrogate_stats", None)
             clone = run_from_dict(old)
-            assert clone.rng_state is None
+            assert clone.pool_telemetry is None
+            if version < 4:
+                assert clone.rng_state is None
             assert clone.best_fom == result.best_fom
 
     def test_save_runs_is_atomic(self, tmp_path):
