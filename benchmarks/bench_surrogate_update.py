@@ -8,14 +8,18 @@ from-scratch rebuild.  Datasets are real op-amp FOMs (and class-E at larger
 scales) sampled by the same random design the drivers use, at the paper's
 dataset sizes (n = 150 is one full op-amp run).
 
-Two checks gate the result:
+Three checks gate the result:
 
 * **speedup** — the incremental path must be >= 2x faster per event than the
   full path at n = 150 (the CI perf-smoke job fails otherwise);
 * **trajectory equality** — a seeded sequential EasyBO run on the op-amp
   queries *exactly* the same points in both modes (no pending points, so
   the two modes execute bit-identical arithmetic; batch drivers are instead
-  covered per-event by ``tests/test_incremental_equivalence.py``).
+  covered per-event by ``tests/test_incremental_equivalence.py``);
+* **disabled-observability overhead** — the ``NULL_OBS`` profiling hooks
+  the surrogate session now carries (one ``fit`` span + one ``hallucinate``
+  span per event) must cost <= 5% of the cheapest measured per-event time,
+  so observability is free when nobody asked for it.
 
 Run standalone for larger scales or to export the timing JSON consumed by
 CI::
@@ -59,6 +63,13 @@ N_PENDING = 4
 
 #: CI gate: minimum per-event speedup of incremental over full at n=150.
 MIN_SPEEDUP_AT_150 = 2.0
+
+#: CI gate: maximum fraction of the cheapest per-event time the disabled
+#: observability hooks may cost (tracing off must be essentially free).
+MAX_OBS_OVERHEAD_FRACTION = 0.05
+
+#: Disabled profiling hooks fired per surrogate event (fit + hallucinate).
+OBS_HOOKS_PER_EVENT = 2
 
 
 def make_problem(name: str):
@@ -134,6 +145,42 @@ def check_trajectory_equality(scale: Scale, seed: int) -> int:
     return scale.trajectory_evals
 
 
+def measure_obs_overhead(timings: dict) -> dict:
+    """Cost of the disabled observability hooks, relative to a real event.
+
+    The surrogate session enters one ``NULL_OBS.profile`` span for the refit
+    and one for the hallucination of every event; both are shared-singleton
+    no-ops.  Timing the hook pair directly (best of several tight loops) and
+    dividing by the cheapest measured per-event cost in the grid gives the
+    worst-case fractional overhead of leaving the hooks compiled in.
+    """
+    import time
+
+    from repro.obs import NULL_OBS
+
+    loops = 50_000
+    best = float("inf")
+    for _ in range(5):
+        start = time.perf_counter()
+        for _ in range(loops):
+            with NULL_OBS.profile("fit", n=0):
+                pass
+            with NULL_OBS.profile("hallucinate", k=0):
+                pass
+        best = min(best, (time.perf_counter() - start) / loops)
+    cheapest = min(
+        cell[mode]
+        for cell in timings["cells"]
+        for mode in ("full", "incremental")
+    )
+    return {
+        "hooks_per_event": OBS_HOOKS_PER_EVENT,
+        "hook_pair_seconds": best,
+        "cheapest_event_seconds": cheapest,
+        "fraction_of_event": best / cheapest,
+    }
+
+
 def run_bench(scale_name: str = "smoke", seed: int = 0, verbose: bool = True):
     """Run the timing grid; returns (timings dict, rendered table)."""
     scale = SCALES[scale_name]
@@ -175,6 +222,15 @@ def run_bench(scale_name: str = "smoke", seed: int = 0, verbose: bool = True):
             f"trajectory equality: {timings['trajectory_evals_compared']} "
             "sequential op-amp queries identical in both modes"
         )
+    timings["obs_overhead"] = measure_obs_overhead(timings)
+    if verbose:
+        overhead = timings["obs_overhead"]
+        print(
+            f"disabled-observability overhead: "
+            f"{1e9 * overhead['hook_pair_seconds']:.0f} ns/event "
+            f"({100 * overhead['fraction_of_event']:.3f}% of the cheapest "
+            "measured event)"
+        )
     table = format_table(
         ["Problem", "n", "Full (us/event)", "Incremental (us/event)", "Speedup"],
         rows,
@@ -198,6 +254,12 @@ def check_shape(timings: dict) -> None:
         if cell["n"] > 150:
             assert cell["speedup"] >= MIN_SPEEDUP_AT_150
     assert timings["trajectory_evals_compared"] > 0
+    overhead = timings["obs_overhead"]
+    assert overhead["fraction_of_event"] <= MAX_OBS_OVERHEAD_FRACTION, (
+        f"disabled observability hooks cost "
+        f"{100 * overhead['fraction_of_event']:.2f}% of a surrogate event "
+        f"(budget: {100 * MAX_OBS_OVERHEAD_FRACTION:.0f}%)"
+    )
 
 
 def test_surrogate_update_smoke(benchmark):

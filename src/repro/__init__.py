@@ -28,6 +28,10 @@ Subpackages
     heartbeats, crash supervision (``--pool process`` on the CLI).
 ``repro.baselines``
     Differential evolution and random search.
+``repro.obs``
+    Structured observability: hierarchical run tracing, the process-wide
+    metrics registry, and profiling hooks (``tracer=`` / ``metrics=`` on
+    the BO drivers; ``python -m repro trace`` to inspect).
 """
 
 from repro.core import (
@@ -46,6 +50,7 @@ from repro.core import (
     summarize_runs,
 )
 from repro.distributed import ProcessWorkerPool
+from repro.obs import MetricsRegistry, Observability, Tracer, render_trace
 
 __version__ = "0.1.0"
 
@@ -64,5 +69,9 @@ __all__ = [
     "resume",
     "summarize_runs",
     "ProcessWorkerPool",
+    "MetricsRegistry",
+    "Observability",
+    "Tracer",
+    "render_trace",
     "__version__",
 ]

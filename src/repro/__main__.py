@@ -14,15 +14,26 @@ Commands
 ``summary``
     Print the paper-style table (Best/Worst/Mean/Std/Time) and the pool
     telemetry of a saved runs file.
+``run``
+    Generic driver: any algorithm label from ``make_algorithm`` on any
+    named benchmark problem.
+``trace``
+    Render a run trace written with ``--trace``/``--metrics``: the span
+    tree (run → iteration → fit / acquisition-maximize / dispatch / wait)
+    plus a top-k hotspot table (see ``docs/observability.md``).
 
 The run commands take ``--pool {virtual,thread,process}`` to pick the
 evaluation backend (see ``docs/distributed.md``) and ``--workers N`` to
-size the pool independently of the proposal batch.
+size the pool independently of the proposal batch.  ``--trace PATH``
+records a span trace, and ``--metrics`` additionally snapshots the run's
+metrics registry into the result (both off by default — observability is
+strictly opt-in and costs nothing when disabled).
 """
 
 from __future__ import annotations
 
 import argparse
+import re
 import sys
 
 import numpy as np
@@ -70,6 +81,42 @@ def _batch(args) -> int:
     return int(workers) if workers is not None else int(args.batch)
 
 
+def _obs_kwargs(args, default_trace: str):
+    """Driver kwargs and a finish callback for ``--metrics`` / ``--trace``.
+
+    ``--trace PATH`` arms the span tracer; ``--metrics`` arms the registry
+    *and* (when ``--trace`` is absent) derives a default trace path, so a
+    bare ``--metrics`` run is immediately inspectable with the ``trace``
+    verb.  The finish callback closes the tracer (also on the exception
+    path) and prints the metrics table of the finished run.
+    """
+    metrics_on = bool(getattr(args, "metrics", False))
+    trace_path = getattr(args, "trace", None)
+    if not metrics_on and trace_path is None:
+        return {}, lambda result: None
+    from repro.obs import MetricsRegistry, Tracer
+
+    if trace_path is None:
+        trace_path = default_trace
+    tracer = Tracer(trace_path)
+    kwargs: dict = {"tracer": tracer}
+    if metrics_on:
+        kwargs["metrics"] = MetricsRegistry()
+
+    def finish(result) -> None:
+        from repro.utils.tables import format_table
+
+        tracer.close()
+        print(f"trace: {tracer.n_spans} spans written to {trace_path} "
+              f"(inspect with 'python -m repro trace {trace_path}')")
+        if result is not None and result.metrics:
+            registry = MetricsRegistry.from_dict(result.metrics)
+            print(format_table(["Metric", "Kind", "Value"],
+                               registry.summary_rows(), title="run metrics"))
+
+    return kwargs, finish
+
+
 def _print_telemetry(result, args) -> None:
     """Surface pool telemetry for the real (non-virtual-clock) backends."""
     telemetry = result.pool_telemetry
@@ -85,10 +132,16 @@ def cmd_demo(args) -> int:
     batch = _batch(args)
     print(f"EasyBO on Hartmann-6 (optimum {problem.optimum:.3f}), "
           f"batch size {batch}, {args.budget} evaluations...")
-    result = EasyBO(
-        problem, batch_size=batch, n_init=15, max_evals=args.budget,
-        rng=args.seed, **_journal_kwargs(args), **_pool_kwargs(args),
-    ).optimize()
+    obs_kwargs, finish = _obs_kwargs(args, "demo-trace.jsonl")
+    result = None
+    try:
+        result = EasyBO(
+            problem, batch_size=batch, n_init=15, max_evals=args.budget,
+            rng=args.seed, **_journal_kwargs(args), **_pool_kwargs(args),
+            **obs_kwargs,
+        ).optimize()
+    finally:
+        finish(result)
     print(f"best value {result.best_fom:.4f} "
           f"(regret {problem.regret(result.best_fom):.4f})")
     print(f"simulated wall-clock {result.wall_clock:.0f} s at "
@@ -101,11 +154,16 @@ def cmd_opamp(args) -> int:
     from repro import EasyBO
     from repro.circuits import OpAmpProblem
 
-    result = EasyBO(
-        OpAmpProblem(), batch_size=_batch(args), n_init=15,
-        max_evals=args.budget, rng=args.seed, **_journal_kwargs(args),
-        **_pool_kwargs(args),
-    ).optimize()
+    obs_kwargs, finish = _obs_kwargs(args, "opamp-trace.jsonl")
+    result = None
+    try:
+        result = EasyBO(
+            OpAmpProblem(), batch_size=_batch(args), n_init=15,
+            max_evals=args.budget, rng=args.seed, **_journal_kwargs(args),
+            **_pool_kwargs(args), **obs_kwargs,
+        ).optimize()
+    finally:
+        finish(result)
     check = OpAmpProblem().evaluate(result.best_x)
     print(f"best FOM {result.best_fom:.2f}")
     for key, value in check.metrics.items():
@@ -121,10 +179,16 @@ def cmd_classe(args) -> int:
 
     problem = ClassEProblem(settle_periods=12, measure_periods=3,
                             steps_per_period=48)
-    result = EasyBO(
-        problem, batch_size=_batch(args), n_init=15, max_evals=args.budget,
-        rng=args.seed, **_journal_kwargs(args), **_pool_kwargs(args),
-    ).optimize()
+    obs_kwargs, finish = _obs_kwargs(args, "classe-trace.jsonl")
+    result = None
+    try:
+        result = EasyBO(
+            problem, batch_size=_batch(args), n_init=15,
+            max_evals=args.budget, rng=args.seed, **_journal_kwargs(args),
+            **_pool_kwargs(args), **obs_kwargs,
+        ).optimize()
+    finally:
+        finish(result)
     check = problem.evaluate(result.best_x)
     print(f"best FOM {result.best_fom:.3f}")
     print(f"  PAE  {check.metrics['pae']:.1%}")
@@ -136,10 +200,59 @@ def cmd_classe(args) -> int:
 def cmd_resume(args) -> int:
     from repro import resume
 
-    result = resume(args.journal)
+    obs_kwargs, finish = _obs_kwargs(args, "resume-trace.jsonl")
+    result = None
+    try:
+        result = resume(args.journal, **obs_kwargs)
+    finally:
+        finish(result)
     print(f"resumed {result.algorithm} on {result.problem}: "
           f"best FOM {result.best_fom:.4f} after {result.n_evaluations} "
           f"evaluations ({result.trace.n_orphaned} orphaned at the crash)")
+    return 0
+
+
+def _resolve_problem(name: str):
+    """Benchmark problem by CLI name: a circuit or a synthetic function."""
+    from repro import circuits
+
+    if name == "opamp":
+        return circuits.OpAmpProblem()
+    if name == "classe":
+        return circuits.ClassEProblem(settle_periods=12, measure_periods=3,
+                                      steps_per_period=48)
+    return circuits.by_name(name)
+
+
+def cmd_run(args) -> int:
+    from repro.core.easybo import make_algorithm
+
+    problem = _resolve_problem(args.problem)
+    label = args.algorithm.strip()
+    if args.workers is not None:
+        label = re.sub(r"-\d+$", "", label) + f"-{args.workers}"
+    obs_kwargs, finish = _obs_kwargs(args, f"{args.problem}-trace.jsonl")
+    algorithm = make_algorithm(
+        label, problem, max_evals=args.budget, rng=args.seed,
+        n_init=args.n_init, **_journal_kwargs(args), **_pool_kwargs(args),
+        **obs_kwargs,
+    )
+    result = None
+    try:
+        result = algorithm.run()
+    finally:
+        finish(result)
+    print(f"{label} on {args.problem}: best FOM {result.best_fom:.4f} "
+          f"after {result.n_evaluations} evaluations "
+          f"(wall-clock {result.wall_clock:.1f} s)")
+    _print_telemetry(result, args)
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.obs import render_trace
+
+    print(render_trace(args.trace, top=args.top))
     return 0
 
 
@@ -162,6 +275,20 @@ def cmd_summary(args) -> int:
         for line in telemetry_lines:
             print(line)
     return 0
+
+
+def _add_obs_flags(p) -> None:
+    p.add_argument(
+        "--trace", default=None, metavar="PATH", dest="trace",
+        help="record a hierarchical span trace to PATH (render with "
+             "'python -m repro trace PATH')",
+    )
+    p.add_argument(
+        "--metrics", action="store_true",
+        help="snapshot the run's metrics registry into the result and "
+             "print it; also writes a trace (to --trace PATH, or a "
+             "default next to the working directory)",
+    )
 
 
 def main(argv=None) -> int:
@@ -190,6 +317,38 @@ def main(argv=None) -> int:
             help="pool size (overrides --batch; EasyBO keeps one point in "
                  "flight per worker)",
         )
+        _add_obs_flags(p)
+    p = sub.add_parser(
+        "run",
+        help="run any algorithm label on any named benchmark problem",
+        description="Generic driver: an algorithm label accepted by "
+                    "repro.make_algorithm (e.g. EasyBO-5, pBO-10, EI, DE, "
+                    "Random) on a named problem (opamp, classe, or a "
+                    "synthetic function: branin, hartmann6, ackley, "
+                    "rastrigin, levy, sphere).",
+    )
+    p.add_argument("--problem", default="hartmann6",
+                   help="benchmark name (default: hartmann6)")
+    p.add_argument("--algorithm", default="EasyBO-5", metavar="LABEL",
+                   help="algorithm label; a trailing -<int> is the batch "
+                        "size (default: EasyBO-5)")
+    p.add_argument("--budget", type=int, default=50)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--n-init", type=int, default=10, dest="n_init",
+                   help="initial design size for the BO drivers")
+    p.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="write a crash-safe run journal to PATH",
+    )
+    p.add_argument(
+        "--pool", choices=("virtual", "thread", "process"), default="virtual",
+        help="evaluation backend",
+    )
+    p.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="pool size (overrides the label's trailing batch size)",
+    )
+    _add_obs_flags(p)
     p = sub.add_parser(
         "resume",
         help="continue a crashed run from its journal",
@@ -199,6 +358,18 @@ def main(argv=None) -> int:
                     "(repro.resume(path, problem=...)) instead.",
     )
     p.add_argument("journal", help="journal file the crashed run was writing")
+    _add_obs_flags(p)
+    p = sub.add_parser(
+        "trace",
+        help="render a span trace written with --trace/--metrics",
+        description="Print the hierarchical span tree and the top-k "
+                    "hotspot table of a trace file (CRC-framed JSONL "
+                    "written by the run commands' --trace/--metrics "
+                    "flags).  Torn tails from crashed runs are tolerated.",
+    )
+    p.add_argument("trace", help="trace file to render")
+    p.add_argument("--top", type=int, default=10, metavar="K",
+                   help="hotspot table size (default: 10)")
     p = sub.add_parser(
         "summary",
         help="print the paper-style table and pool telemetry of a runs file",
@@ -215,7 +386,9 @@ def main(argv=None) -> int:
         "demo": cmd_demo,
         "opamp": cmd_opamp,
         "classe": cmd_classe,
+        "run": cmd_run,
         "resume": cmd_resume,
+        "trace": cmd_trace,
         "summary": cmd_summary,
     }[args.command]
     return handler(args)

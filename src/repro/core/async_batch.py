@@ -111,9 +111,16 @@ class AsynchronousBatchBO(BODriverBase):
                 issued += 1
 
         refill()
+        iteration = 0
         while issued < self.max_evals:
-            self._consume(pool, pool.wait_next())
-            refill()
+            # One Alg. 1 cycle: wait for any worker, absorb, refill idle
+            # slots (each refill nests fit/hallucinate/acquisition spans).
+            with self.obs.span("iteration", index=iteration):
+                self._consume(pool, self._wait(pool))
+                refill()
+            self.obs.inc("driver.iterations")
+            iteration += 1
         while pool.busy_count:
-            self._consume(pool, pool.wait_next())
+            with self.obs.span("drain"):
+                self._consume(pool, self._wait(pool))
         return self._package(pool)

@@ -28,6 +28,7 @@ from repro.core.optimizers import maximize_acquisition
 from repro.core.problem import STATUS_ORPHANED, Problem
 from repro.core.results import RunResult
 from repro.core.surrogate import SurrogateSession
+from repro.obs import Observability
 from repro.sched.trace import EvalRecord
 from repro.sched.workers import Completion, VirtualWorkerPool
 from repro.utils.rng import as_generator, rng_state_to_dict
@@ -93,6 +94,20 @@ class BODriverBase:
         Emit an integrity ``checkpoint`` record every this-many completed
         evaluations (0 = never).  Checkpoints are cross-checks, not the
         recovery mechanism — resume replays the full event log.
+    tracer:
+        Optional :class:`~repro.obs.Tracer`: the run emits a hierarchical
+        span tree (run → iteration → fit / hallucinate /
+        acquisition-maximize / dispatch / wait) as CRC-framed JSONL,
+        renderable with ``python -m repro trace <file>``.  ``None``
+        (default) disables tracing at no measurable cost.
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry`: counters, gauges, and
+        histograms for the run (acquisition restarts, Cholesky updates vs
+        refits, hallucinations, pool queue waits, orphan/reissue totals).
+        The final snapshot lands in ``RunResult.metrics`` and persists as
+        runs format v6.  Counters already derivable from the trace,
+        ``SurrogateStats``, or ``PoolTelemetry`` are folded in *once* at
+        packaging time, so resumed runs never double-count replayed events.
     """
 
     #: Subclasses set their display name (used in result rows).
@@ -113,6 +128,8 @@ class BODriverBase:
         refit_every: int = 1,
         journal=None,
         checkpoint_every: int = 0,
+        tracer=None,
+        metrics=None,
     ):
         if n_init < 2:
             raise ValueError("n_init must be >= 2 (the GP needs data)")
@@ -130,11 +147,14 @@ class BODriverBase:
         self.acq_restarts = int(acq_restarts)
         self.journal = journal
         self.checkpoint_every = int(checkpoint_every)
+        self.obs = Observability(tracer, metrics)
+        self._run_span = None
         self.session = SurrogateSession(
             problem.bounds,
             rng=self.rng,
             surrogate_update=surrogate_update,
             refit_every=refit_every,
+            obs=self.obs,
         )
         self._journal = None
         self._owns_journal = False
@@ -151,18 +171,37 @@ class BODriverBase:
         only accept ``(problem, n_workers)``; fall back to that signature.
         """
         try:
-            return self.pool_factory(
+            pool = self.pool_factory(
                 self.problem, n_workers, policy=self.failure_policy
             )
         except TypeError:
-            return self.pool_factory(self.problem, n_workers)
+            pool = self.pool_factory(self.problem, n_workers)
+        # Attach observability post-construction so any factory signature
+        # (including user-supplied ones) picks it up.
+        bind = getattr(pool, "bind_observability", None)
+        if callable(bind):
+            bind(self.obs)
+        return pool
 
     def _initial_design(self) -> np.ndarray:
         return random_design(self.problem.bounds, self.n_init, self.rng)
 
     # ------------------------------------------------------------ journaling
+    def _begin_observability(self, n_workers: int, *, resumed: bool = False) -> None:
+        """Open the root ``run`` span (closed again by :meth:`_package`)."""
+        if self._run_span is None:
+            self._run_span = self.obs.span(
+                "run",
+                algorithm=self.algorithm_name,
+                problem=self.problem.name,
+                n_workers=int(n_workers),
+                resumed=bool(resumed),
+            )
+            self._run_span.__enter__()
+
     def _begin_run(self, n_workers: int) -> None:
         """Open the journal sink and write the ``run_start`` record."""
+        self._begin_observability(n_workers)
         self._reissue_counts = {}
         self._since_checkpoint = 0
         self._pending_failure_action = None
@@ -226,7 +265,10 @@ class BODriverBase:
         can continue from this exact boundary; ``counts=False`` marks budget-
         neutral re-issues of orphaned points.
         """
-        index = pool.submit(x, batch=batch)
+        with self.obs.span("dispatch") as span:
+            index = pool.submit(x, batch=batch)
+            span.annotate(index=int(index))
+        self.obs.inc("driver.submits")
         if self._journal is not None:
             info = pool.task_info(index)
             self._journal.append(
@@ -244,6 +286,16 @@ class BODriverBase:
                 }
             )
         return index
+
+    def _wait(self, pool) -> Completion:
+        """Block on ``pool.wait_next()`` under a ``wait`` span."""
+        with self.obs.span("wait") as span:
+            completion = pool.wait_next()
+            span.annotate(
+                index=int(completion.index), status=completion.result.status
+            )
+        self.obs.inc("driver.completions")
+        return completion
 
     def _consume(self, pool, completion: Completion) -> bool:
         """Resolve one completion: reconcile orphans, absorb, journal.
@@ -354,13 +406,15 @@ class BODriverBase:
     def _propose(self, acquisition, model=None) -> np.ndarray:
         """Maximize an acquisition on the unit cube; return a physical point."""
         scorer = self.session.acquisition_on_unit(acquisition, model=model)
-        u_best = maximize_acquisition(
-            scorer,
-            self.session.unit_bounds(),
-            rng=self.rng,
-            n_candidates=self.acq_candidates,
-            n_restarts=self.acq_restarts,
-        )
+        with self.obs.span("acquisition-maximize"):
+            u_best = maximize_acquisition(
+                scorer,
+                self.session.unit_bounds(),
+                rng=self.rng,
+                n_candidates=self.acq_candidates,
+                n_restarts=self.acq_restarts,
+                obs=self.obs,
+            )
         return self.session.to_physical(u_best.reshape(1, -1))[0]
 
     def _standardized_best(self) -> float:
@@ -381,6 +435,7 @@ class BODriverBase:
             # rather than crashing a run that survived to the end.
             best_x = np.full(self.problem.dim, np.nan)
             best_fom = float("-inf")
+        metrics_snapshot = self._fold_metrics(trace, telemetry)
         result = RunResult(
             algorithm=self.algorithm_name,
             problem=self.problem.name,
@@ -394,6 +449,7 @@ class BODriverBase:
             surrogate_stats=self.session.stats,
             rng_state=rng_state_to_dict(self.rng),
             pool_telemetry=telemetry,
+            metrics=metrics_snapshot,
         )
         self._journal_event(
             {
@@ -406,7 +462,33 @@ class BODriverBase:
         if self._owns_journal and self._journal is not None:
             self._journal.close()
             self._journal = None
+        if self._run_span is not None:
+            self._run_span.__exit__(None, None, None)
+            self._run_span = None
         return result
+
+    def _fold_metrics(self, trace, telemetry) -> dict | None:
+        """Derive replay-safe metrics once at packaging time.
+
+        Counters with a durable source of truth (the trace, the surrogate
+        stats, the pool telemetry) are *assigned* from it here rather than
+        incremented live — a resumed run replays its journal into those
+        sources, so the folded totals match the uninterrupted run without
+        counting replayed events twice.
+        """
+        registry = self.obs.metrics
+        if registry is None:
+            return None
+        registry.fold_surrogate_stats(self.session.stats)
+        registry.fold_pool_telemetry(telemetry)
+        registry.set_counter("driver.evaluations", len(trace))
+        registry.set_counter("driver.failures", trace.n_failures)
+        registry.set_counter("driver.retries", trace.n_retries)
+        registry.set_counter("driver.orphans", trace.n_orphaned)
+        registry.set_counter(
+            "driver.reissues", sum(self._reissue_counts.values())
+        )
+        return registry.as_dict()
 
     def run(self) -> RunResult:  # pragma: no cover - interface
         raise NotImplementedError
@@ -491,7 +573,7 @@ class SequentialBO(BODriverBase):
         """
         while True:
             if pool.busy_count:
-                self._consume(pool, pool.wait_next())
+                self._consume(pool, self._wait(pool))
             elif issued >= self.max_evals:
                 break
             elif issued < self.n_init:

@@ -26,6 +26,7 @@ def maximize_acquisition(
     n_restarts: int = 4,
     polish: bool = True,
     maxiter: int = 60,
+    obs=None,
 ) -> np.ndarray:
     """Return ``argmax`` of an acquisition over a box.
 
@@ -42,12 +43,18 @@ def maximize_acquisition(
         Number of top candidates polished with L-BFGS-B.
     polish:
         Disable to use the sweep result directly.
+    obs:
+        Optional :class:`~repro.obs.Observability`: counts maximizations,
+        polish restarts, and restarts that improved on the sweep.
     """
     bounds = check_bounds(bounds)
     if n_candidates < 1:
         raise ValueError("n_candidates must be >= 1")
     rng = as_generator(rng)
     d = bounds.shape[0]
+    if obs is None:
+        from repro.obs import NULL_OBS as obs  # noqa: N811 — facade singleton
+    obs.inc("acquisition.maximizations")
 
     candidates = rng.uniform(bounds[:, 0], bounds[:, 1], size=(n_candidates, d))
     values = np.asarray(acq_values(candidates), dtype=float)
@@ -67,6 +74,7 @@ def maximize_acquisition(
         return -val if np.isfinite(val) else 1e30
 
     for start_idx in order[: max(1, n_restarts)]:
+        obs.inc("acquisition.polish_restarts")
         result = optimize.minimize(
             negative,
             candidates[start_idx],
@@ -77,4 +85,5 @@ def maximize_acquisition(
         if np.all(np.isfinite(result.x)) and -result.fun > best_val:
             best_val = -result.fun
             best_x = result.x
+            obs.inc("acquisition.polish_improvements")
     return np.clip(best_x, bounds[:, 0], bounds[:, 1])

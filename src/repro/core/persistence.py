@@ -27,9 +27,12 @@ __all__ = ["run_to_dict", "run_from_dict", "save_runs", "load_runs"]
 #: files load with it absent.  Version 4 added the optional final
 #: ``rng_state`` block (crash-safe runs); older files load with it ``None``.
 #: Version 5 added the optional ``pool_telemetry`` block (evaluation-pool
-#: operational counters); older files load with it ``None``.
-_FORMAT_VERSION = 5
-_READABLE_VERSIONS = frozenset({1, 2, 3, 4, 5})
+#: operational counters); older files load with it ``None``.  Version 6
+#: added the optional ``metrics`` block (the run's
+#: :class:`~repro.obs.MetricsRegistry` snapshot); older files load with it
+#: ``None``.
+_FORMAT_VERSION = 6
+_READABLE_VERSIONS = frozenset({1, 2, 3, 4, 5, 6})
 
 
 def run_to_dict(run: RunResult) -> dict:
@@ -51,6 +54,7 @@ def run_to_dict(run: RunResult) -> dict:
         "pool_telemetry": (
             None if run.pool_telemetry is None else run.pool_telemetry.as_dict()
         ),
+        "metrics": run.metrics,
         "n_workers": run.trace.n_workers,
         "records": [r.as_dict() for r in run.trace.records],
     }
@@ -83,6 +87,7 @@ def run_from_dict(data: dict) -> RunResult:
         surrogate_stats=stats,
         rng_state=data.get("rng_state"),
         pool_telemetry=telemetry,
+        metrics=data.get("metrics"),
     )
 
 

@@ -261,7 +261,8 @@ def _reconcile_orphans(driver, pool, state: ReplayState) -> None:
         )
 
 
-def resume(journal_path, *, problem=None, pool_factory=None) -> RunResult:
+def resume(journal_path, *, problem=None, pool_factory=None, tracer=None,
+           metrics=None) -> RunResult:
     """Resume a crashed run from its write-ahead journal.
 
     Parameters
@@ -276,6 +277,13 @@ def resume(journal_path, *, problem=None, pool_factory=None) -> RunResult:
         wrapped problems.
     pool_factory:
         Evaluation pool factory, as for the drivers.
+    tracer / metrics:
+        Observability sinks for the *resumed* portion of the run, as for the
+        driver constructors.  Replayed journal events feed the trace /
+        surrogate stats / pool telemetry (the durable sources of truth), and
+        the metrics registry derives its totals from those once at packaging
+        time — so the reported counters equal the uninterrupted run's and
+        replayed events are never counted twice.
 
     Returns
     -------
@@ -301,6 +309,12 @@ def resume(journal_path, *, problem=None, pool_factory=None) -> RunResult:
     config = dict(start.get("config", {}))
     policy_dict = config.pop("failure_policy", None)
     policy = FailurePolicy(**policy_dict) if policy_dict else None
+    # Observability sinks are live objects, never journaled; pass them only
+    # when given so algorithms without the kwargs keep resuming.
+    if tracer is not None:
+        config["tracer"] = tracer
+    if metrics is not None:
+        config["metrics"] = metrics
     driver = make_algorithm(
         start["algorithm"],
         problem,
@@ -320,6 +334,7 @@ def resume(journal_path, *, problem=None, pool_factory=None) -> RunResult:
     if state.rng_state is not None:
         set_rng_state(driver.rng, state.rng_state)
 
+    driver._begin_observability(state.n_workers, resumed=True)
     pool = driver._make_pool(state.n_workers)
     try:
         pool.restore(

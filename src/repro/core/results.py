@@ -49,6 +49,11 @@ class RunResult:
     #: timeout counts (:class:`~repro.sched.trace.PoolTelemetry`).  ``None``
     #: for runs loaded from pre-v5 files.
     pool_telemetry: PoolTelemetry | None = None
+    #: Final :class:`~repro.obs.MetricsRegistry` snapshot (counters / gauges
+    #: / histograms as a plain dict, see ``MetricsRegistry.as_dict``).
+    #: ``None`` when the run was not started with ``metrics=`` and for runs
+    #: loaded from pre-v6 files.
+    metrics: dict | None = None
 
     @property
     def best_curve(self):

@@ -165,11 +165,15 @@ class SurrogateSession:
         Run ML-II hyperparameter fitting only every this-many refits
         (default 1 = every refit, the paper's behaviour).  In between, the
         kernel is frozen and refits only fold new observations in.
+    obs:
+        :class:`~repro.obs.Observability` facade used for ``fit`` /
+        ``hallucinate`` profiling spans; defaults to the no-op
+        :data:`~repro.obs.NULL_OBS`.
     """
 
     def __init__(self, bounds, *, rng=None, n_restarts_first: int = 3,
                  n_restarts_refit: int = 1, surrogate_update: str = "incremental",
-                 refit_every: int = 1):
+                 refit_every: int = 1, obs=None):
         surrogate_update = str(surrogate_update).lower()
         if surrogate_update not in SURROGATE_UPDATE_MODES:
             raise ValueError(
@@ -184,6 +188,9 @@ class SurrogateSession:
         self.n_restarts_refit = int(n_restarts_refit)
         self.surrogate_update = surrogate_update
         self.refit_every = int(refit_every)
+        from repro.obs import NULL_OBS
+
+        self.obs = obs if obs is not None else NULL_OBS
         self.output = OutputStandardizer()
         self.model: GaussianProcess | None = None
         self.stats = SurrogateStats()
@@ -276,19 +283,20 @@ class SurrogateSession:
         """
         if not self.can_fit:
             return None
-        started = time.perf_counter()
-        U = self.transform.to_unit(self._X)
-        z = self.output.fit_transform(self._y)
-        if self.model is None or self._refit_countdown <= 0:
-            self._fit_ml2(U, z)
-        elif self.surrogate_update == "incremental":
-            self._fit_incremental(U, z)
-        else:
-            self.model.fit(U, z)
-            self.stats.n_refactorizations += 1
-        self._refit_countdown -= 1
-        self.stats.n_refits += 1
-        self.stats.refit_seconds.append(time.perf_counter() - started)
+        with self.obs.profile("fit", n=self.n_observations):
+            started = time.perf_counter()
+            U = self.transform.to_unit(self._X)
+            z = self.output.fit_transform(self._y)
+            if self.model is None or self._refit_countdown <= 0:
+                self._fit_ml2(U, z)
+            elif self.surrogate_update == "incremental":
+                self._fit_incremental(U, z)
+            else:
+                self.model.fit(U, z)
+                self.stats.n_refactorizations += 1
+            self._refit_countdown -= 1
+            self.stats.n_refits += 1
+            self.stats.refit_seconds.append(time.perf_counter() - started)
         return self.model
 
     def _fit_ml2(self, U: np.ndarray, z: np.ndarray) -> None:
@@ -409,22 +417,25 @@ class SurrogateSession:
         X_pending = np.asarray(X_pending, dtype=float)
         if X_pending.size == 0:
             return model
-        started = time.perf_counter()
-        U_pending = self.transform.to_unit(
-            check_matrix(X_pending, "X_pending", cols=self.dim)
-        )
-        try:
-            if self.surrogate_update == "incremental":
-                try:
-                    view = HallucinatedView(model, U_pending)
-                    self.stats.n_hallucinated_views += 1
-                    return view
-                except np.linalg.LinAlgError:
-                    self.stats.n_fallbacks += 1
-            self.stats.n_hallucinated_rebuilds += 1
-            return model.condition_on_pending(U_pending)
-        finally:
-            self.stats.hallucination_seconds.append(time.perf_counter() - started)
+        with self.obs.profile("hallucinate", k=int(np.atleast_2d(X_pending).shape[0])):
+            started = time.perf_counter()
+            U_pending = self.transform.to_unit(
+                check_matrix(X_pending, "X_pending", cols=self.dim)
+            )
+            try:
+                if self.surrogate_update == "incremental":
+                    try:
+                        view = HallucinatedView(model, U_pending)
+                        self.stats.n_hallucinated_views += 1
+                        return view
+                    except np.linalg.LinAlgError:
+                        self.stats.n_fallbacks += 1
+                self.stats.n_hallucinated_rebuilds += 1
+                return model.condition_on_pending(U_pending)
+            finally:
+                self.stats.hallucination_seconds.append(
+                    time.perf_counter() - started
+                )
 
     # ------------------------------------------------------------ predict
     def predict_physical(self, X, model=None):

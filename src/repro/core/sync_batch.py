@@ -346,7 +346,7 @@ class SynchronousBatchBO(BODriverBase):
                 self._submit(pool, x, batch=batch_index)
                 issued += 1
             while pool.busy_count:
-                self._consume(pool, pool.wait_next())
+                self._consume(pool, self._wait(pool))
             batch_index += 1
         # Initial design goes out in synchronous batches too.
         while issued < self.n_init:
@@ -354,21 +354,27 @@ class SynchronousBatchBO(BODriverBase):
                 self._submit(pool, x, batch=batch_index)
                 issued += 1
             while pool.busy_count:
-                self._consume(pool, pool.wait_next())
+                self._consume(pool, self._wait(pool))
             batch_index += 1
         while issued < self.max_evals:
-            n_points = min(self.batch_size, self.max_evals - issued)
-            if self.session.n_observations < 2:
-                # Too many dropped failures for the GP: fall back to uniform
-                # exploration for this batch.
-                points = list(random_design(self.problem.bounds, n_points, self.rng))
-            else:
-                points = self._select_batch(n_points)
-            self._journal_batch(batch_index, points)
-            for x in points:
-                self._submit(pool, x, batch=batch_index)
-                issued += 1
-            while pool.busy_count:
-                self._consume(pool, pool.wait_next())
+            # One synchronous cycle: select a batch, issue it, barrier.
+            with self.obs.span("iteration", batch=batch_index):
+                n_points = min(self.batch_size, self.max_evals - issued)
+                if self.session.n_observations < 2:
+                    # Too many dropped failures for the GP: fall back to
+                    # uniform exploration for this batch.
+                    points = list(
+                        random_design(self.problem.bounds, n_points, self.rng)
+                    )
+                else:
+                    with self.obs.span("select-batch", n_points=n_points):
+                        points = self._select_batch(n_points)
+                self._journal_batch(batch_index, points)
+                for x in points:
+                    self._submit(pool, x, batch=batch_index)
+                    issued += 1
+                while pool.busy_count:
+                    self._consume(pool, self._wait(pool))
+            self.obs.inc("driver.iterations")
             batch_index += 1
         return self._package(pool)

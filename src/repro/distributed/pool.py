@@ -59,6 +59,7 @@ from repro.distributed.protocol import (
     result_from_dict,
 )
 from repro.distributed.transport import ConnectionClosed, FramedConnection, listen
+from repro.obs import NULL_OBS
 from repro.sched.trace import EvalRecord, ExecutionTrace, PoolTelemetry
 from repro.sched.workers import Completion, _problem_dim
 
@@ -163,6 +164,7 @@ class ProcessWorkerPool:
         self.spawn_timeout = float(spawn_timeout)
         self.poll_interval = float(poll_interval)
         self.trace = ExecutionTrace(n_workers)
+        self._obs = NULL_OBS
 
         self._init_frame = {
             "type": "init",
@@ -197,6 +199,11 @@ class ProcessWorkerPool:
         self._finalizer = weakref.finalize(self, _reap, self._all_procs)
         for slot in self._slots:
             self._spawn(slot)
+
+    def bind_observability(self, obs) -> None:
+        """Attach an :class:`~repro.obs.Observability` facade (live counters:
+        ``pool.submits`` / ``pool.completions`` / ``pool.task_seconds``)."""
+        self._obs = obs if obs is not None else NULL_OBS
 
     # ------------------------------------------------------------ inspection
     @property
@@ -554,8 +561,10 @@ class ProcessWorkerPool:
         index = self._next_index
         self._next_index += 1
         now = self.now
-        return self._assign(index, slot.worker_id, x, batch=batch,
-                            issue_time=now, queued_at=now)
+        index = self._assign(index, slot.worker_id, x, batch=batch,
+                             issue_time=now, queued_at=now)
+        self._obs.inc("pool.submits")
+        return index
 
     def wait_next(self) -> Completion:
         """Block until an in-flight evaluation finishes, dies, or times out.
@@ -644,6 +653,10 @@ class ProcessWorkerPool:
                 attempts=attempts,
             )
         )
+        self._obs.inc("pool.completions")
+        self._obs.observe(
+            "pool.task_seconds", max(finish_time - meta["issue_time"], 0.0)
+        )
         return completion
 
     def wait_all(self) -> list[Completion]:
@@ -706,6 +719,7 @@ class ProcessWorkerPool:
             queued_at=now,
         )
         self._next_index = max(self._next_index, int(index) + 1)
+        self._obs.inc("pool.submits")
         return int(index)
 
     # --------------------------------------------------------------- closing

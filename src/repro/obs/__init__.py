@@ -1,0 +1,75 @@
+"""Structured observability: span tracing, metrics, profiling hooks.
+
+Three pieces, one facade:
+
+* :class:`~repro.obs.tracer.Tracer` — hierarchical span tracer (run →
+  iteration → fit / hallucinate / acquisition-maximize / dispatch / wait)
+  emitting CRC-framed JSONL beside the run journal; rendered by
+  ``python -m repro trace <file>``.
+* :class:`~repro.obs.metrics.MetricsRegistry` — process-wide counters /
+  gauges / streaming histograms unifying ``SurrogateStats`` and
+  ``PoolTelemetry`` behind one namespace; persisted as runs format v6.
+* :class:`Observability` — the facade drivers, pools, and the surrogate
+  session carry.  Its disabled form :data:`NULL_OBS` costs a couple of
+  attribute lookups per hook (≤5 % of the cheapest surrogate event, gated
+  by ``benchmarks/bench_surrogate_update.py``).
+
+See ``docs/observability.md`` for the span model and the metric catalog.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.render import hotspots, load_trace, render_trace
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "MetricsRegistry",
+    "NullTracer",
+    "NULL_TRACER",
+    "Observability",
+    "NULL_OBS",
+    "Span",
+    "Tracer",
+    "hotspots",
+    "load_trace",
+    "render_trace",
+]
+
+
+class Observability:
+    """Tracer + optional metrics registry, behind no-op-able hooks.
+
+    Instrumented code calls :meth:`profile` (a span context manager),
+    :meth:`inc`, and :meth:`observe` unconditionally; with the default
+    ``Observability()`` every hook is a no-op.
+    """
+
+    __slots__ = ("tracer", "metrics")
+
+    def __init__(self, tracer=None, metrics: MetricsRegistry | None = None):
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        self.metrics = metrics
+
+    @property
+    def enabled(self) -> bool:
+        return self.tracer.enabled or self.metrics is not None
+
+    def span(self, name: str, **attrs):
+        """Open a named span (context manager)."""
+        return self.tracer.span(name, **attrs)
+
+    #: ``obs.profile("fit")`` reads better at call sites that time a block.
+    profile = span
+
+    def inc(self, name: str, n: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(name, n)
+
+    def observe(self, name: str, value: float) -> None:
+        if self.metrics is not None:
+            self.metrics.observe(name, value)
+
+
+#: Shared disabled facade; the default for every driver, pool, and session.
+NULL_OBS = Observability()

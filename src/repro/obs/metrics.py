@@ -1,0 +1,222 @@
+"""Process-wide metrics registry: counters, gauges, and histograms.
+
+One :class:`MetricsRegistry` per run unifies the surrogate's linear-algebra
+counters (:class:`~repro.sched.trace.SurrogateStats`), the pool's operational
+counters (:class:`~repro.sched.trace.PoolTelemetry`), and the driver/
+acquisition counters behind a single flat namespace, so an operator reads
+*one* table instead of three ad-hoc dataclasses.
+
+Naming convention is ``subsystem.metric`` (``surrogate.refits``,
+``pool.queue_wait_seconds``, ``acquisition.polish_restarts``).  Histograms
+are streaming — count/total/min/max only, never the raw samples — so the
+registry stays O(#metrics) no matter how long the run is.
+
+Double-counting discipline
+--------------------------
+Counters that already have a durable source of truth (the execution trace,
+``SurrogateStats``, ``PoolTelemetry``) are *derived once* at result-packaging
+time via :meth:`MetricsRegistry.fold_surrogate_stats` /
+:meth:`MetricsRegistry.fold_pool_telemetry` / the driver's trace fold, using
+absolute assignment (:meth:`set_counter`) rather than increments.  Because a
+resumed run replays its journal into those same sources, the folded values
+are automatically replay-safe: a crash-and-resume run reports the same
+totals as the uninterrupted run (enforced by
+``tests/test_crash_resume.py``).  Only events with no other record —
+acquisition polish restarts, live submit/completion ticks — are incremented
+as they happen.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["MetricsRegistry"]
+
+
+def _new_histogram() -> dict:
+    return {"count": 0, "total": 0.0, "min": None, "max": None}
+
+
+class MetricsRegistry:
+    """Flat namespace of counters, gauges, and streaming histograms.
+
+    Thread-safe: pools may tick counters from their supervisor thread while
+    the driver thread reads a snapshot.  All mutators are O(1).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, dict] = {}
+
+    # ------------------------------------------------------------- mutators
+    def inc(self, name: str, n: int = 1) -> None:
+        """Increment counter ``name`` by ``n`` (creating it at 0)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + int(n)
+
+    def set_counter(self, name: str, value: int) -> None:
+        """Assign an absolute counter value (for fold-once derived totals)."""
+        with self._lock:
+            self._counters[name] = int(value)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold one sample into histogram ``name`` (streaming, O(1) memory)."""
+        value = float(value)
+        with self._lock:
+            hist = self._histograms.setdefault(name, _new_histogram())
+            hist["count"] += 1
+            hist["total"] += value
+            hist["min"] = value if hist["min"] is None else min(hist["min"], value)
+            hist["max"] = value if hist["max"] is None else max(hist["max"], value)
+
+    def declare_histogram(self, name: str) -> None:
+        """Ensure ``name`` exists (zero samples) so metric *names* are stable
+        across backends that never produce a sample for it."""
+        with self._lock:
+            self._histograms.setdefault(name, _new_histogram())
+
+    # ------------------------------------------------------------- accessors
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def gauge(self, name: str) -> float | None:
+        with self._lock:
+            return self._gauges.get(name)
+
+    def histogram(self, name: str) -> dict:
+        with self._lock:
+            return dict(self._histograms.get(name, _new_histogram()))
+
+    def names(self) -> list[str]:
+        """Sorted union of every metric name in the registry."""
+        with self._lock:
+            return sorted(
+                set(self._counters) | set(self._gauges) | set(self._histograms)
+            )
+
+    # ---------------------------------------------------------- aggregation
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in: counters/histograms add, gauges overwrite."""
+        snapshot = other.as_dict()
+        with self._lock:
+            for name, value in snapshot["counters"].items():
+                self._counters[name] = self._counters.get(name, 0) + value
+            self._gauges.update(snapshot["gauges"])
+            for name, theirs in snapshot["histograms"].items():
+                hist = self._histograms.setdefault(name, _new_histogram())
+                hist["count"] += theirs["count"]
+                hist["total"] += theirs["total"]
+                for key, pick in (("min", min), ("max", max)):
+                    if theirs[key] is not None:
+                        hist[key] = (
+                            theirs[key]
+                            if hist[key] is None
+                            else pick(hist[key], theirs[key])
+                        )
+
+    # ------------------------------------------------------------ fold-once
+    def fold_surrogate_stats(self, stats) -> None:
+        """Derive the ``surrogate.*`` metrics from a
+        :class:`~repro.sched.trace.SurrogateStats` (absolute, replay-safe)."""
+        if stats is None:
+            return
+        self.set_counter("surrogate.refits", stats.n_refits)
+        self.set_counter("surrogate.full_fits", stats.n_full_fits)
+        self.set_counter("surrogate.refactorizations", stats.n_refactorizations)
+        self.set_counter("surrogate.incremental_updates", stats.n_incremental_updates)
+        self.set_counter("surrogate.fallbacks", stats.n_fallbacks)
+        self.set_counter("surrogate.hallucinated_views", stats.n_hallucinated_views)
+        self.set_counter(
+            "surrogate.hallucinated_rebuilds", stats.n_hallucinated_rebuilds
+        )
+        for name, samples in (
+            ("surrogate.refit_seconds", stats.refit_seconds),
+            ("surrogate.hallucination_seconds", stats.hallucination_seconds),
+        ):
+            with self._lock:
+                self._histograms[name] = _new_histogram()
+            for value in samples:
+                self.observe(name, value)
+
+    def fold_pool_telemetry(self, telemetry) -> None:
+        """Derive the ``pool.*`` metrics from a
+        :class:`~repro.sched.trace.PoolTelemetry` (absolute, replay-safe).
+
+        The queue-wait histogram is declared even when the backend records
+        no samples (virtual/thread pools), so all three backends expose the
+        same metric-name set.
+        """
+        if telemetry is None:
+            return
+        self.set_counter("pool.tasks", telemetry.n_tasks)
+        self.set_counter("pool.respawns", telemetry.n_respawns)
+        self.set_counter("pool.heartbeat_expiries", telemetry.n_heartbeat_expiries)
+        self.set_counter("pool.timeout_kills", telemetry.n_timeout_kills)
+        self.set_gauge("pool.workers", telemetry.n_workers)
+        self.set_gauge("pool.utilization", telemetry.utilization)
+        self.set_gauge("pool.elapsed_seconds", telemetry.elapsed_seconds)
+        self.set_gauge(
+            "pool.busy_seconds", float(sum(telemetry.worker_busy_seconds))
+        )
+        with self._lock:
+            self._histograms["pool.queue_wait_seconds"] = _new_histogram()
+        for value in telemetry.queue_wait_seconds:
+            self.observe("pool.queue_wait_seconds", value)
+
+    # ----------------------------------------------------------- persistence
+    def as_dict(self) -> dict:
+        """JSON-serializable snapshot (persisted as runs format v6)."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {k: dict(v) for k, v in self._histograms.items()},
+            }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MetricsRegistry":
+        registry = cls()
+        registry._counters = {str(k): int(v) for k, v in data.get("counters", {}).items()}
+        registry._gauges = {str(k): float(v) for k, v in data.get("gauges", {}).items()}
+        for name, hist in data.get("histograms", {}).items():
+            restored = _new_histogram()
+            restored.update(hist)
+            registry._histograms[str(name)] = restored
+        return registry
+
+    # -------------------------------------------------------------- display
+    def summary_rows(self) -> list[list[str]]:
+        """``[name, kind, value]`` rows for :func:`repro.utils.tables.format_table`."""
+        rows: list[list[str]] = []
+        snapshot = self.as_dict()
+        for name in sorted(snapshot["counters"]):
+            rows.append([name, "counter", str(snapshot["counters"][name])])
+        for name in sorted(snapshot["gauges"]):
+            rows.append([name, "gauge", f"{snapshot['gauges'][name]:.3f}"])
+        for name in sorted(snapshot["histograms"]):
+            hist = snapshot["histograms"][name]
+            if hist["count"]:
+                mean = hist["total"] / hist["count"]
+                value = (
+                    f"n={hist['count']} mean={mean * 1e3:.2f}ms "
+                    f"max={hist['max'] * 1e3:.2f}ms"
+                )
+            else:
+                value = "n=0"
+            rows.append([name, "histogram", value])
+        return rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        snapshot = self.as_dict()
+        return (
+            f"MetricsRegistry({len(snapshot['counters'])} counters, "
+            f"{len(snapshot['gauges'])} gauges, "
+            f"{len(snapshot['histograms'])} histograms)"
+        )

@@ -1,0 +1,111 @@
+"""Render a span trace: ASCII tree plus top-k hotspot table.
+
+The ``python -m repro trace <file>`` verb calls :func:`render_trace`.  The
+trace file is framed exactly like the run journal, so
+:func:`repro.core.journal.read_journal` reads it — including the longest-
+valid-prefix recovery for traces torn by a crash.
+"""
+
+from __future__ import annotations
+
+from repro.core.journal import read_journal
+from repro.utils.tables import format_table
+
+__all__ = ["load_trace", "render_trace"]
+
+#: Tree lines rendered before eliding the remainder (hotspots always print).
+MAX_TREE_LINES = 400
+
+
+def load_trace(path) -> list[dict]:
+    """Read every span record of a trace file (header excluded)."""
+    return [r for r in read_journal(path) if r.get("type") == "span"]
+
+
+def _build_forest(spans: list[dict]) -> list[dict]:
+    """Children-sorted roots of the span tree (orphans become roots)."""
+    by_id = {span["id"]: dict(span, children=[]) for span in spans}
+    roots = []
+    for span in by_id.values():
+        parent = by_id.get(span["parent"])
+        if parent is None:
+            roots.append(span)
+        else:
+            parent["children"].append(span)
+    for span in by_id.values():
+        span["children"].sort(key=lambda s: s["t_start"])
+    roots.sort(key=lambda s: s["t_start"])
+    return roots
+
+
+def _format_attrs(span: dict) -> str:
+    attrs = span.get("attrs") or {}
+    if not attrs:
+        return ""
+    inner = ", ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+    return f" [{inner}]"
+
+
+def _tree_lines(roots: list[dict]) -> list[str]:
+    lines: list[str] = []
+
+    def visit(span: dict, prefix: str, is_last: bool, is_root: bool) -> None:
+        connector = "" if is_root else ("└─ " if is_last else "├─ ")
+        lines.append(
+            f"{prefix}{connector}{span['name']}{_format_attrs(span)}"
+            f"  wall={span['wall'] * 1e3:.1f}ms cpu={span['cpu'] * 1e3:.1f}ms"
+        )
+        child_prefix = prefix if is_root else prefix + ("   " if is_last else "│  ")
+        children = span["children"]
+        for i, child in enumerate(children):
+            visit(child, child_prefix, i == len(children) - 1, False)
+
+    for root in roots:
+        visit(root, "", True, True)
+    return lines
+
+
+def hotspots(spans: list[dict], top: int = 10) -> list[dict]:
+    """Aggregate spans by name; rank by total wall time, descending."""
+    agg: dict[str, dict] = {}
+    for span in spans:
+        entry = agg.setdefault(
+            span["name"], {"name": span["name"], "count": 0, "wall": 0.0, "cpu": 0.0}
+        )
+        entry["count"] += 1
+        entry["wall"] += span["wall"]
+        entry["cpu"] += span["cpu"]
+    ranked = sorted(agg.values(), key=lambda e: e["wall"], reverse=True)
+    return ranked[: max(1, top)]
+
+
+def render_trace(path, *, top: int = 10) -> str:
+    """Full human-readable report: span tree then top-k hotspots."""
+    spans = load_trace(path)
+    if not spans:
+        return f"{path}: no spans recorded (empty or torn trace)"
+    lines = [f"trace {path}: {len(spans)} spans", ""]
+    tree = _tree_lines(_build_forest(spans))
+    if len(tree) > MAX_TREE_LINES:
+        elided = len(tree) - MAX_TREE_LINES
+        tree = tree[:MAX_TREE_LINES] + [f"... ({elided} more spans elided)"]
+    lines.extend(tree)
+    lines.append("")
+    rows = [
+        [
+            e["name"],
+            str(e["count"]),
+            f"{e['wall'] * 1e3:.1f}",
+            f"{e['cpu'] * 1e3:.1f}",
+            f"{e['wall'] / e['count'] * 1e3:.2f}",
+        ]
+        for e in hotspots(spans, top=top)
+    ]
+    lines.append(
+        format_table(
+            ["Span", "Count", "Wall ms", "CPU ms", "Mean ms"],
+            rows,
+            title=f"top {len(rows)} hotspots by total wall time",
+        )
+    )
+    return "\n".join(lines)

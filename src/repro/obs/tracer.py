@@ -1,0 +1,195 @@
+"""Hierarchical span tracer with CRC-framed JSONL output.
+
+A :class:`Tracer` records a tree of timed spans — ``run`` at the root, one
+``iteration`` per optimizer cycle, and ``fit`` / ``hallucinate`` /
+``acquisition-maximize`` / ``dispatch`` / ``wait`` leaves — each with wall
+time (``time.perf_counter``) and CPU time (``time.process_time``).  Closed
+spans are appended to a sidecar file using the same self-validating framing
+as the run journal (``J1 <len> <crc> <json>``), so ``repro.core.journal``'s
+torn-tail recovery applies to traces too and a crash never leaves an
+unreadable trace behind.
+
+The disabled path is :data:`NULL_TRACER`: ``span()`` returns one shared
+no-op context manager, so instrumented code pays two attribute lookups and
+a method call per span — the ≤5 % overhead budget enforced by
+``benchmarks/bench_surrogate_update.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.journal import JournalWriter
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER", "TRACE_VERSION"]
+
+#: Version stamp embedded in every ``trace_start`` record.
+TRACE_VERSION = 1
+
+
+class Span:
+    """One timed region; use as a context manager.
+
+    Children must close before their parent (the usual ``with`` nesting
+    guarantees it); the tracer assigns ids and depths from its live stack.
+    """
+
+    __slots__ = (
+        "tracer", "name", "attrs", "span_id", "parent_id", "depth",
+        "_t_wall", "_t_cpu", "t_start",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict):
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+
+    def annotate(self, **attrs) -> None:
+        """Attach counters/attributes discovered while the span is open."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        self.span_id, self.parent_id, self.depth = self.tracer._push(self)
+        self.t_start = self.tracer._offset()
+        self._t_wall = time.perf_counter()
+        self._t_cpu = time.process_time()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        wall = time.perf_counter() - self._t_wall
+        cpu = time.process_time() - self._t_cpu
+        self.tracer._pop(self, wall, cpu, error=exc_type is not None)
+        return False
+
+
+class Tracer:
+    """Emits one framed JSONL record per closed span.
+
+    Parameters
+    ----------
+    sink:
+        A path (a non-fsync :class:`~repro.core.journal.JournalWriter` is
+        opened on it — traces are diagnostics, not the recovery source of
+        truth, so they skip the per-record fsync) or any object with an
+        ``append(record)`` method.
+    meta:
+        Optional JSON-safe dict stored in the ``trace_start`` header.
+    """
+
+    enabled = True
+
+    def __init__(self, sink, *, meta: dict | None = None):
+        if hasattr(sink, "append"):
+            self._writer = sink
+            self._owns_writer = False
+        else:
+            self._writer = JournalWriter(sink, fsync=False)
+            self._owns_writer = True
+        self._t0 = time.perf_counter()
+        self._next_id = 0
+        self._stack: list[Span] = []
+        self._n_spans = 0
+        self._writer.append(
+            {
+                "type": "trace_start",
+                "trace_version": TRACE_VERSION,
+                "meta": meta or {},
+            }
+        )
+
+    # -------------------------------------------------------------- spans
+    def span(self, name: str, **attrs) -> Span:
+        return Span(self, name, attrs)
+
+    def _offset(self) -> float:
+        return time.perf_counter() - self._t0
+
+    def _push(self, span: Span) -> tuple[int, int | None, int]:
+        span_id = self._next_id
+        self._next_id += 1
+        parent_id = self._stack[-1].span_id if self._stack else None
+        depth = len(self._stack)
+        self._stack.append(span)
+        return span_id, parent_id, depth
+
+    def _pop(self, span: Span, wall: float, cpu: float, *, error: bool) -> None:
+        # Tolerate out-of-order exits (a span leaked across an exception):
+        # close everything above it rather than corrupting the stack.
+        while self._stack and self._stack[-1] is not span:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+        record = {
+            "type": "span",
+            "id": span.span_id,
+            "parent": span.parent_id,
+            "name": span.name,
+            "depth": span.depth,
+            "t_start": round(span.t_start, 9),
+            "wall": round(wall, 9),
+            "cpu": round(cpu, 9),
+        }
+        if span.attrs:
+            record["attrs"] = span.attrs
+        if error:
+            record["error"] = True
+        self._n_spans += 1
+        self._writer.append(record)
+
+    @property
+    def n_spans(self) -> int:
+        return self._n_spans
+
+    def close(self) -> None:
+        """Close any spans still open (crash path) and release the sink."""
+        while self._stack:
+            span = self._stack[-1]
+            wall = time.perf_counter() - span._t_wall
+            cpu = time.process_time() - span._t_cpu
+            self._pop(span, wall, cpu, error=False)
+        if self._owns_writer:
+            self._writer.close()
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class _NullSpan:
+    """Shared no-op span: the entire cost of disabled tracing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def annotate(self, **attrs) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled tracer: ``span()`` returns one shared no-op singleton."""
+
+    enabled = False
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    @property
+    def n_spans(self) -> int:
+        return 0
+
+    def close(self) -> None:
+        pass
+
+
+#: Process-wide disabled tracer; drivers default to it.
+NULL_TRACER = NullTracer()

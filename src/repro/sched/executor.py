@@ -40,6 +40,7 @@ import numpy as np
 
 from repro.core.faults import FailurePolicy, run_with_policy
 from repro.core.problem import STATUS_ORPHANED, STATUS_TIMEOUT, EvaluationResult
+from repro.obs import NULL_OBS
 from repro.sched.trace import EvalRecord, ExecutionTrace, PoolTelemetry
 from repro.sched.workers import Completion, _problem_dim
 
@@ -72,6 +73,7 @@ class ThreadWorkerPool:
         self.policy = policy or FailurePolicy()
         self.poll_interval = float(poll_interval)
         self.trace = ExecutionTrace(n_workers)
+        self._obs = NULL_OBS
         self._lock = threading.Lock()
         self._results: queue.SimpleQueue = queue.SimpleQueue()
         self._t0 = time.monotonic()
@@ -81,6 +83,11 @@ class ThreadWorkerPool:
         self._free_workers = list(range(n_workers - 1, -1, -1))
         self._cost_total = 0.0
         self._cost_count = 0
+
+    def bind_observability(self, obs) -> None:
+        """Attach an :class:`~repro.obs.Observability` facade (live counters:
+        ``pool.submits`` / ``pool.completions`` / ``pool.task_seconds``)."""
+        self._obs = obs if obs is not None else NULL_OBS
 
     # ------------------------------------------------------------ inspection
     @property
@@ -138,6 +145,7 @@ class ThreadWorkerPool:
                 "thread": thread,
             }
         thread.start()
+        self._obs.inc("pool.submits")
         return index
 
     def _lease_deadline(self, issue_time: float) -> float | None:
@@ -267,6 +275,10 @@ class ThreadWorkerPool:
                 attempts=attempts,
             )
         )
+        self._obs.inc("pool.completions")
+        self._obs.observe(
+            "pool.task_seconds", max(finish_time - meta["issue_time"], 0.0)
+        )
         return completion
 
     def wait_all(self) -> list[Completion]:
@@ -339,6 +351,7 @@ class ThreadWorkerPool:
             }
             self._next_index = max(self._next_index, int(index) + 1)
         thread.start()
+        self._obs.inc("pool.submits")
         return int(index)
 
     def telemetry(self) -> PoolTelemetry:

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.core.faults import FailurePolicy, run_with_policy
 from repro.core.problem import EvaluationResult
+from repro.obs import NULL_OBS
 from repro.sched.events import EventQueue
 from repro.sched.trace import EvalRecord, ExecutionTrace, PoolTelemetry
 
@@ -88,6 +89,7 @@ class VirtualWorkerPool:
         self.policy = policy or FailurePolicy()
         self.now = 0.0
         self.trace = ExecutionTrace(n_workers)
+        self._obs = NULL_OBS
         self._events = EventQueue()
         self._free = list(range(n_workers - 1, -1, -1))  # pop() yields worker 0 first
         self._running: dict[int, _Running] = {}
@@ -95,6 +97,11 @@ class VirtualWorkerPool:
         # Completed-duration statistics feeding lease deadlines.
         self._cost_total = 0.0
         self._cost_count = 0
+
+    def bind_observability(self, obs) -> None:
+        """Attach an :class:`~repro.obs.Observability` facade (live counters:
+        ``pool.submits`` / ``pool.completions`` / ``pool.task_seconds``)."""
+        self._obs = obs if obs is not None else NULL_OBS
 
     # ------------------------------------------------------------ inspection
     @property
@@ -192,6 +199,7 @@ class VirtualWorkerPool:
         )
         self._running[index] = task
         self._events.push(self.now + max(result.cost, 0.0), index)
+        self._obs.inc("pool.submits")
         return index
 
     def wait_next(self) -> Completion:
@@ -231,6 +239,8 @@ class VirtualWorkerPool:
                 attempts=task.attempts,
             )
         )
+        self._obs.inc("pool.completions")
+        self._obs.observe("pool.task_seconds", max(event.time - task.issue_time, 0.0))
         return completion
 
     def wait_all(self) -> list[Completion]:
@@ -317,4 +327,5 @@ class VirtualWorkerPool:
         self._running[task.index] = task
         self._events.push(issue_time + max(result.cost, 0.0), task.index)
         self._next_index = max(self._next_index, task.index + 1)
+        self._obs.inc("pool.submits")
         return task.index

@@ -1,0 +1,163 @@
+"""Regenerate the golden persistence fixtures (``runs_v1.json`` .. ``runs_v6.json``).
+
+Each fixture is a hand-built, byte-stable runs file in one historical
+format version, so ``load_runs`` is pinned against every version it claims
+to read (``tests/test_persistence_formats.py`` asserts both loadability and
+byte-exactness of the committed files).
+
+The payloads are version-additive, mirroring the real history:
+
+* v1 — all-success minimal run (no failure semantics).
+* v2 — failure semantics: per-record status/error/attempts, run-level
+  ``n_failures`` / ``n_retries`` (the canonical run gains a crashed and an
+  orphaned evaluation).
+* v3 — optional ``surrogate_stats`` block.
+* v4 — optional final ``rng_state`` block.
+* v5 — optional ``pool_telemetry`` block.
+* v6 — optional ``metrics`` block (MetricsRegistry snapshot).
+
+Run ``python tests/golden/persistence/regenerate.py`` after an intentional
+format change; never edit the JSON files by hand.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+HERE = pathlib.Path(__file__).parent
+
+#: The two canonical runs: v1 predates failure semantics, so its run is
+#: all-success; v2+ share a failure/orphan-rich run exercising every field.
+_SUCCESS_RECORDS = [
+    {
+        "index": 0, "worker": 0, "x": [0.25, -0.5], "fom": -3.2,
+        "issue_time": 0.0, "finish_time": 10.0, "feasible": True, "batch": None,
+    },
+    {
+        "index": 1, "worker": 1, "x": [-0.75, 0.1], "fom": -2.4,
+        "issue_time": 0.0, "finish_time": 12.0, "feasible": True, "batch": None,
+    },
+    {
+        "index": 2, "worker": 0, "x": [0.6, 0.4], "fom": -1.5,
+        "issue_time": 10.0, "finish_time": 21.0, "feasible": True, "batch": None,
+    },
+]
+
+_FAILURE_RECORDS = [
+    dict(_SUCCESS_RECORDS[0], status="ok", error=None, attempts=1),
+    {
+        "index": 1, "worker": 1, "x": [-0.75, 0.1], "fom": None,
+        "issue_time": 0.0, "finish_time": 12.0, "feasible": False,
+        "batch": None, "status": "failed",
+        "error": "simulation diverged", "attempts": 3,
+    },
+    dict(_SUCCESS_RECORDS[2], status="ok", error=None, attempts=2),
+    {
+        "index": 3, "worker": 1, "x": [-0.2, -0.9], "fom": None,
+        "issue_time": 12.0, "finish_time": 30.0, "feasible": False,
+        "batch": None, "status": "orphaned",
+        "error": "worker lease expired", "attempts": 1,
+    },
+]
+
+_SURROGATE_STATS = {
+    "n_refits": 2, "n_full_fits": 1, "n_refactorizations": 1,
+    "n_incremental_updates": 1, "n_fallbacks": 0,
+    "n_hallucinated_views": 2, "n_hallucinated_rebuilds": 0,
+    "refit_seconds": [0.01, 0.02],
+    "hallucination_seconds": [0.001, 0.002],
+}
+
+_RNG_STATE = {
+    "bit_generator": "PCG64",
+    "state": {"state": 35399562948360463058890781895381311971, "inc": 87136372517582989555478159403783844777},
+    "has_uint32": 0,
+    "uinteger": 0,
+}
+
+_POOL_TELEMETRY = {
+    "backend": "process", "n_workers": 2, "n_tasks": 4,
+    "n_respawns": 1, "n_heartbeat_expiries": 1, "n_timeout_kills": 0,
+    "elapsed_seconds": 30.0,
+    "worker_busy_seconds": [21.0, 30.0], "worker_tasks": [2, 2],
+    "queue_wait_seconds": [0.1, 0.2, 0.15, 0.3],
+    "heartbeat_age_seconds": [0.2, 0.4],
+}
+
+_METRICS = {
+    "counters": {
+        "driver.evaluations": 4, "driver.failures": 2, "driver.retries": 3,
+        "driver.orphans": 1, "driver.reissues": 0,
+        "pool.submits": 4, "pool.completions": 4,
+        "surrogate.refits": 2, "surrogate.full_fits": 1,
+    },
+    "gauges": {"pool.workers": 2.0, "pool.utilization": 0.85},
+    "histograms": {
+        "pool.queue_wait_seconds": {
+            "count": 4, "total": 0.75, "min": 0.1, "max": 0.3,
+        },
+        "surrogate.refit_seconds": {
+            "count": 2, "total": 0.03, "min": 0.01, "max": 0.02,
+        },
+    },
+}
+
+
+def build_run(version: int) -> dict:
+    """The canonical run serialized the way format ``version`` wrote it."""
+    if version == 1:
+        return {
+            "version": 1,
+            "algorithm": "EasyBO-2",
+            "problem": "golden-sphere",
+            "best_x": [0.6, 0.4],
+            "best_fom": -1.5,
+            "n_evaluations": 3,
+            "wall_clock": 21.0,
+            "n_workers": 2,
+            "records": [dict(r) for r in _SUCCESS_RECORDS],
+        }
+    run = {
+        "version": version,
+        "algorithm": "EasyBO-2",
+        "problem": "golden-sphere",
+        "best_x": [0.6, 0.4],
+        "best_fom": -1.5,
+        "n_evaluations": 4,
+        "wall_clock": 30.0,
+        "n_failures": 2,
+        "n_retries": 3,
+        "n_workers": 2,
+        "records": [dict(r) for r in _FAILURE_RECORDS],
+    }
+    if version >= 3:
+        run["surrogate_stats"] = dict(_SURROGATE_STATS)
+    if version >= 4:
+        run["rng_state"] = dict(_RNG_STATE)
+    if version >= 5:
+        run["pool_telemetry"] = dict(_POOL_TELEMETRY)
+    if version >= 6:
+        run["metrics"] = dict(_METRICS)
+    return run
+
+
+def build_payload(version: int) -> dict:
+    """A save_runs-shaped grid holding the canonical run."""
+    return {"version": version, "grid": {"EasyBO-2": [build_run(version)]}}
+
+
+def render(version: int) -> str:
+    """Byte-stable JSON text of one fixture file."""
+    return json.dumps(build_payload(version), indent=2, sort_keys=True) + "\n"
+
+
+def main() -> None:
+    for version in range(1, 7):
+        path = HERE / f"runs_v{version}.json"
+        path.write_text(render(version), encoding="utf-8")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

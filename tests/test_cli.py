@@ -36,6 +36,34 @@ class TestCli:
         assert "best FOM" in result.stdout
         assert "pm_deg" in result.stdout
 
+    def test_run_with_metrics_then_trace_renders(self, tmp_path):
+        trace = tmp_path / "run-trace.jsonl"
+        result = run_cli(
+            "run", "--problem", "sphere", "--algorithm", "EasyBO-2",
+            "--budget", "10", "--n-init", "4",
+            "--metrics", "--trace", str(trace),
+        )
+        assert result.returncode == 0
+        assert "best FOM" in result.stdout
+        assert "run metrics" in result.stdout
+        assert "driver.evaluations" in result.stdout
+        assert "spans written" in result.stdout
+        assert trace.is_file()
+
+        rendered = run_cli("trace", str(trace), "--top", "5")
+        assert rendered.returncode == 0
+        assert "run [" in rendered.stdout
+        assert "iteration" in rendered.stdout
+        assert "hotspots" in rendered.stdout
+
+    def test_run_without_obs_flags_writes_no_trace(self, tmp_path):
+        result = run_cli(
+            "run", "--problem", "sphere", "--algorithm", "LCB",
+            "--budget", "6", "--n-init", "3",
+        )
+        assert result.returncode == 0
+        assert "spans written" not in result.stdout
+
     def test_requires_command(self):
         result = run_cli()
         assert result.returncode != 0

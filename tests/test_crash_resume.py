@@ -330,24 +330,28 @@ class TestPersistenceV4:
     def test_round_trip_preserves_rng_state(self):
         result = run_scenario("lcb-branin")
         data = run_to_dict(result)
-        assert data["version"] == 5
+        assert data["version"] == 6
         clone = run_from_dict(json.loads(json.dumps(data)))
         assert clone.rng_state == result.rng_state
         assert clone.best_fom == result.best_fom
 
-    def test_v2_through_v4_files_still_load(self):
+    def test_v2_through_v5_files_still_load(self):
         result = run_scenario("lcb-branin")
         data = run_to_dict(result)
-        for version in (2, 3, 4):
+        for version in (2, 3, 4, 5):
             old = json.loads(json.dumps(data))
             old["version"] = version
-            old.pop("pool_telemetry", None)
+            old.pop("metrics", None)
+            if version < 5:
+                old.pop("pool_telemetry", None)
             if version < 4:
                 old.pop("rng_state", None)
             if version < 3:
                 old.pop("surrogate_stats", None)
             clone = run_from_dict(old)
-            assert clone.pool_telemetry is None
+            assert clone.metrics is None
+            if version < 5:
+                assert clone.pool_telemetry is None
             if version < 4:
                 assert clone.rng_state is None
             assert clone.best_fom == result.best_fom
@@ -362,6 +366,81 @@ class TestPersistenceV4:
         grid = load_runs(path)
         assert len(grid["LCB"]) == 2
         assert len(first) < path.stat().st_size
+
+
+class TestObservabilityAcrossResume:
+    """Replay-safe metrics: a killed-and-resumed run reports the same
+    durable counters as the uninterrupted run, never replayed-plus-live
+    double counts, and the resume opens its own (marked) run span."""
+
+    NAME = "easybo-async-branin"
+
+    def test_resumed_metrics_match_uninterrupted_run(self, tmp_path):
+        from repro.obs import MetricsRegistry
+
+        baseline = run_scenario(
+            self.NAME, journal=tmp_path / "full.jsonl",
+            metrics=MetricsRegistry(),
+        )
+        assert baseline.metrics is not None
+
+        path = tmp_path / "crash.jsonl"
+        run_killed(self.NAME, path, kill_at=10)
+        # The resumed process brings a fresh registry, as a real restart would.
+        resumed = resume(path, metrics=MetricsRegistry())
+        assert_matches_golden(self.NAME, resumed)
+        assert resumed.metrics is not None
+
+        # Trace-derived counters are folded (assigned) at packaging time, so
+        # replayed completions cannot double-count: the resumed totals equal
+        # the uninterrupted run's exactly.
+        durable = (
+            "driver.evaluations", "driver.failures", "driver.retries",
+            "driver.orphans", "pool.tasks",
+        )
+        for name in durable:
+            assert (
+                resumed.metrics["counters"][name]
+                == baseline.metrics["counters"][name]
+            ), name
+        assert (
+            resumed.metrics["counters"]["driver.evaluations"]
+            == resumed.n_evaluations
+        )
+        # Live counters tick only for post-resume events — they can never
+        # exceed the run totals (a double count would).
+        assert (
+            resumed.metrics["counters"]["pool.submits"]
+            <= resumed.n_evaluations
+        )
+        assert (
+            resumed.metrics["counters"]["driver.completions"]
+            <= resumed.n_evaluations
+        )
+
+    def test_resume_opens_a_marked_run_span(self, tmp_path):
+        from repro.obs import Tracer, load_trace, render_trace
+
+        path = tmp_path / "crash.jsonl"
+        run_killed(self.NAME, path, kill_at=10)
+        trace_path = tmp_path / "resume-trace.jsonl"
+        tracer = Tracer(trace_path)
+        resumed = resume(path, tracer=tracer)
+        tracer.close()
+        assert_matches_golden(self.NAME, resumed)
+
+        spans = load_trace(trace_path)
+        roots = [s for s in spans if s["parent"] is None]
+        assert len(roots) == 1
+        assert roots[0]["name"] == "run"
+        assert roots[0]["attrs"]["resumed"] is True
+        assert render_trace(trace_path)  # renders without error
+
+    def test_metrics_are_strictly_opt_in_on_resume(self, tmp_path):
+        path = tmp_path / "crash.jsonl"
+        run_killed(self.NAME, path, kill_at=10)
+        resumed = resume(path)
+        assert resumed.metrics is None
 
 
 class TestResolveProblem:

@@ -1,0 +1,258 @@
+"""Unit coverage of the observability layer (``repro.obs``).
+
+The integration angle — drivers and pools feeding the tracer/registry over
+whole runs, parity across backends, resume fold-once semantics — lives in
+``test_pool_contract.py`` and ``test_crash_resume.py``.  Here the pieces
+are pinned in isolation: span tree structure and framing, torn-tail
+tolerance, registry arithmetic and (de)serialization, the fold helpers,
+and the guarantee that the disabled path allocates nothing and writes
+nothing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.journal import read_journal
+from repro.obs import (
+    NULL_OBS,
+    NULL_TRACER,
+    MetricsRegistry,
+    Observability,
+    Tracer,
+    hotspots,
+    load_trace,
+    render_trace,
+)
+from repro.sched.trace import PoolTelemetry, SurrogateStats
+
+
+class TestTracer:
+    def test_span_tree_ids_depths_and_timing(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(path, meta={"who": "test"})
+        with tracer.span("run", algorithm="x"):
+            with tracer.span("iteration", index=0):
+                with tracer.span("fit", n=3) as fit:
+                    fit.annotate(jitter=0.0)
+            with tracer.span("iteration", index=1):
+                pass
+        tracer.close()
+
+        records = read_journal(path, strict=True)
+        assert records[0]["type"] == "trace_start"
+        assert records[0]["trace_version"] == 1
+        assert records[0]["meta"] == {"who": "test"}
+
+        spans = {s["name"]: s for s in load_trace(path)}
+        assert len(load_trace(path)) == 4  # children close before parents
+        run = spans["run"]
+        fit = spans["fit"]
+        assert run["parent"] is None and run["depth"] == 0
+        assert fit["depth"] == 2
+        assert fit["attrs"] == {"n": 3, "jitter": 0.0}
+        iterations = [s for s in load_trace(path) if s["name"] == "iteration"]
+        assert all(s["parent"] == run["id"] for s in iterations)
+        assert fit["parent"] == iterations[0]["id"]
+        for span in spans.values():
+            assert span["wall"] >= 0.0 and span["cpu"] >= 0.0
+        assert run["wall"] >= fit["wall"]
+
+    def test_exception_marks_span_and_close_recovers_leaks(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(path)
+        with pytest.raises(RuntimeError):
+            with tracer.span("run"):
+                with tracer.span("fit"):
+                    raise RuntimeError("boom")
+        leaked = tracer.span("dangling")
+        leaked.__enter__()  # never exited: close() must force-close it
+        tracer.close()
+
+        spans = {s["name"]: s for s in load_trace(path)}
+        assert spans["fit"]["error"] is True
+        assert spans["run"]["error"] is True
+        assert "dangling" in spans
+
+    def test_torn_tail_is_tolerated(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(path)
+        for i in range(5):
+            with tracer.span("iteration", index=i):
+                pass
+        tracer.close()
+        raw = path.read_bytes()
+        torn = tmp_path / "torn.jsonl"
+        torn.write_bytes(raw[:-7])  # crash mid-append
+        spans = load_trace(torn)
+        assert [s["attrs"]["index"] for s in spans] == [0, 1, 2, 3]
+        assert "iteration" in render_trace(torn)
+
+    def test_null_tracer_is_free_and_shared(self, tmp_path):
+        assert NULL_TRACER.enabled is False
+        a = NULL_TRACER.span("anything", n=1)
+        b = NULL_TRACER.span("else")
+        assert a is b  # one shared no-op span: zero allocation per call
+        with a as span:
+            span.annotate(ignored=True)
+
+
+class TestRenderer:
+    def _write(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(path)
+        with tracer.span("run"):
+            for i in range(3):
+                with tracer.span("iteration", index=i):
+                    with tracer.span("fit", n=i + 2):
+                        pass
+        tracer.close()
+        return path
+
+    def test_tree_and_hotspots_render(self, tmp_path):
+        out = render_trace(self._write(tmp_path))
+        assert "run" in out and "└─" in out and "├─" in out
+        assert "fit [n=2]" in out
+        assert "hotspots" in out
+
+    def test_hotspots_rank_by_total_wall(self, tmp_path):
+        spans = load_trace(self._write(tmp_path))
+        rows = hotspots(spans, top=2)
+        assert len(rows) == 2
+        assert rows[0]["name"] == "run"  # the root dominates total wall
+        assert rows[0]["count"] == 1
+        fit_row = next(r for r in hotspots(spans) if r["name"] == "fit")
+        assert fit_row["count"] == 3
+
+    def test_empty_or_missing_trace_degrades_gracefully(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_bytes(b"")
+        assert isinstance(render_trace(empty), str)
+
+
+class TestMetricsRegistry:
+    def test_counters_gauges_histograms(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        registry.inc("a", 4)
+        registry.set_counter("b", 10)
+        registry.set_gauge("g", 0.5)
+        registry.observe("h", 2.0)
+        registry.observe("h", 4.0)
+        registry.declare_histogram("empty")
+        assert registry.counter("a") == 5
+        assert registry.counter("b") == 10
+        assert registry.counter("missing") == 0
+        assert registry.gauge("g") == 0.5
+        hist = registry.histogram("h")
+        assert hist["count"] == 2 and hist["total"] == 6.0
+        assert hist["min"] == 2.0 and hist["max"] == 4.0
+        assert registry.histogram("empty")["count"] == 0
+        assert set(registry.names()) == {"a", "b", "g", "h", "empty"}
+
+    def test_set_counter_is_assignment_not_increment(self):
+        registry = MetricsRegistry()
+        registry.inc("pool.tasks", 3)
+        registry.set_counter("pool.tasks", 7)
+        registry.set_counter("pool.tasks", 7)  # folding twice is idempotent
+        assert registry.counter("pool.tasks") == 7
+
+    def test_round_trip_and_merge(self):
+        a = MetricsRegistry()
+        a.inc("c", 2)
+        a.set_gauge("g", 1.0)
+        a.observe("h", 1.0)
+        clone = MetricsRegistry.from_dict(a.as_dict())
+        assert clone.as_dict() == a.as_dict()
+
+        b = MetricsRegistry()
+        b.inc("c", 3)
+        b.set_gauge("g", 2.0)
+        b.observe("h", 5.0)
+        a.merge(b)
+        assert a.counter("c") == 5
+        assert a.gauge("g") == 2.0  # gauges overwrite
+        merged = a.histogram("h")
+        assert merged["count"] == 2 and merged["max"] == 5.0
+
+    def test_summary_rows_are_sorted_and_typed(self):
+        registry = MetricsRegistry()
+        registry.inc("z.counter")
+        registry.set_gauge("a.gauge", 1.5)
+        registry.observe("m.hist", 0.25)
+        rows = registry.summary_rows()
+        kinds = [row[1] for row in rows]
+        assert kinds == ["counter", "gauge", "histogram"]
+        assert all(len(row) == 3 for row in rows)
+
+    def test_fold_surrogate_stats(self):
+        stats = SurrogateStats(
+            n_refits=4, n_full_fits=1, n_refactorizations=1,
+            n_incremental_updates=2, n_fallbacks=1,
+            n_hallucinated_views=3, n_hallucinated_rebuilds=0,
+            refit_seconds=[0.1, 0.2, 0.3, 0.4],
+            hallucination_seconds=[0.01],
+        )
+        registry = MetricsRegistry()
+        registry.fold_surrogate_stats(stats)
+        registry.fold_surrogate_stats(stats)  # resumable: fold-once semantics
+        assert registry.counter("surrogate.refits") == 4
+        assert registry.counter("surrogate.incremental_updates") == 2
+        assert registry.counter("surrogate.fallbacks") == 1
+        hist = registry.histogram("surrogate.refit_seconds")
+        assert hist["count"] == 4
+        assert hist["total"] == pytest.approx(1.0)
+        assert registry.histogram("surrogate.hallucination_seconds")["count"] == 1
+
+    def test_fold_pool_telemetry_declares_queue_waits_even_when_empty(self):
+        telemetry = PoolTelemetry(
+            backend="virtual", n_workers=2, n_tasks=5,
+            elapsed_seconds=10.0, worker_busy_seconds=[4.0, 5.0],
+            worker_tasks=[3, 2],
+        )
+        registry = MetricsRegistry()
+        registry.fold_pool_telemetry(telemetry)
+        assert registry.counter("pool.tasks") == 5
+        assert registry.gauge("pool.workers") == 2
+        assert registry.histogram("pool.queue_wait_seconds")["count"] == 0
+        assert "pool.queue_wait_seconds" in registry.names()
+
+
+class TestObservabilityFacade:
+    def test_null_obs_is_inert(self):
+        assert NULL_OBS.enabled is False
+        assert NULL_OBS.metrics is None
+        with NULL_OBS.span("x", a=1) as span:
+            span.annotate(b=2)
+        with NULL_OBS.profile("y"):
+            pass
+        NULL_OBS.inc("counter")
+        NULL_OBS.observe("hist", 1.0)
+
+    def test_profile_is_span(self):
+        assert Observability.profile is Observability.span
+
+    def test_partial_wiring(self, tmp_path):
+        registry = MetricsRegistry()
+        metrics_only = Observability(metrics=registry)
+        assert metrics_only.enabled is True  # metrics alone enable the facade
+        with metrics_only.span("untraced"):  # no tracer: span is a no-op
+            pass
+        metrics_only.inc("c")
+        metrics_only.observe("h", 1.0)
+        assert registry.counter("c") == 1
+
+        tracer = Tracer(tmp_path / "t.jsonl")
+        trace_only = Observability(tracer)
+        assert trace_only.enabled is True
+        with trace_only.span("s"):
+            trace_only.inc("ignored")  # no registry: must be a no-op
+        tracer.close()
+        assert [s["name"] for s in load_trace(tmp_path / "t.jsonl")] == ["s"]
+
+    def test_disabled_hooks_add_no_observable_state(self):
+        before = NULL_TRACER.span("x")
+        for _ in range(1000):
+            with NULL_OBS.profile("fit", n=3):
+                pass
+        assert NULL_TRACER.span("y") is before  # still the shared singleton

@@ -185,6 +185,46 @@ class TestPoolContract:
             assert sum(telemetry.worker_tasks) == N_WORKERS
             assert telemetry.summary_line()  # human-readable, never raises
 
+    def test_metrics_parity_across_backends(self, backend):
+        """Every backend feeds the registry the same metric names with
+        counters consistent with its trace — the cross-backend half of the
+        observability contract (the fold itself is covered in test_obs)."""
+        from repro.obs import MetricsRegistry, Observability
+
+        registry = MetricsRegistry()
+        with make_pool(backend) as pool:
+            pool.bind_observability(Observability(metrics=registry))
+            for x in points(N_WORKERS, seed=11):
+                pool.submit(x)
+            pool.wait_all()
+            registry.fold_pool_telemetry(pool.telemetry())
+
+        # Live counters tick once per pool event, on every backend.
+        assert registry.counter("pool.submits") == N_WORKERS
+        assert registry.counter("pool.completions") == N_WORKERS
+        assert registry.histogram("pool.task_seconds")["count"] == N_WORKERS
+        # Folded counters agree with the live ones and with the trace.
+        assert registry.counter("pool.tasks") == N_WORKERS
+        assert registry.gauge("pool.workers") == N_WORKERS
+        # The full name set is backend-independent: queue waits exist as a
+        # (possibly empty) histogram even where no backend samples them.
+        assert "pool.queue_wait_seconds" in registry.names()
+        expected = {
+            "pool.submits", "pool.completions", "pool.task_seconds",
+            "pool.tasks", "pool.respawns", "pool.heartbeat_expiries",
+            "pool.timeout_kills", "pool.workers", "pool.utilization",
+            "pool.elapsed_seconds", "pool.busy_seconds",
+            "pool.queue_wait_seconds",
+        }
+        assert expected <= set(registry.names())
+
+    def test_unbound_pool_records_no_metrics(self, backend):
+        """Without bind_observability the pool must not require (or touch)
+        any registry — observability is strictly opt-in."""
+        with make_pool(backend) as pool:
+            pool.submit(points(1, seed=12)[0])
+            assert pool.wait_next().result.ok
+
     def test_close_is_idempotent_and_reentrant(self, backend):
         pool = make_pool(backend)
         pool.submit(points(1)[0])

@@ -1,0 +1,246 @@
+"""Property-based sweeps over the paper's core invariants.
+
+Each test drives one mathematical invariant through ``N_CASES`` (>= 200)
+randomized cases from seeded :class:`numpy.random.Generator` streams —
+deterministic, so a failure reproduces from its case index alone:
+
+* Eq. 8 — the randomized acquisition weight ``w = kappa/(kappa+1)``,
+  ``kappa ~ U[0, lam]``, follows the exact CDF ``F(t) = t / ((1-t) lam)``
+  on ``[0, lam/(lam+1)]`` and concentrates above 0.5 for ``lam = 6``
+  (``P(w > 0.5) = 5/6``) — the exploration-heavy density of Fig. 2.
+* Eq. 9 — hallucinating pending points never inflates the posterior
+  spread (``sigma_hat <= sigma``) and collapses it to the noise level at
+  the busy points, while the mean surface is untouched (kriging believer).
+* GP regression is symmetric in its training data: permuting the
+  observations leaves the posterior unchanged.
+* The incremental Cholesky algebra (border updates, block appends,
+  shrinks, rank-1 up/downdates, row deletion) reproduces a fresh
+  factorization of the assembled matrix, including near-singular inputs
+  where the jitter policy engages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.acquisition import EASYBO_LAMBDA, sample_easybo_weight
+from repro.core.surrogate import HallucinatedView
+from repro.gp import linalg
+from repro.gp.gp import GaussianProcess
+from repro.gp.kernels import SquaredExponential
+
+#: Randomized cases per invariant (the ISSUE floor is 200).
+N_CASES = 200
+
+
+def _random_gp(rng, *, noise_floor=1e-6):
+    """A fitted GP with randomized shape, scales, and noise."""
+    dim = int(rng.integers(1, 5))
+    n = int(rng.integers(2, 13))
+    kernel = SquaredExponential(
+        dim,
+        lengthscales=rng.uniform(0.3, 2.0, size=dim),
+        variance=float(rng.uniform(0.5, 2.0)),
+    )
+    noise = float(10.0 ** rng.uniform(np.log10(noise_floor), -2.0))
+    X = rng.uniform(-1.0, 1.0, size=(n, dim))
+    y = rng.standard_normal(n)
+    model = GaussianProcess(kernel=kernel, noise_variance=noise).fit(X, y)
+    return model, X, y
+
+
+# --------------------------------------------------------------- Eq. 8 weight
+class TestEq8WeightDensity:
+    def test_support_and_exact_cdf(self):
+        """Pooled empirical CDF matches ``F(t) = t/((1-t) lam)`` (DKW bound)."""
+        lam = EASYBO_LAMBDA
+        w_max = lam / (lam + 1.0)
+        pooled = []
+        for case in range(N_CASES):
+            rng = np.random.default_rng(10_000 + case)
+            ws = np.array([sample_easybo_weight(rng) for _ in range(20)])
+            assert np.all(ws >= 0.0) and np.all(ws <= w_max + 1e-15), case
+            pooled.append(ws)
+        w = np.sort(np.concatenate(pooled))
+        n = w.size  # 4000
+        # Dvoretzky–Kiefer–Wolfowitz: sup |F_n - F| > eps w.p. <= 2 e^{-2 n eps^2};
+        # delta = 1e-6 makes a false failure essentially impossible.
+        eps = np.sqrt(np.log(2.0 / 1e-6) / (2.0 * n))
+        ts = np.linspace(0.01, w_max - 0.01, 101)
+        exact = np.minimum(ts / ((1.0 - ts) * lam), 1.0)
+        empirical = np.searchsorted(w, ts, side="right") / n
+        assert np.max(np.abs(empirical - exact)) <= eps
+
+        # Exploration concentration (paper Fig. 2): P(w > 1/2) = 5/6 at lam=6.
+        frac_explore = float(np.mean(w > 0.5))
+        assert abs(frac_explore - 5.0 / 6.0) <= eps
+        assert frac_explore > 0.5
+
+    def test_randomized_lambda_median(self):
+        """For random ``lam`` the sample median sits at ``lam/(lam+2)``."""
+        for case in range(N_CASES):
+            rng = np.random.default_rng(20_000 + case)
+            lam = float(rng.uniform(0.5, 10.0))
+            ws = np.array([sample_easybo_weight(rng, lam=lam) for _ in range(400)])
+            assert np.all(ws >= 0.0)
+            assert np.all(ws <= lam / (lam + 1.0) + 1e-15)
+            # Map the empirical median through the exact CDF: it must land
+            # near 1/2 (std ~ 0.025 at 400 samples; 0.15 is a ~6-sigma gate).
+            median = float(np.median(ws))
+            cdf_at_median = median / ((1.0 - median) * lam)
+            assert abs(cdf_at_median - 0.5) <= 0.15, (case, lam, median)
+
+    def test_rejects_nonpositive_lambda(self):
+        with pytest.raises(ValueError):
+            sample_easybo_weight(np.random.default_rng(0), lam=0.0)
+
+
+# ------------------------------------------------------- Eq. 9 hallucination
+class TestEq9Hallucination:
+    def test_sigma_hat_never_inflates_and_collapses_at_busy_points(self):
+        for case in range(N_CASES):
+            rng = np.random.default_rng(30_000 + case)
+            model, X, _ = _random_gp(rng)
+            k = int(rng.integers(1, 4))
+            X_busy = rng.uniform(-1.0, 1.0, size=(k, model.dim))
+            X_test = np.vstack(
+                [X_busy, rng.uniform(-1.0, 1.0, size=(8, model.dim))]
+            )
+            mu, sigma = model.predict(X_test)
+
+            view = HallucinatedView(model, X_busy)
+            mu_hat, sigma_hat = view.predict(X_test)
+
+            # Eq. 9: the hallucinated spread never exceeds the plain one.
+            assert np.all(sigma_hat <= sigma + 1e-8), case
+            # Kriging believer: the mean surface is untouched.
+            np.testing.assert_allclose(mu_hat, mu, atol=1e-10)
+            # The spread collapses to the noise level at the busy points
+            # (posterior variance at an observed input is <= sigma_n^2).
+            noise_std = np.sqrt(model.noise_variance)
+            assert np.all(sigma_hat[:k] <= noise_std + 1e-7), case
+
+    def test_view_matches_condition_on_pending(self):
+        for case in range(N_CASES):
+            rng = np.random.default_rng(40_000 + case)
+            model, _, _ = _random_gp(rng)
+            k = int(rng.integers(1, 4))
+            X_busy = rng.uniform(-1.0, 1.0, size=(k, model.dim))
+            X_test = rng.uniform(-1.0, 1.0, size=(8, model.dim))
+
+            view = HallucinatedView(model, X_busy)
+            rebuilt = model.condition_on_pending(X_busy)
+            mu_v, sigma_v = view.predict(X_test)
+            mu_r, sigma_r = rebuilt.predict(X_test)
+            np.testing.assert_allclose(mu_v, mu_r, atol=1e-6)
+            np.testing.assert_allclose(sigma_v, sigma_r, atol=1e-6)
+
+
+# ------------------------------------------------- permutation invariance
+class TestPosteriorPermutationInvariance:
+    def test_permuting_training_data_leaves_posterior_unchanged(self):
+        for case in range(N_CASES):
+            rng = np.random.default_rng(50_000 + case)
+            # Noise >= 1e-4 keeps both factorizations well conditioned so
+            # the two round-off paths agree to the 1e-8 gate.
+            model, X, y = _random_gp(rng, noise_floor=1e-4)
+            perm = rng.permutation(X.shape[0])
+            permuted = GaussianProcess(
+                kernel=model.kernel.copy(), noise_variance=model.noise_variance
+            ).fit(X[perm], y[perm])
+
+            X_test = rng.uniform(-1.0, 1.0, size=(10, model.dim))
+            mu_a, sigma_a = model.predict(X_test)
+            mu_b, sigma_b = permuted.predict(X_test)
+            np.testing.assert_allclose(mu_a, mu_b, atol=1e-8)
+            np.testing.assert_allclose(sigma_a, sigma_b, atol=1e-8)
+
+
+# --------------------------------------------------- incremental Cholesky
+def _random_spd(rng, n, *, ridge):
+    A = rng.standard_normal((n, n))
+    return A @ A.T + ridge * np.eye(n)
+
+
+def _assert_factors(lower, matrix, *, atol=1e-8):
+    """The factor reconstructs the matrix (factor uniqueness up to signs
+    makes comparing ``L L^T`` the robust check)."""
+    scale = max(1.0, float(np.max(np.abs(matrix))))
+    np.testing.assert_allclose(lower @ lower.T, matrix, atol=atol * scale)
+    assert np.all(np.diag(lower) > 0)
+
+
+class TestIncrementalCholesky:
+    def test_updates_match_fresh_factorization(self):
+        for case in range(N_CASES):
+            rng = np.random.default_rng(60_000 + case)
+            n = int(rng.integers(2, 10))
+            K = _random_spd(rng, n, ridge=float(rng.uniform(0.05, 1.0)))
+            lower, jitter = linalg.jittered_cholesky(K)
+            assert jitter == 0.0
+            _assert_factors(lower, K)
+
+            # Single border update vs the bordered matrix refactorized.
+            cross = K @ rng.uniform(-0.3, 0.3, size=n)
+            corner = float(cross @ np.linalg.solve(K, cross) + rng.uniform(0.1, 1.0))
+            bordered = np.block(
+                [[K, cross[:, None]], [cross[None, :], np.array([[corner]])]]
+            )
+            up = linalg.cholesky_update(lower, cross, corner)
+            _assert_factors(up, bordered)
+
+            # Block append of k columns vs the assembled matrix.
+            k = int(rng.integers(1, 4))
+            big = _random_spd(rng, n + k, ridge=float(rng.uniform(0.05, 1.0)))
+            base_lower, _ = linalg.jittered_cholesky(big[:n, :n])
+            appended = linalg.cholesky_append(
+                base_lower, big[:n, n:], big[n:, n:]
+            )
+            _assert_factors(appended, big)
+
+            # Shrinking back is exact truncation.
+            np.testing.assert_allclose(
+                linalg.cholesky_shrink(appended, k), base_lower, atol=0.0
+            )
+
+            # Rank-1 update, then downdate by the same vector, round-trips.
+            v = rng.standard_normal(n)
+            up1 = linalg.cholesky_rank1_update(lower, v)
+            _assert_factors(up1, K + np.outer(v, v))
+            down1 = linalg.cholesky_rank1_downdate(up1, v)
+            _assert_factors(down1, K)
+
+            # Row deletion vs refactorizing the reduced matrix.
+            idx = int(rng.integers(0, n))
+            keep = [i for i in range(n) if i != idx]
+            reduced = K[np.ix_(keep, keep)]
+            deleted = linalg.cholesky_delete_row(lower, idx)
+            _assert_factors(deleted, reduced)
+
+    def test_near_singular_jitter_and_downdate_failure(self):
+        engaged = 0
+        for case in range(N_CASES):
+            rng = np.random.default_rng(70_000 + case)
+            n = int(rng.integers(2, 8))
+            # Exactly rank-deficient Gram matrix (a duplicated point, the
+            # way a GP covariance goes singular): the plain factorization
+            # fails, so the jitter policy must engage and stay faithful to
+            # K + jitter I.
+            A = rng.standard_normal((n, max(1, n - 1)))
+            K = A @ A.T
+            K[-1] = K[0]
+            K[:, -1] = K[:, 0]
+            K[-1, -1] = K[0, 0]
+            lower, jitter = linalg.jittered_cholesky(K)
+            engaged += jitter > 0.0
+            _assert_factors(lower, K + jitter * np.eye(n), atol=1e-7)
+
+            # Downdating by a vector carrying (numerically) the factor's
+            # full mass must refuse rather than corrupt the factor.
+            full = lower[:, 0].copy()
+            full[0] = np.hypot(full[0], 10.0 * np.sqrt(max(jitter, 1e-12)))
+            with pytest.raises(np.linalg.LinAlgError):
+                linalg.cholesky_rank1_downdate(lower, full)
+        # The sweep must actually exercise the jitter path, not skirt it.
+        assert engaged >= N_CASES // 10
