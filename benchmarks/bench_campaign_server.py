@@ -1,0 +1,181 @@
+"""Campaign-server bench — ask/tell throughput under many concurrent tenants.
+
+Hosts N campaigns on one in-process :class:`CampaignServer` and drives them
+to completion from several client connections (one thread per connection,
+campaigns sharded across them), the way a farm of simulator front-ends
+would.  Reports aggregate ask/tell throughput and per-op round-trip latency
+percentiles per scale:
+
+======== ========== ======== =============
+scale    campaigns  clients  max_evals
+======== ========== ======== =============
+smoke    20         4        6
+reduced  60         6        8
+paper    150        8        10
+======== ========== ======== =============
+
+The smoke scale is the acceptance floor: >= 20 concurrent campaigns must
+finish with every op accounted for.  Run standalone::
+
+    python benchmarks/bench_campaign_server.py --smoke --check
+
+Under pytest-benchmark the smoke scale runs once and asserts the floor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import threading
+import time
+
+import numpy as np
+
+from repro.circuits.benchmarks import sphere
+from repro.distributed import CampaignClient, serve
+from repro.obs import MetricsRegistry, Observability
+from repro.utils.tables import format_table
+
+
+@dataclasses.dataclass(frozen=True)
+class Scale:
+    name: str
+    n_campaigns: int
+    n_clients: int
+    max_evals: int
+
+
+SCALES = {
+    "smoke": Scale("smoke", 20, 4, 6),
+    "reduced": Scale("reduced", 60, 6, 8),
+    "paper": Scale("paper", 150, 8, 10),
+}
+
+#: Cheap-but-real campaign config: a GP fit per ask, tiny acquisition search.
+CONFIG = dict(n_init=3, acq_candidates=32, acq_restarts=1)
+
+
+def _drive_shard(port: int, cids: list[str], latencies: dict, lock: threading.Lock,
+                 errors: list) -> None:
+    """One client connection driving its shard of campaigns round-robin."""
+    problem = sphere(2)
+    local: dict[str, list] = {"ask": [], "tell": []}
+    try:
+        with CampaignClient(port=port) as client:
+            done: set[str] = set()
+            while len(done) < len(cids):
+                for cid in cids:
+                    if cid in done:
+                        continue
+                    t0 = time.perf_counter()
+                    x = client.ask(cid)[0]
+                    local["ask"].append(time.perf_counter() - t0)
+                    result = problem.evaluate(x)
+                    t0 = time.perf_counter()
+                    reply = client.tell(cid, x, result)
+                    local["tell"].append(time.perf_counter() - t0)
+                    if reply["done"]:
+                        done.add(cid)
+    except Exception as exc:  # noqa: BLE001 — surface in the main thread
+        errors.append(exc)
+    with lock:
+        latencies["ask"].extend(local["ask"])
+        latencies["tell"].extend(local["tell"])
+
+
+def run_bench(scale_name: str, *, verbose: bool = True):
+    scale = SCALES[scale_name]
+    obs = Observability(metrics=MetricsRegistry())
+    server = serve(max_workers=None, obs=obs, background=True)
+    latencies: dict[str, list] = {"ask": [], "tell": []}
+    lock = threading.Lock()
+    errors: list = []
+    try:
+        with CampaignClient(port=server.port) as admin:
+            cids = [
+                admin.create(
+                    "EasyBO-2", "sphere2",
+                    config=dict(rng=seed, max_evals=scale.max_evals, **CONFIG),
+                )
+                for seed in range(scale.n_campaigns)
+            ]
+            shards = [cids[i::scale.n_clients] for i in range(scale.n_clients)]
+            start = time.perf_counter()
+            threads = [
+                threading.Thread(target=_drive_shard,
+                                 args=(server.port, shard, latencies, lock, errors))
+                for shard in shards if shard
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            elapsed = time.perf_counter() - start
+            metrics = admin.metrics()
+    finally:
+        server.stop()
+    if errors:
+        raise errors[0]
+
+    n_ops = len(latencies["ask"]) + len(latencies["tell"])
+    rows = []
+    for op in ("ask", "tell"):
+        lat = np.asarray(latencies[op]) * 1e3  # ms
+        rows.append([
+            op, len(lat),
+            f"{np.percentile(lat, 50):.2f}",
+            f"{np.percentile(lat, 95):.2f}",
+            f"{np.percentile(lat, 99):.2f}",
+        ])
+    rendered = format_table(
+        ["op", "count", "p50 ms", "p95 ms", "p99 ms"], rows,
+        title=(f"campaign server: {scale.n_campaigns} concurrent campaigns, "
+               f"{scale.n_clients} clients — {n_ops / elapsed:.0f} ops/s "
+               f"({elapsed:.1f} s total)"),
+    )
+    stats = {
+        "scale": scale, "elapsed": elapsed, "n_ops": n_ops,
+        "ops_per_sec": n_ops / elapsed, "metrics": metrics,
+    }
+    if verbose:
+        print("\n" + rendered)
+    return stats, rendered
+
+
+def check(stats) -> None:
+    scale: Scale = stats["scale"]
+    metrics = stats["metrics"]
+    assert scale.n_campaigns >= 20, "acceptance floor is 20 concurrent campaigns"
+    assert metrics["finished"] == scale.n_campaigns, (
+        f"only {metrics['finished']}/{scale.n_campaigns} campaigns finished"
+    )
+    assert metrics["failed"] == 0 and metrics["suspended"] == 0
+    # Every issued evaluation went through one ask and one tell round-trip.
+    expected = scale.n_campaigns * scale.max_evals
+    assert stats["n_ops"] == 2 * expected, (
+        f"expected {2 * expected} ops, measured {stats['n_ops']}"
+    )
+
+
+def test_campaign_server_smoke(benchmark):
+    stats, rendered = benchmark.pedantic(
+        lambda: run_bench("smoke", verbose=False),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + rendered)
+    check(stats)
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=sorted(SCALES), default="reduced")
+    parser.add_argument("--smoke", action="store_true",
+                        help="shorthand for --scale smoke")
+    parser.add_argument("--check", action="store_true",
+                        help="assert the >= 20-concurrent-campaigns floor")
+    args = parser.parse_args()
+    stats, _ = run_bench("smoke" if args.smoke else args.scale)
+    if args.check:
+        check(stats)
+        print("checks passed")

@@ -36,6 +36,7 @@ Subpackages
 
 from repro.core import (
     AsynchronousBatchBO,
+    Campaign,
     EasyBO,
     EvaluationResult,
     FailurePolicy,
@@ -46,7 +47,9 @@ from repro.core import (
     SimulationError,
     SynchronousBatchBO,
     make_algorithm,
+    make_campaign,
     resume,
+    resume_campaign,
     summarize_runs,
 )
 from repro.distributed import ProcessWorkerPool
@@ -57,6 +60,9 @@ __version__ = "0.1.0"
 __all__ = [
     "EasyBO",
     "make_algorithm",
+    "Campaign",
+    "make_campaign",
+    "resume_campaign",
     "SequentialBO",
     "SynchronousBatchBO",
     "AsynchronousBatchBO",

@@ -11,6 +11,9 @@ Commands
 ``resume``
     Continue a crashed run from its write-ahead journal (see ``--journal``
     on the run commands and ``docs/crash_recovery.md``).
+``serve``
+    Host many concurrent ask/tell campaigns over the loopback socket RPC
+    (see ``docs/campaign_server.md``).
 ``summary``
     Print the paper-style table (Best/Worst/Mean/Std/Time) and the pool
     telemetry of a saved runs file.
@@ -249,6 +252,27 @@ def cmd_run(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from repro.distributed.server import CampaignServer
+
+    server = CampaignServer(
+        host=args.host, port=args.port, journal_dir=args.journal_dir,
+        max_workers=args.max_workers,
+    )
+    # Flush so wrappers piping our stdout see the banner (and the port)
+    # before they try to dial in.
+    print(f"campaign server listening on {server.host}:{server.port} "
+          f"(journal dir: {args.journal_dir or 'disabled'}, "
+          f"worker capacity: {args.max_workers or 'unbounded'})",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.stop()
+        print("campaign server stopped")
+    return 0
+
+
 def cmd_trace(args) -> int:
     from repro.obs import render_trace
 
@@ -360,6 +384,28 @@ def main(argv=None) -> int:
     p.add_argument("journal", help="journal file the crashed run was writing")
     _add_obs_flags(p)
     p = sub.add_parser(
+        "serve",
+        help="host many concurrent ask/tell campaigns over loopback RPC",
+        description="Start the multi-tenant campaign server "
+                    "(docs/campaign_server.md).  Clients create campaigns "
+                    "by algorithm label + problem name and drive them with "
+                    "ask/tell round-trips, or let the server lease workers "
+                    "and evaluate.  Each campaign journals to "
+                    "--journal-dir/<id>.journal and is resumable after a "
+                    "crash or disconnect.",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="listening port (default: an ephemeral port, "
+                        "printed at startup)")
+    p.add_argument("--journal-dir", default=None, metavar="DIR",
+                   dest="journal_dir",
+                   help="directory for per-campaign crash-safe journals")
+    p.add_argument("--max-workers", type=int, default=None, metavar="N",
+                   dest="max_workers",
+                   help="cap on workers leased across all server-evaluated "
+                        "campaigns")
+    p = sub.add_parser(
         "trace",
         help="render a span trace written with --trace/--metrics",
         description="Print the hierarchical span tree and the top-k "
@@ -388,6 +434,7 @@ def main(argv=None) -> int:
         "classe": cmd_classe,
         "run": cmd_run,
         "resume": cmd_resume,
+        "serve": cmd_serve,
         "trace": cmd_trace,
         "summary": cmd_summary,
     }[args.command]

@@ -3,6 +3,8 @@
 Public surface:
 
 * :class:`EasyBO` — high-level facade (async / sync / ablations).
+* :class:`Campaign` — the ask/tell optimizer core every driver loops over
+  (:func:`make_campaign` / :func:`resume_campaign` for standalone use).
 * Drivers: :class:`SequentialBO`, :class:`SynchronousBatchBO`,
   :class:`AsynchronousBatchBO`.
 * Acquisitions (§II-B/III-B): UCB, EI, PI, the weighted rule (Eq. 7-9), the
@@ -28,6 +30,12 @@ from repro.core.acquisition import (
 )
 from repro.core.async_batch import AsynchronousBatchBO
 from repro.core.bo import BODriverBase, SequentialBO
+from repro.core.campaign import (
+    Campaign,
+    CampaignExhausted,
+    make_campaign,
+    resume_campaign,
+)
 from repro.core.constrained import ConstrainedEasyBO, ConstrainedProblem, ConstraintSpec
 from repro.core.cost_aware import CostAwareEasyBO
 from repro.core.doe import latin_hypercube, random_design
@@ -64,6 +72,10 @@ __all__ = [
     "EasyBO",
     "make_algorithm",
     "ALGORITHM_FAMILIES",
+    "Campaign",
+    "CampaignExhausted",
+    "make_campaign",
+    "resume_campaign",
     "SequentialBO",
     "SynchronousBatchBO",
     "AsynchronousBatchBO",

@@ -24,8 +24,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.acquisition import EASYBO_LAMBDA, WeightedAcquisition, sample_easybo_weight
+from repro.core.acquisition import EASYBO_LAMBDA
 from repro.core.bo import BODriverBase, shutdown_pool
+from repro.core.campaign import AsyncBatchStrategy
 from repro.core.results import RunResult
 
 __all__ = ["AsynchronousBatchBO"]
@@ -51,22 +52,19 @@ class AsynchronousBatchBO(BODriverBase):
         self.lam = float(lam)
         base = "EasyBO" if penalized else "EasyBO-A"
         self.algorithm_name = base if batch_size == 1 else f"{base}-{batch_size}"
+        self.campaign.strategy = AsyncBatchStrategy(penalized=self.penalized, lam=self.lam)
+        self.campaign.batch_size = self.batch_size
+        self.campaign.algorithm = self.algorithm_name
 
     def _propose_async(self, pool) -> np.ndarray:
-        """One Alg. 1 iteration of model refinement and point selection."""
-        if self.session.n_observations < 2:
-            # The whole initial design may still be in flight (B >= n_init);
-            # the GP has nothing to say yet, so explore uniformly.
-            from repro.core.doe import random_design
+        """One Alg. 1 iteration of model refinement and point selection.
 
-            return random_design(self.problem.bounds, 1, self.rng)[0]
-        self.session.refit()
-        if self.penalized:
-            model = self.session.model_with_pending(pool.pending_points())
-        else:
-            model = self.session.require_model()
-        w = sample_easybo_weight(self.rng, self.lam)
-        return self._propose(WeightedAcquisition(w), model=model)
+        Thin hook over :meth:`Campaign.propose` — the campaign's pending set
+        mirrors ``pool.pending_points()`` point-for-point, so the Eq. 9
+        hallucination sees the same matrix it always did.  Subclasses
+        (constrained, cost-aware) override this to reshape the acquisition.
+        """
+        return self.campaign.propose()
 
     def _resume_config(self) -> dict:
         config = super()._resume_config()
@@ -79,7 +77,8 @@ class AsynchronousBatchBO(BODriverBase):
             self._begin_run(self.batch_size)
             design = self._initial_design()
             self._journal_doe(design)
-            return self._drive(pool, design, 0)
+            self.campaign.begin(design)
+            return self._drive(pool)
         finally:
             shutdown_pool(pool)
 
@@ -90,29 +89,34 @@ class AsynchronousBatchBO(BODriverBase):
             # was restored to the pre-draw state, so it is the same design).
             design = self._initial_design()
             self._journal_doe(design)
-        return self._drive(pool, design, state.issued)
+        self.campaign.restore(
+            design=design, issued=state.issued, pending=pool.pending_points()
+        )
+        return self._drive(pool)
 
-    def _drive(self, pool, design: np.ndarray, issued: int) -> RunResult:
-        """Alg. 1 loop, resumable at any (issued, in-flight) boundary.
+    def _drive(self, pool) -> RunResult:
+        """Alg. 1 as an ask/tell loop, resumable at any boundary.
 
         ``refill`` is a fixpoint (fill every idle worker, budget permitting),
         so entering the loop with restored in-flight points behaves exactly
         as the uninterrupted run at the same boundary would.
         """
+        campaign = self.campaign
 
         def refill() -> None:
             """Keep every idle worker busy (initial design first, then BO)."""
-            nonlocal issued
-            while issued < self.max_evals and pool.idle_count > 0:
-                if issued < self.n_init:
-                    self._submit(pool, design[issued])
+            while not campaign.exhausted and pool.idle_count > 0:
+                if campaign.in_doe:
+                    self._submit(pool, campaign.ask())
                 else:
-                    self._submit(pool, self._propose_async(pool))
-                issued += 1
+                    self._submit(
+                        pool,
+                        campaign.ask(_propose=lambda: self._propose_async(pool)),
+                    )
 
         refill()
         iteration = 0
-        while issued < self.max_evals:
+        while not campaign.exhausted:
             # One Alg. 1 cycle: wait for any worker, absorb, refill idle
             # slots (each refill nests fit/hallucinate/acquisition spans).
             with self.obs.span("iteration", index=iteration):

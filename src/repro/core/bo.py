@@ -13,21 +13,13 @@ import dataclasses
 
 import numpy as np
 
-from repro.core.acquisition import (
-    EASYBO_LAMBDA,
-    ExpectedImprovement,
-    ProbabilityOfImprovement,
-    UpperConfidenceBound,
-    WeightedAcquisition,
-    sample_easybo_weight,
-)
+from repro.core.acquisition import EASYBO_LAMBDA
+from repro.core.campaign import Campaign, SequentialStrategy
 from repro.core.doe import random_design
 from repro.core.faults import FailurePolicy
 from repro.core.journal import JOURNAL_VERSION, JournalWriter
-from repro.core.optimizers import maximize_acquisition
 from repro.core.problem import STATUS_ORPHANED, Problem
 from repro.core.results import RunResult
-from repro.core.surrogate import SurrogateSession
 from repro.obs import Observability
 from repro.sched.trace import EvalRecord
 from repro.sched.workers import Completion, VirtualWorkerPool
@@ -149,19 +141,45 @@ class BODriverBase:
         self.checkpoint_every = int(checkpoint_every)
         self.obs = Observability(tracer, metrics)
         self._run_span = None
-        self.session = SurrogateSession(
-            problem.bounds,
+        # The ask/tell core: proposal pipeline, pending-point bookkeeping,
+        # and failure-policy state all live here.  The driver is a thin loop
+        # over it — subclasses plug in their family strategy after super().
+        self.campaign = Campaign(
+            problem,
+            None,
+            n_init=self.n_init,
+            max_evals=self.max_evals,
             rng=self.rng,
+            failure_policy=self.failure_policy,
+            acq_candidates=self.acq_candidates,
+            acq_restarts=self.acq_restarts,
             surrogate_update=surrogate_update,
             refit_every=refit_every,
             obs=self.obs,
+            algorithm=self.algorithm_name,
+            embedded=True,
         )
         self._journal = None
         self._owns_journal = False
-        self._reissue_counts: dict[bytes, int] = {}
         self._since_checkpoint = 0
-        self._pending_failure_action: str | None = None
-        self._last_absorb: tuple[str | None, float | None] = (None, None)
+
+    # ------------------------------------------------------- campaign state
+    @property
+    def session(self):
+        """The surrogate session (owned by the embedded campaign)."""
+        return self.campaign.session
+
+    @property
+    def _reissue_counts(self) -> dict[bytes, int]:
+        return self.campaign.reissue_counts
+
+    @_reissue_counts.setter
+    def _reissue_counts(self, value) -> None:
+        self.campaign.reissue_counts = dict(value)
+
+    @property
+    def _last_absorb(self) -> tuple[str | None, float | None]:
+        return self.campaign.last_action
 
     # ------------------------------------------------------------- helpers
     def _make_pool(self, n_workers: int):
@@ -202,9 +220,9 @@ class BODriverBase:
     def _begin_run(self, n_workers: int) -> None:
         """Open the journal sink and write the ``run_start`` record."""
         self._begin_observability(n_workers)
-        self._reissue_counts = {}
+        self.campaign.reissue_counts = {}
+        self.campaign._pending_failure_action = None
         self._since_checkpoint = 0
-        self._pending_failure_action = None
         spec = self.journal
         if spec is None:
             self._journal, self._owns_journal = None, False
@@ -307,19 +325,12 @@ class BODriverBase:
         """
         result = completion.result
         if result.status == STATUS_ORPHANED:
-            policy = self.failure_policy
-            key = np.asarray(completion.x, dtype=float).tobytes()
-            prior = self._reissue_counts.get(key, 0)
-            if policy.on_orphan == "reissue" and prior < policy.max_reissues:
-                self._reissue_counts[key] = prior + 1
+            if self.campaign.note_orphan(completion.x):
                 self._journal_complete(pool, completion, "reissued", None)
                 self._submit(pool, completion.x, batch=completion.batch, counts=False)
                 return False
-            self._pending_failure_action = (
-                "impute" if policy.on_orphan == "reissue" else policy.on_orphan
-            )
         added = self._absorb(completion)
-        action, value = self._last_absorb
+        action, value = self.campaign.last_action
         self._journal_complete(pool, completion, action, value)
         self._maybe_checkpoint(pool)
         return added
@@ -379,47 +390,19 @@ class BODriverBase:
         posterior.  Returns True when an observation was added, so
         subclasses can keep side datasets aligned with the session.
         """
-        result = completion.result
-        if result.ok:
-            self.session.add(completion.x, result.fom)
-            self._last_absorb = ("added", float(result.fom))
-            return True
-        action = self._pending_failure_action or self.failure_policy.on_failure
-        self._pending_failure_action = None
-        if action == "impute" and self.session.n_observations > 0:
-            value = self._imputed_fom()
-            self.session.add(completion.x, value)
-            self._last_absorb = ("imputed", value)
-            return True
-        self._last_absorb = ("dropped", None)
-        return False
+        return self.campaign.absorb(completion.x, completion.result)
 
     def _imputed_fom(self) -> float:
         """Pessimistic stand-in FOM for a failed evaluation."""
-        policy = self.failure_policy
-        if policy.impute_value is not None:
-            return float(policy.impute_value)
-        y = self.session.y
-        span = float(y.max() - y.min())
-        return float(y.min() - policy.impute_margin * max(span, 1.0))
+        return self.campaign.imputed_fom()
 
     def _propose(self, acquisition, model=None) -> np.ndarray:
         """Maximize an acquisition on the unit cube; return a physical point."""
-        scorer = self.session.acquisition_on_unit(acquisition, model=model)
-        with self.obs.span("acquisition-maximize"):
-            u_best = maximize_acquisition(
-                scorer,
-                self.session.unit_bounds(),
-                rng=self.rng,
-                n_candidates=self.acq_candidates,
-                n_restarts=self.acq_restarts,
-                obs=self.obs,
-            )
-        return self.session.to_physical(u_best.reshape(1, -1))[0]
+        return self.campaign.maximize(acquisition, model=model)
 
     def _standardized_best(self) -> float:
         """Incumbent best in the GP's standardized output scale."""
-        return float(self.session.output.transform(np.array([self.session.best_y]))[0])
+        return self.campaign.standardized_best()
 
     def _package(self, pool) -> RunResult:
         trace = pool.trace
@@ -530,15 +513,13 @@ class SequentialBO(BODriverBase):
         self.ei_xi = float(ei_xi)
         self.algorithm_name = {"easybo": "EasyBO", "ei": "EI", "pi": "PI",
                                "lcb": "LCB", "ucb": "UCB"}[acquisition]
+        self.campaign.strategy = SequentialStrategy(
+            acquisition, lam=self.lam, ucb_kappa=self.ucb_kappa, ei_xi=self.ei_xi
+        )
+        self.campaign.algorithm = self.algorithm_name
 
     def _make_acquisition(self):
-        if self.acquisition == "easybo":
-            return WeightedAcquisition(sample_easybo_weight(self.rng, self.lam))
-        if self.acquisition == "ei":
-            return ExpectedImprovement(self._standardized_best(), xi=self.ei_xi)
-        if self.acquisition == "pi":
-            return ProbabilityOfImprovement(self._standardized_best(), xi=self.ei_xi)
-        return UpperConfidenceBound(self.ucb_kappa)
+        return self.campaign.strategy.make_acquisition(self.campaign)
 
     def _resume_config(self) -> dict:
         config = super()._resume_config()
@@ -551,7 +532,8 @@ class SequentialBO(BODriverBase):
             self._begin_run(1)
             design = self._initial_design()
             self._journal_doe(design)
-            return self._drive(pool, design, 0)
+            self.campaign.begin(design)
+            return self._drive(pool)
         finally:
             shutdown_pool(pool)
 
@@ -562,32 +544,23 @@ class SequentialBO(BODriverBase):
             # was restored to the pre-draw state, so it is the same design).
             design = self._initial_design()
             self._journal_doe(design)
-        return self._drive(pool, design, state.issued)
+        self.campaign.restore(
+            design=design, issued=state.issued, pending=pool.pending_points()
+        )
+        return self._drive(pool)
 
-    def _drive(self, pool, design: np.ndarray, issued: int) -> RunResult:
-        """One-at-a-time loop, resumable at any (issued, in-flight) boundary.
+    def _drive(self, pool) -> RunResult:
+        """One-at-a-time ask/tell loop, resumable at any boundary.
 
         Identical trajectory to the classic submit/absorb interleaving: with
         one worker the pool alternates strictly between busy (consume the
-        completion) and idle (issue the next point).
+        completion) and idle (ask the campaign for the next point).
         """
         while True:
             if pool.busy_count:
                 self._consume(pool, self._wait(pool))
-            elif issued >= self.max_evals:
+            elif self.campaign.exhausted:
                 break
-            elif issued < self.n_init:
-                self._submit(pool, design[issued])
-                issued += 1
             else:
-                if self.session.n_observations < 2:
-                    # Failures (under a "drop" policy) can leave the GP with
-                    # too little data; explore uniformly until it has a
-                    # footing.
-                    x_next = random_design(self.problem.bounds, 1, self.rng)[0]
-                else:
-                    self.session.refit()
-                    x_next = self._propose(self._make_acquisition())
-                self._submit(pool, x_next)
-                issued += 1
+                self._submit(pool, self.campaign.ask())
         return self._package(pool)

@@ -1,0 +1,979 @@
+"""Ask/tell optimizer core — the paper's Algorithm 1 as a value, not a loop.
+
+Every driver in this repo runs the same event cycle: wait for a worker, fold
+the observation into the GP (Alg. 1 line 4), hallucinate the still-pending
+points (lines 5-6, Eq. 9), maximize the weighted acquisition (line 7), issue
+the winner.  Historically that cycle was fused into each driver's ``run()``,
+so one process owned one run end-to-end.  :class:`Campaign` extracts it into
+an explicit ask/tell object whose state is a value:
+
+* :meth:`Campaign.ask` returns the next point(s) — initial-design rows first,
+  then the family strategy's refit/hallucinate/acquisition pipeline
+  (including the Eq. 9 pending-point penalization via
+  :meth:`SurrogateSession.model_with_pending`);
+* :meth:`Campaign.tell` folds one observation back in, applying the failure
+  policy (impute / drop / budget-neutral orphan reissue).
+
+The ``SequentialBO`` / ``AsynchronousBatchBO`` / ``SynchronousBatchBO``
+drivers are thin loops over a Campaign (byte-for-byte equal to the golden
+trajectories — see ``tests/test_campaign_equivalence.py``), and
+:mod:`repro.distributed.server` serves many concurrent Campaigns over the
+framed socket RPC, each with its own crash-safe journal.
+
+Proposal logic lives in per-family strategy objects (:class:`SequentialStrategy`,
+:class:`AsyncBatchStrategy`, :class:`SyncBatchStrategy`) so the same pipeline
+backs both the embedded drivers and standalone campaigns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+from repro.core.acquisition import (
+    EASYBO_LAMBDA,
+    ExpectedImprovement,
+    HighCoveragePenalty,
+    ProbabilityOfImprovement,
+    UpperConfidenceBound,
+    WeightedAcquisition,
+    pbo_weights,
+    sample_easybo_weight,
+)
+from repro.core.doe import random_design
+from repro.core.faults import FailurePolicy
+from repro.core.journal import JournalError, JournalWriter, recover_journal
+from repro.core.optimizers import maximize_acquisition
+from repro.core.problem import STATUS_ORPHANED, Problem
+from repro.core.surrogate import SurrogateSession
+from repro.obs import NULL_OBS
+from repro.utils.rng import as_generator, rng_state_to_dict, set_rng_state
+
+__all__ = [
+    "CAMPAIGN_JOURNAL_VERSION",
+    "Campaign",
+    "CampaignExhausted",
+    "SequentialStrategy",
+    "AsyncBatchStrategy",
+    "SyncBatchStrategy",
+    "make_campaign",
+    "resume_campaign",
+    "read_campaign_journal",
+]
+
+#: Version stamp embedded in every ``campaign_start`` record.  Bump when the
+#: campaign event schema changes incompatibly.
+CAMPAIGN_JOURNAL_VERSION = 1
+
+#: Bounded redraw budget for the cold-start dedupe: a fresh uniform draw
+#: colliding with an in-flight point is measure-zero on a continuous domain,
+#: so a handful of retries is already overkill — the bound only guards
+#: degenerate (e.g. single-point) domains from spinning forever.
+_COLD_REDRAW_ATTEMPTS = 32
+
+
+class CampaignExhausted(RuntimeError):
+    """``ask()`` was called after the evaluation budget was fully issued."""
+
+
+def _pareto_front_mask(scores: np.ndarray) -> np.ndarray:
+    """Boolean mask of rows not dominated by any other row (maximization)."""
+    n = scores.shape[0]
+    mask = np.ones(n, dtype=bool)
+    for i in range(n):
+        if not mask[i]:
+            continue
+        dominated = np.all(scores >= scores[i], axis=1) & np.any(
+            scores > scores[i], axis=1
+        )
+        if dominated.any():
+            mask[i] = False
+    return mask
+
+
+# --------------------------------------------------------------------------
+# Per-family proposal strategies.  Each receives the Campaign ("core") and
+# uses only its public surface: session, rng, pending_matrix, maximize,
+# standardized_best, cold_point.
+# --------------------------------------------------------------------------
+class SequentialStrategy:
+    """One-at-a-time proposals with a pluggable acquisition rule."""
+
+    kind = "sequential"
+
+    def __init__(
+        self,
+        acquisition: str = "easybo",
+        *,
+        lam: float = EASYBO_LAMBDA,
+        ucb_kappa: float = 2.0,
+        ei_xi: float = 0.0,
+    ):
+        acquisition = acquisition.lower()
+        if acquisition not in ("easybo", "ei", "pi", "lcb", "ucb"):
+            raise ValueError(f"unknown acquisition {acquisition!r}")
+        self.acquisition = acquisition
+        self.lam = float(lam)
+        self.ucb_kappa = float(ucb_kappa)
+        self.ei_xi = float(ei_xi)
+
+    def make_acquisition(self, core: "Campaign"):
+        if self.acquisition == "easybo":
+            return WeightedAcquisition(sample_easybo_weight(core.rng, self.lam))
+        if self.acquisition == "ei":
+            return ExpectedImprovement(core.standardized_best(), xi=self.ei_xi)
+        if self.acquisition == "pi":
+            return ProbabilityOfImprovement(core.standardized_best(), xi=self.ei_xi)
+        return UpperConfidenceBound(self.ucb_kappa)
+
+    def propose(self, core: "Campaign") -> np.ndarray:
+        if core.session.n_observations < 2:
+            # Failures (under a "drop" policy) can leave the GP with too
+            # little data; explore uniformly until it has a footing.
+            return core.cold_point()
+        core.session.refit()
+        return core.maximize(self.make_acquisition(core))
+
+    def select(self, core: "Campaign", n_points: int) -> list[np.ndarray]:
+        return [self.propose(core) for _ in range(n_points)]
+
+
+class AsyncBatchStrategy:
+    """The paper's Alg. 1 proposal: hallucinate pending points, Eq. 9 weight."""
+
+    kind = "async"
+
+    def __init__(self, *, penalized: bool = True, lam: float = EASYBO_LAMBDA):
+        self.penalized = bool(penalized)
+        self.lam = float(lam)
+
+    def propose(self, core: "Campaign") -> np.ndarray:
+        if core.session.n_observations < 2:
+            # The whole initial design may still be in flight (B >= n_init);
+            # the GP has nothing to say yet, so explore uniformly — but never
+            # re-issue a point that is already under evaluation.
+            return core.cold_point()
+        core.session.refit()
+        if self.penalized:
+            model = core.session.model_with_pending(core.pending_matrix())
+        else:
+            model = core.session.require_model()
+        w = sample_easybo_weight(core.rng, self.lam)
+        return core.maximize(WeightedAcquisition(w), model=model)
+
+    def select(self, core: "Campaign", n_points: int) -> list[np.ndarray]:
+        # Greedy: each member sees the earlier ones as pending via the
+        # campaign's own pending set (they were marked at ask time).
+        return [self.propose(core) for _ in range(n_points)]
+
+
+class SyncBatchStrategy:
+    """Synchronous batch selection: pBO / pHCBO / EasyBO-S(P) / BUCB / LP / MACE."""
+
+    kind = "sync"
+
+    STRATEGIES = ("pbo", "phcbo", "easybo-s", "easybo-sp", "bucb", "lp", "mace")
+
+    def __init__(
+        self,
+        strategy: str = "easybo-sp",
+        *,
+        batch_size: int = 1,
+        lam: float = EASYBO_LAMBDA,
+        ucb_kappa: float = 2.0,
+        hc_d: float | None = None,
+        dim: int | None = None,
+    ):
+        strategy = strategy.lower()
+        if strategy not in self.STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; choose from {self.STRATEGIES}"
+            )
+        self.strategy = strategy
+        self.batch_size = int(batch_size)
+        self.lam = float(lam)
+        self.ucb_kappa = float(ucb_kappa)
+        self.hc_d = hc_d
+        self._hc = (
+            HighCoveragePenalty(dim, d=hc_d)
+            if strategy == "phcbo" and dim is not None
+            else None
+        )
+
+    def _coverage(self, core: "Campaign") -> HighCoveragePenalty:
+        if self._hc is None:
+            self._hc = HighCoveragePenalty(core.session.dim, d=self.hc_d)
+        return self._hc
+
+    def propose(self, core: "Campaign") -> np.ndarray:
+        return self.select(core, 1)[0]
+
+    def select(self, core: "Campaign", n_points: int) -> list[np.ndarray]:
+        """Choose ``n_points`` query points for the next batch."""
+        if core.session.n_observations < 2:
+            # Too many dropped failures for the GP: fall back to uniform
+            # exploration for this batch.
+            return core.cold_block(n_points)
+        model = core.session.refit()
+        if self.strategy == "pbo":
+            return [
+                core.maximize(WeightedAcquisition(w), model=model)
+                for w in pbo_weights(self.batch_size)[:n_points]
+            ]
+        if self.strategy == "phcbo":
+            return self._select_phcbo(core, model, n_points)
+        if self.strategy == "easybo-s":
+            return [
+                core.maximize(
+                    WeightedAcquisition(sample_easybo_weight(core.rng, self.lam)),
+                    model=model,
+                )
+                for _ in range(n_points)
+            ]
+        if self.strategy == "easybo-sp":
+            return self._select_hallucinated(
+                core,
+                n_points,
+                lambda: WeightedAcquisition(sample_easybo_weight(core.rng, self.lam)),
+            )
+        if self.strategy == "bucb":
+            return self._select_hallucinated(
+                core, n_points, lambda: UpperConfidenceBound(self.ucb_kappa)
+            )
+        if self.strategy == "mace":
+            return self._select_mace(core, model, n_points)
+        return self._select_lp(core, model, n_points)
+
+    def _select_mace(self, core, model, n_points: int) -> list[np.ndarray]:
+        """Sample the batch from the Pareto front of an acquisition ensemble.
+
+        MACE keeps batch diversity by drawing from the set of candidates that
+        are non-dominated under (EI, PI, UCB) simultaneously; points that are
+        good under *different* exploration/exploitation trade-offs all
+        survive the filter.
+        """
+        best_std = core.standardized_best()
+        acqs = (
+            ExpectedImprovement(best_std),
+            ProbabilityOfImprovement(best_std),
+            UpperConfidenceBound(self.ucb_kappa),
+        )
+        U = core.rng.uniform(
+            size=(max(core.acq_candidates, 4 * n_points), core.session.dim)
+        )
+        scores = np.column_stack([acq(model, U) for acq in acqs])
+        front = _pareto_front_mask(scores)
+        front_idx = np.nonzero(front)[0]
+        if len(front_idx) >= n_points:
+            chosen = core.rng.choice(front_idx, size=n_points, replace=False)
+        else:
+            extra = core.rng.choice(
+                len(U), size=n_points - len(front_idx), replace=False
+            )
+            chosen = np.concatenate([front_idx, extra])
+        return [core.session.to_physical(U[i].reshape(1, -1))[0] for i in chosen]
+
+    def _select_phcbo(self, core, model, n_points: int) -> list[np.ndarray]:
+        """pBO weights plus the per-slot coverage penalty of Eq. 5/6.
+
+        The penalty and the weighted acquisition are combined on the unit
+        cube; each slot's chosen point is recorded for the next batches.
+        """
+        hc = self._coverage(core)
+        points = []
+        for slot, w in enumerate(pbo_weights(self.batch_size)[:n_points]):
+            base = WeightedAcquisition(w)
+
+            def scorer(U, _slot=slot, _base=base):
+                return _base(model, U) - hc(_slot, U)
+
+            u_best = maximize_acquisition(
+                scorer,
+                core.session.unit_bounds(),
+                rng=core.rng,
+                n_candidates=core.acq_candidates,
+                n_restarts=core.acq_restarts,
+            )
+            hc.record(slot, u_best)
+            points.append(core.session.to_physical(u_best.reshape(1, -1))[0])
+        return points
+
+    def _select_hallucinated(self, core, n_points: int, make_acq) -> list[np.ndarray]:
+        """Greedy batch: each member sees earlier members as pending.
+
+        This is the paper's penalization scheme (§III-C) applied at a
+        synchronous barrier (EasyBO-SP), or BUCB when the acquisition is a
+        fixed UCB.
+        """
+        points: list[np.ndarray] = []
+        for _ in range(n_points):
+            pending = (
+                np.vstack(points) if points else np.empty((0, core.session.dim))
+            )
+            model = core.session.model_with_pending(pending)
+            points.append(core.maximize(make_acq(), model=model))
+        return points
+
+    def _select_lp(self, core, model, n_points: int) -> list[np.ndarray]:
+        """Local penalization: multiply EI by penalty balls around batch points.
+
+        The Lipschitz constant is estimated as the largest finite-difference
+        gradient norm of the posterior mean over a random probe set
+        (Gonzalez et al. 2016, eq. 11 simplified).
+        """
+        lipschitz = self._estimate_lipschitz(core, model)
+        best_std = core.standardized_best()
+        ei = ExpectedImprovement(best_std)
+        points: list[np.ndarray] = []
+        unit_points: list[np.ndarray] = []
+
+        def scorer(U):
+            values = np.log(np.maximum(ei(model, U), 1e-40))
+            for u_j in unit_points:
+                mu_j, sigma_j = model.predict(u_j.reshape(1, -1))
+                radius = np.linalg.norm(U - u_j[None, :], axis=1)
+                z = (lipschitz * radius - (best_std - mu_j[0])) / np.maximum(
+                    np.sqrt(2.0) * sigma_j[0], 1e-12
+                )
+                values += np.log(np.maximum(stats.norm.cdf(z), 1e-40))
+            return values
+
+        for _ in range(n_points):
+            u_best = maximize_acquisition(
+                scorer,
+                core.session.unit_bounds(),
+                rng=core.rng,
+                n_candidates=core.acq_candidates,
+                n_restarts=core.acq_restarts,
+            )
+            unit_points.append(u_best)
+            points.append(core.session.to_physical(u_best.reshape(1, -1))[0])
+        return points
+
+    def _estimate_lipschitz(self, core, model, n_probes: int = 256) -> float:
+        """Max-norm finite-difference gradient of the posterior mean."""
+        d = core.session.dim
+        U = core.rng.uniform(size=(n_probes, d))
+        eps = 1e-4
+        mu0 = model.predict(U, return_std=False)
+        grad_sq = np.zeros(n_probes)
+        for j in range(d):
+            shifted = U.copy()
+            shifted[:, j] = np.minimum(shifted[:, j] + eps, 1.0)
+            mu1 = model.predict(shifted, return_std=False)
+            grad_sq += ((mu1 - mu0) / eps) ** 2
+        lipschitz = float(np.sqrt(grad_sq.max()))
+        return max(lipschitz, 1e-6)
+
+
+# --------------------------------------------------------------------------
+# The Campaign itself.
+# --------------------------------------------------------------------------
+class Campaign:
+    """Ask/tell Bayesian-optimization state.
+
+    A Campaign owns the surrogate session, the RNG, the initial design, the
+    set of in-flight (asked but not yet told) points, and the failure-policy
+    bookkeeping.  It does **not** own workers: callers decide how asked
+    points get evaluated — a driver submits them to a pool, a server hands
+    them to remote clients.
+
+    Parameters mirror the drivers'; ``journal`` attaches a standalone
+    write-ahead journal (path or object with ``append``) recording every
+    ask/tell so :func:`resume_campaign` can rebuild the exact state after a
+    crash.  Embedded driver campaigns leave it ``None`` — the driver's own
+    run journal is the durable record there.
+    """
+
+    def __init__(
+        self,
+        problem: Problem,
+        strategy=None,
+        *,
+        n_init: int = 20,
+        max_evals: int = 150,
+        batch_size: int = 1,
+        rng=None,
+        failure_policy: FailurePolicy | None = None,
+        acq_candidates: int = 2048,
+        acq_restarts: int = 4,
+        surrogate_update: str = "incremental",
+        refit_every: int = 1,
+        obs=None,
+        session: SurrogateSession | None = None,
+        journal=None,
+        algorithm: str = "campaign",
+        embedded: bool = False,
+    ):
+        if n_init < 2:
+            raise ValueError("n_init must be >= 2 (the GP needs data)")
+        if max_evals < n_init:
+            raise ValueError("max_evals must be >= n_init")
+        self.problem = problem
+        self.strategy = strategy
+        self.n_init = int(n_init)
+        self.max_evals = int(max_evals)
+        self.batch_size = int(batch_size)
+        self.rng = as_generator(rng)
+        self.failure_policy = failure_policy or FailurePolicy()
+        self.acq_candidates = int(acq_candidates)
+        self.acq_restarts = int(acq_restarts)
+        self.obs = obs if obs is not None else NULL_OBS
+        self.algorithm = algorithm
+        self.session = session or SurrogateSession(
+            problem.bounds,
+            rng=self.rng,
+            surrogate_update=surrogate_update,
+            refit_every=refit_every,
+            obs=self.obs,
+        )
+        self.design: np.ndarray | None = None
+        self.issued = 0
+        self.pending: list[np.ndarray] = []
+        self.reissue_counts: dict[bytes, int] = {}
+        self.last_action: tuple[str | None, float | None] = (None, None)
+        self.finished = False
+        self._pending_failure_action: str | None = None
+        self._embedded = bool(embedded)
+        self._config: dict = {}
+        self._started = False
+        if journal is None:
+            self._journal, self._owns_journal = None, False
+        elif hasattr(journal, "append"):
+            self._journal, self._owns_journal = journal, False
+        else:
+            self._journal, self._owns_journal = JournalWriter(journal), True
+
+    # ----------------------------------------------------------- properties
+    @property
+    def exhausted(self) -> bool:
+        """Whole budget issued; only ``tell`` calls remain useful."""
+        return self.issued >= self.max_evals
+
+    @property
+    def in_doe(self) -> bool:
+        """Still serving initial-design rows."""
+        return self.issued < self.n_init
+
+    @property
+    def done(self) -> bool:
+        """Budget issued and every asked point told back."""
+        return self.exhausted and not self.pending
+
+    @property
+    def n_pending(self) -> int:
+        return len(self.pending)
+
+    @property
+    def n_observations(self) -> int:
+        return self.session.n_observations
+
+    def best(self) -> tuple[np.ndarray, float] | None:
+        """Best observation so far, or ``None`` before any data."""
+        if self.session.n_observations == 0:
+            return None
+        y = self.session.y
+        idx = int(np.argmax(y))
+        return self.session.X[idx].copy(), float(y[idx])
+
+    def pending_matrix(self) -> np.ndarray:
+        """In-flight points as an (k, dim) array in issue order.
+
+        Mirrors ``pool.pending_points()`` in the embedded drivers: the same
+        points in the same order, so the Eq. 9 hallucination sees an
+        identical matrix whichever side supplies it.
+        """
+        if not self.pending:
+            return np.empty((0, self.session.dim))
+        return np.vstack(self.pending)
+
+    # ------------------------------------------------------------ lifecycle
+    def begin(self, design: np.ndarray) -> None:
+        """Adopt an externally drawn initial design (embedded drivers)."""
+        self.design = np.asarray(design, dtype=float)
+
+    def start(self) -> np.ndarray:
+        """Draw the initial design (idempotent); journals it when standalone."""
+        if self.design is None:
+            self._journal_start()
+            self.design = random_design(self.problem.bounds, self.n_init, self.rng)
+            self._journal_event(
+                {
+                    "type": "doe",
+                    "design": [[float(v) for v in row] for row in self.design],
+                    "rng_state": rng_state_to_dict(self.rng),
+                }
+            )
+        return self.design
+
+    def finish(self) -> None:
+        """Journal the campaign end and release the journal sink."""
+        if self.finished:
+            return
+        self.finished = True
+        best = self.best()
+        self._journal_event(
+            {
+                "type": "campaign_end",
+                "issued": int(self.issued),
+                "n_observations": int(self.session.n_observations),
+                "best_fom": None if best is None else best[1],
+            }
+        )
+        self.close()
+
+    def close(self) -> None:
+        """Release the journal sink without marking the campaign finished."""
+        if self._owns_journal and self._journal is not None:
+            self._journal.close()
+            self._journal = None
+
+    # ------------------------------------------------------------- ask/tell
+    def ask(self, n: int | None = None, *, _propose=None):
+        """Return the next point (``n=None``) or batch of ``n`` points.
+
+        Initial-design rows are served first; afterwards the family strategy
+        runs the refit/hallucinate/acquisition pipeline.  Asked points are
+        tracked as pending until the matching :meth:`tell`.  ``_propose``
+        lets the embedded drivers route proposals through their overridable
+        hook methods; it is not part of the public surface.
+        """
+        if self.exhausted:
+            raise CampaignExhausted(
+                f"campaign {self.algorithm!r} has issued its whole budget "
+                f"({self.max_evals} evaluations)"
+            )
+        self.start()
+        if n is None:
+            points = [self._one(_propose)]
+        else:
+            points = self._block(int(n), _propose)
+        self._note_asked(points)
+        if not self._embedded:
+            self.obs.inc("campaign.asks")
+            self._journal_event(
+                {
+                    "type": "ask",
+                    "points": [[float(v) for v in p] for p in points],
+                    "rng_state": rng_state_to_dict(self.rng),
+                    "surrogate": self.session.snapshot(),
+                }
+            )
+        return points[0] if n is None else points
+
+    def _one(self, propose) -> np.ndarray:
+        if self.in_doe:
+            return np.asarray(self.design[self.issued], dtype=float)
+        if propose is not None:
+            return np.asarray(propose(), dtype=float)
+        return np.asarray(self.strategy.propose(self), dtype=float)
+
+    def _block(self, n: int, propose) -> list[np.ndarray]:
+        if n < 1:
+            raise ValueError("ask(n) needs n >= 1")
+        n = min(n, self.max_evals - self.issued)
+        if self.in_doe:
+            end = min(self.issued + n, self.n_init)
+            return [np.asarray(row, dtype=float) for row in self.design[self.issued:end]]
+        if propose is not None:
+            points = propose(n)
+        else:
+            points = self.strategy.select(self, n)
+        return [np.asarray(p, dtype=float) for p in points]
+
+    def _note_asked(self, points) -> None:
+        for p in points:
+            self.pending.append(np.asarray(p, dtype=float).copy())
+        self.issued += len(points)
+
+    def note_issued(self, x) -> None:
+        """Mark an externally selected point as issued (resume leftovers)."""
+        self._note_asked([x])
+
+    def tell(self, x, result) -> str:
+        """Fold one evaluation result back in; returns the action taken.
+
+        ``"added"`` (observation recorded), ``"imputed"`` (failure recorded
+        at a pessimistic FOM), ``"dropped"`` (budget spent, posterior
+        unchanged), or ``"reissued"`` (orphaned point kept pending — the
+        caller should evaluate it again; budget-neutral).
+        """
+        x = np.asarray(x, dtype=float)
+        if result.status == STATUS_ORPHANED and self.note_orphan(x):
+            action = "reissued"
+        else:
+            self.absorb(x, result)
+            action = self.last_action[0]
+        if not self._embedded:
+            self.obs.inc("campaign.tells")
+            self._journal_tell(x, result, action)
+        return action
+
+    def note_orphan(self, x) -> bool:
+        """Apply the orphan policy to ``x``; True means "evaluate it again".
+
+        A reissued point moves to the end of the pending order, mirroring
+        the fresh pool index a driver's budget-neutral resubmission gets.
+        """
+        policy = self.failure_policy
+        key = np.asarray(x, dtype=float).tobytes()
+        prior = self.reissue_counts.get(key, 0)
+        if policy.on_orphan == "reissue" and prior < policy.max_reissues:
+            self.reissue_counts[key] = prior + 1
+            idx = self._find_pending(x)
+            if idx is not None:
+                self.pending.append(self.pending.pop(idx))
+            return True
+        self._pending_failure_action = (
+            "impute" if policy.on_orphan == "reissue" else policy.on_orphan
+        )
+        return False
+
+    def absorb(self, x, result) -> bool:
+        """Fold a finished evaluation into the surrogate dataset.
+
+        Failed evaluations follow the failure policy: ``"impute"`` records a
+        pessimistic FOM at the failed point (so the surrogate steers away
+        from it without poisoning the GP), ``"drop"`` records nothing — the
+        budget slot is spent and the next proposal sees an unchanged
+        posterior.  Returns True when an observation was added.
+        """
+        x = np.asarray(x, dtype=float)
+        idx = self._find_pending(x)
+        if idx is not None:
+            del self.pending[idx]
+        if result.ok:
+            self.session.add(x, result.fom)
+            self.last_action = ("added", float(result.fom))
+            return True
+        action = self._pending_failure_action or self.failure_policy.on_failure
+        self._pending_failure_action = None
+        if action == "impute" and self.session.n_observations > 0:
+            value = self.imputed_fom()
+            self.session.add(x, value)
+            self.last_action = ("imputed", value)
+            return True
+        self.last_action = ("dropped", None)
+        return False
+
+    def imputed_fom(self) -> float:
+        """Pessimistic stand-in FOM for a failed evaluation."""
+        policy = self.failure_policy
+        if policy.impute_value is not None:
+            return float(policy.impute_value)
+        y = self.session.y
+        span = float(y.max() - y.min())
+        return float(y.min() - policy.impute_margin * max(span, 1.0))
+
+    def _find_pending(self, x) -> int | None:
+        key = np.asarray(x, dtype=float).tobytes()
+        for i, p in enumerate(self.pending):
+            if p.tobytes() == key:
+                return i
+        return None
+
+    # --------------------------------------------------- strategy utilities
+    def propose(self) -> np.ndarray:
+        """Run the family strategy once (without budget bookkeeping)."""
+        return self.strategy.propose(self)
+
+    def maximize(self, acquisition, model=None) -> np.ndarray:
+        """Maximize an acquisition on the unit cube; return a physical point."""
+        scorer = self.session.acquisition_on_unit(acquisition, model=model)
+        with self.obs.span("acquisition-maximize"):
+            u_best = maximize_acquisition(
+                scorer,
+                self.session.unit_bounds(),
+                rng=self.rng,
+                n_candidates=self.acq_candidates,
+                n_restarts=self.acq_restarts,
+                obs=self.obs,
+            )
+        return self.session.to_physical(u_best.reshape(1, -1))[0]
+
+    def standardized_best(self) -> float:
+        """Incumbent best in the GP's standardized output scale."""
+        return float(
+            self.session.output.transform(np.array([self.session.best_y]))[0]
+        )
+
+    def cold_point(self) -> np.ndarray:
+        """A uniform exploration point that is not already in flight.
+
+        The initial design (or a batch of cold draws) can still be pending
+        when the GP has too little data to propose; drawing blindly here
+        could hand the same point to two workers.  Collisions are
+        measure-zero for a fresh uniform draw, so the dedupe consumes no
+        extra RNG on the overwhelmingly common path.
+        """
+        x = random_design(self.problem.bounds, 1, self.rng)[0]
+        for _ in range(_COLD_REDRAW_ATTEMPTS):
+            if self._find_pending(x) is None:
+                break
+            self.obs.inc("campaign.cold_redraws")
+            x = random_design(self.problem.bounds, 1, self.rng)[0]
+        return x
+
+    def cold_block(self, n: int) -> list[np.ndarray]:
+        """A block of uniform exploration points, deduped against pending.
+
+        The block is drawn in one RNG call (matching the historical
+        synchronous cold path byte-for-byte when there are no collisions);
+        only colliding rows pay a redraw.
+        """
+        block = random_design(self.problem.bounds, n, self.rng)
+        seen = [p.tobytes() for p in self.pending]
+        out: list[np.ndarray] = []
+        for row in block:
+            x = np.asarray(row, dtype=float)
+            for _ in range(_COLD_REDRAW_ATTEMPTS):
+                if x.tobytes() not in seen:
+                    break
+                self.obs.inc("campaign.cold_redraws")
+                x = random_design(self.problem.bounds, 1, self.rng)[0]
+            seen.append(x.tobytes())
+            out.append(x)
+        return out
+
+    # ------------------------------------------------------------ journaling
+    def _journal_event(self, record: dict) -> None:
+        if self._journal is not None:
+            self._journal.append(record)
+
+    def _journal_start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self._journal_event(
+            {
+                "type": "campaign_start",
+                "campaign_version": CAMPAIGN_JOURNAL_VERSION,
+                "algorithm": self.algorithm,
+                "problem": self.problem.name,
+                "config": dict(self._config),
+                "rng_state": rng_state_to_dict(self.rng),
+            }
+        )
+
+    def _journal_tell(self, x, result, action) -> None:
+        if self._journal is None:
+            return
+        from repro.distributed.protocol import result_to_dict
+
+        _, value = self.last_action if action != "reissued" else (None, None)
+        self._journal_event(
+            {
+                "type": "tell",
+                "x": [float(v) for v in x],
+                "result": result_to_dict(result),
+                "action": action,
+                "value": None if value is None else float(value),
+            }
+        )
+
+    # --------------------------------------------------------------- resume
+    def restore(self, *, design=None, issued=0, pending=(), reissue_counts=None):
+        """Overwrite the position bookkeeping (driver resume path)."""
+        if design is not None:
+            self.design = np.asarray(design, dtype=float)
+        self.issued = int(issued)
+        self.pending = [np.asarray(p, dtype=float).copy() for p in pending]
+        if reissue_counts is not None:
+            self.reissue_counts = dict(reissue_counts)
+        return self
+
+
+# --------------------------------------------------------------------------
+# Label factory and journal resume.
+# --------------------------------------------------------------------------
+_SEQUENTIAL_FAMILIES = {"ei": "ei", "pi": "pi", "lcb": "lcb", "ucb": "ucb"}
+_SYNC_FAMILIES = {
+    "pbo": "pbo",
+    "phcbo": "phcbo",
+    "bucb": "bucb",
+    "lp": "lp",
+    "mace": "mace",
+    "easybo-s": "easybo-s",
+    "easybo-sp": "easybo-sp",
+}
+
+
+def make_campaign(label: str, problem: Problem, **kwargs) -> Campaign:
+    """Build a standalone :class:`Campaign` from a paper-style label.
+
+    Accepts the same labels as :func:`repro.core.easybo.make_algorithm` for
+    the BO families (``"EasyBO-5"``, ``"pBO-3"``, ``"LCB"``, ...); the
+    non-ask/tell baselines (DE, random search, portfolio) have no campaign
+    form.  Keyword arguments are Campaign constructor kwargs plus the
+    family knobs ``lam`` / ``ucb_kappa`` / ``ei_xi`` / ``hc_d``.
+    """
+    import re
+
+    match = re.match(r"^(?P<family>[a-zA-Z][a-zA-Z-]*?)(?:-(?P<batch>\d+))?$", label.strip())
+    if not match:
+        raise ValueError(f"cannot parse algorithm label {label!r}")
+    family = match.group("family").lower()
+    batch = int(match.group("batch")) if match.group("batch") else 1
+    lam = float(kwargs.pop("lam", EASYBO_LAMBDA))
+    ucb_kappa = float(kwargs.pop("ucb_kappa", 2.0))
+    ei_xi = float(kwargs.pop("ei_xi", 0.0))
+    hc_d = kwargs.pop("hc_d", None)
+
+    if family in _SEQUENTIAL_FAMILIES or (family == "easybo" and batch == 1):
+        acq = _SEQUENTIAL_FAMILIES.get(family, "easybo")
+        strategy = SequentialStrategy(
+            acq, lam=lam, ucb_kappa=ucb_kappa, ei_xi=ei_xi
+        )
+        display = {"easybo": "EasyBO", "ei": "EI", "pi": "PI",
+                   "lcb": "LCB", "ucb": "UCB"}[acq]
+        algorithm = display
+        batch = 1
+    elif family in ("easybo", "easybo-a"):
+        strategy = AsyncBatchStrategy(penalized=family == "easybo", lam=lam)
+        base = "EasyBO" if family == "easybo" else "EasyBO-A"
+        algorithm = base if batch == 1 else f"{base}-{batch}"
+    elif family in _SYNC_FAMILIES:
+        strategy = SyncBatchStrategy(
+            _SYNC_FAMILIES[family],
+            batch_size=batch,
+            lam=lam,
+            ucb_kappa=ucb_kappa,
+            hc_d=hc_d,
+        )
+        display = {"pbo": "pBO", "phcbo": "pHCBO", "easybo-s": "EasyBO-S",
+                   "easybo-sp": "EasyBO-SP", "bucb": "BUCB", "lp": "LP",
+                   "mace": "MACE"}[_SYNC_FAMILIES[family]]
+        algorithm = f"{display}-{batch}"
+    else:
+        raise ValueError(
+            f"algorithm family {family!r} has no ask/tell campaign form"
+        )
+
+    policy = kwargs.pop("failure_policy", None)
+    if isinstance(policy, dict):
+        policy = FailurePolicy(**policy)
+    campaign = Campaign(
+        problem,
+        strategy,
+        batch_size=batch,
+        failure_policy=policy,
+        algorithm=algorithm,
+        **kwargs,
+    )
+    campaign._config = {
+        "n_init": campaign.n_init,
+        "max_evals": campaign.max_evals,
+        "acq_candidates": campaign.acq_candidates,
+        "acq_restarts": campaign.acq_restarts,
+        "surrogate_update": campaign.session.surrogate_update,
+        "refit_every": campaign.session.refit_every,
+        "failure_policy": {
+            k: getattr(campaign.failure_policy, k)
+            for k in ("on_failure", "on_orphan", "max_reissues",
+                      "impute_value", "impute_margin")
+            if hasattr(campaign.failure_policy, k)
+        },
+        "lam": lam,
+        "ucb_kappa": ucb_kappa,
+        "ei_xi": ei_xi,
+        "hc_d": hc_d,
+    }
+    return campaign
+
+
+def read_campaign_journal(path) -> list[dict]:
+    """Recover a campaign journal, validating its format version.
+
+    Raises :class:`JournalError` when the file was written by a newer
+    campaign format than this code can read, instead of misparsing it.
+    """
+    events = recover_journal(path)
+    if not events or events[0].get("type") != "campaign_start":
+        raise JournalError(
+            f"{path} has no usable campaign_start record; nothing to resume"
+        )
+    version = events[0].get("campaign_version")
+    if not isinstance(version, int) or version > CAMPAIGN_JOURNAL_VERSION:
+        raise JournalError(
+            f"campaign journal format v{version} is newer than supported "
+            f"v{CAMPAIGN_JOURNAL_VERSION}; upgrade this installation to read it"
+        )
+    return events
+
+
+def resume_campaign(journal_path, *, problem: Problem | None = None) -> Campaign:
+    """Rebuild a campaign to its exact pre-crash state from its journal.
+
+    Replays every ask/tell into a fresh campaign: told observations re-enter
+    the surrogate in their original order (including imputed values), the
+    hyperparameter snapshot and the bit-exact RNG state are restored from
+    the last durable record, and asked-but-untold points come back as
+    pending — the caller should evaluate and ``tell`` them (or let the
+    orphan policy handle them).  Subsequent ``ask()`` calls produce the
+    points the uninterrupted campaign would have produced.
+    """
+    from repro.core.problem import EvaluationResult  # noqa: F401  (doc pointer)
+    from repro.distributed.protocol import result_from_dict
+
+    events = read_campaign_journal(journal_path)
+    start = events[0]
+    if problem is None:
+        from repro.core.recovery import resolve_problem
+
+        problem = resolve_problem(start.get("problem", ""))
+    config = dict(start.get("config", {}))
+    campaign = make_campaign(
+        start["algorithm"], problem, journal=journal_path, **config
+    )
+    campaign._started = True  # the start record is already durable
+    set_rng_state(campaign.rng, start["rng_state"])
+
+    snapshot = None
+    rng_state = start.get("rng_state")
+    finished = False
+    for event in events[1:]:
+        kind = event.get("type")
+        if kind == "doe":
+            campaign.design = np.asarray(event["design"], dtype=float)
+            rng_state = event.get("rng_state", rng_state)
+        elif kind == "ask":
+            points = [np.asarray(p, dtype=float) for p in event["points"]]
+            campaign._note_asked(points)
+            rng_state = event.get("rng_state", rng_state)
+            if event.get("surrogate") is not None:
+                snapshot = event["surrogate"]
+        elif kind == "tell":
+            x = np.asarray(event["x"], dtype=float)
+            action = event.get("action")
+            if action == "reissued":
+                key = x.tobytes()
+                campaign.reissue_counts[key] = (
+                    campaign.reissue_counts.get(key, 0) + 1
+                )
+                idx = campaign._find_pending(x)
+                if idx is not None:
+                    campaign.pending.append(campaign.pending.pop(idx))
+                continue
+            idx = campaign._find_pending(x)
+            if idx is not None:
+                del campaign.pending[idx]
+            if action == "added":
+                result = result_from_dict(event["result"])
+                campaign.session.add(x, result.fom)
+            elif action == "imputed":
+                campaign.session.add(x, float(event["value"]))
+        elif kind == "campaign_resume":
+            continue
+        elif kind == "campaign_end":
+            finished = True
+    if finished:
+        raise RuntimeError(
+            f"the campaign in {journal_path} already finished; nothing to resume"
+        )
+    campaign.session.restore_snapshot(snapshot)
+    if rng_state is not None:
+        set_rng_state(campaign.rng, rng_state)
+    campaign._journal_event(
+        {"type": "campaign_resume", "n_pending": campaign.n_pending}
+    )
+    return campaign

@@ -152,9 +152,7 @@ class ConstrainedEasyBO(AsynchronousBatchBO):
     # ------------------------------------------------------------- proposal
     def _propose_async(self, pool) -> np.ndarray:
         if self.session.n_observations < 2:
-            from repro.core.doe import random_design
-
-            return random_design(self.problem.bounds, 1, self.rng)[0]
+            return self.campaign.cold_point()
         self.session.refit()
         self._fit_constraints()
         if self.penalized:

@@ -35,6 +35,23 @@ _FORMAT_VERSION = 6
 _READABLE_VERSIONS = frozenset({1, 2, 3, 4, 5, 6})
 
 
+def _check_version(version, what: str) -> None:
+    """Reject unreadable format versions with an actionable message.
+
+    A file from a *newer* release is the common real-world case (results
+    shared between machines on different versions), so it gets its own
+    wording: the data is fine, this installation is just too old to read it.
+    """
+    if version in _READABLE_VERSIONS:
+        return
+    if isinstance(version, int) and version > _FORMAT_VERSION:
+        raise ValueError(
+            f"{what} format v{version} is newer than supported "
+            f"v{_FORMAT_VERSION}; upgrade this installation to read it"
+        )
+    raise ValueError(f"unsupported {what} format version {version!r}")
+
+
 def run_to_dict(run: RunResult) -> dict:
     """JSON-serializable representation of one run."""
     return {
@@ -62,9 +79,7 @@ def run_to_dict(run: RunResult) -> dict:
 
 def run_from_dict(data: dict) -> RunResult:
     """Rebuild a :class:`RunResult` from :func:`run_to_dict` output."""
-    version = data.get("version")
-    if version not in _READABLE_VERSIONS:
-        raise ValueError(f"unsupported run format version {version!r}")
+    _check_version(data.get("version"), "run")
     trace = ExecutionTrace(int(data["n_workers"]))
     for r in data["records"]:
         trace.add(EvalRecord.from_dict(r))
@@ -117,8 +132,7 @@ def save_runs(path, grid: dict[str, list[RunResult]]) -> None:
 def load_runs(path) -> dict[str, list[RunResult]]:
     """Read back a grid written by :func:`save_runs`."""
     payload = json.loads(pathlib.Path(path).read_text())
-    if payload.get("version") not in _READABLE_VERSIONS:
-        raise ValueError(f"unsupported grid format version {payload.get('version')!r}")
+    _check_version(payload.get("version"), "grid")
     return {
         label: [run_from_dict(d) for d in runs]
         for label, runs in payload["grid"].items()

@@ -35,7 +35,12 @@ import numpy as np
 
 from repro.core.bo import shutdown_pool
 from repro.core.faults import FailurePolicy
-from repro.core.journal import JournalError, JournalWriter, recover_journal
+from repro.core.journal import (
+    JOURNAL_VERSION,
+    JournalError,
+    JournalWriter,
+    recover_journal,
+)
 from repro.core.problem import STATUS_ORPHANED
 from repro.core.results import RunResult
 from repro.sched.trace import EvalRecord
@@ -297,6 +302,12 @@ def resume(journal_path, *, problem=None, pool_factory=None, tracer=None,
             f"{journal_path} has no usable run_start record; nothing to resume"
         )
     start = events[0]
+    version = start.get("journal_version")
+    if isinstance(version, int) and version > JOURNAL_VERSION:
+        raise JournalError(
+            f"run journal format v{version} is newer than supported "
+            f"v{JOURNAL_VERSION}; upgrade this installation to resume it"
+        )
     if any(event.get("type") == "run_end" for event in events):
         raise RuntimeError(
             f"the run in {journal_path} already completed; nothing to resume"

@@ -32,41 +32,16 @@ factor rather than a per-point posterior rebuild.
 from __future__ import annotations
 
 import numpy as np
-from scipy import stats
 
-from repro.core.acquisition import (
-    EASYBO_LAMBDA,
-    ExpectedImprovement,
-    HighCoveragePenalty,
-    ProbabilityOfImprovement,
-    UpperConfidenceBound,
-    WeightedAcquisition,
-    pbo_weights,
-    sample_easybo_weight,
-)
+from repro.core.acquisition import EASYBO_LAMBDA
 from repro.core.bo import BODriverBase, shutdown_pool
-from repro.core.doe import random_design
+from repro.core.campaign import SyncBatchStrategy, _pareto_front_mask  # noqa: F401 — re-export
 from repro.core.results import RunResult
 from repro.utils.rng import rng_state_to_dict
 
 __all__ = ["SynchronousBatchBO", "SYNC_STRATEGIES"]
 
-
-def _pareto_front_mask(scores: np.ndarray) -> np.ndarray:
-    """Boolean mask of rows not dominated by any other row (maximization)."""
-    n = scores.shape[0]
-    mask = np.ones(n, dtype=bool)
-    for i in range(n):
-        if not mask[i]:
-            continue
-        dominated = np.all(scores >= scores[i], axis=1) & np.any(
-            scores > scores[i], axis=1
-        )
-        if dominated.any():
-            mask[i] = False
-    return mask
-
-SYNC_STRATEGIES = ("pbo", "phcbo", "easybo-s", "easybo-sp", "bucb", "lp", "mace")
+SYNC_STRATEGIES = SyncBatchStrategy.STRATEGIES
 
 _DISPLAY = {
     "pbo": "pBO",
@@ -106,161 +81,36 @@ class SynchronousBatchBO(BODriverBase):
         self.lam = float(lam)
         self.ucb_kappa = float(ucb_kappa)
         self.algorithm_name = f"{_DISPLAY[strategy]}-{batch_size}"
-        self._hc = (
-            HighCoveragePenalty(self.session.dim, d=hc_d)
-            if strategy == "phcbo"
-            else None
+        self.campaign.strategy = SyncBatchStrategy(
+            strategy,
+            batch_size=self.batch_size,
+            lam=self.lam,
+            ucb_kappa=self.ucb_kappa,
+            hc_d=hc_d,
+            dim=self.session.dim,
         )
+        self.campaign.batch_size = self.batch_size
+        self.campaign.algorithm = self.algorithm_name
+
+    @property
+    def _hc(self):
+        """The pHCBO coverage-penalty state (lives on the strategy)."""
+        return self.campaign.strategy._hc
 
     # -------------------------------------------------------------- selection
     def _select_batch(self, n_points: int) -> list[np.ndarray]:
-        """Choose ``n_points`` query points for the next batch."""
-        model = self.session.refit()
-        if self.strategy == "pbo":
-            return [
-                self._propose(WeightedAcquisition(w), model=model)
-                for w in pbo_weights(self.batch_size)[:n_points]
-            ]
-        if self.strategy == "phcbo":
-            return self._select_phcbo(model, n_points)
-        if self.strategy == "easybo-s":
-            return [
-                self._propose(
-                    WeightedAcquisition(sample_easybo_weight(self.rng, self.lam)),
-                    model=model,
-                )
-                for _ in range(n_points)
-            ]
-        if self.strategy == "easybo-sp":
-            return self._select_hallucinated(
-                n_points,
-                lambda: WeightedAcquisition(sample_easybo_weight(self.rng, self.lam)),
-            )
-        if self.strategy == "bucb":
-            return self._select_hallucinated(
-                n_points, lambda: UpperConfidenceBound(self.ucb_kappa)
-            )
-        if self.strategy == "mace":
-            return self._select_mace(model, n_points)
-        return self._select_lp(model, n_points)
+        """Choose ``n_points`` query points for the next batch.
 
-    def _select_mace(self, model, n_points: int) -> list[np.ndarray]:
-        """Sample the batch from the Pareto front of an acquisition ensemble.
-
-        MACE keeps batch diversity by drawing from the set of candidates that
-        are non-dominated under (EI, PI, UCB) simultaneously; points that are
-        good under *different* exploration/exploitation trade-offs all
-        survive the filter.
+        Thin hook over :meth:`SyncBatchStrategy.select`; kept overridable
+        for ablations that reshape the batch rule.
         """
-        best_std = self._standardized_best()
-        acqs = (
-            ExpectedImprovement(best_std),
-            ProbabilityOfImprovement(best_std),
-            UpperConfidenceBound(self.ucb_kappa),
-        )
-        U = self.rng.uniform(size=(max(self.acq_candidates, 4 * n_points), self.session.dim))
-        scores = np.column_stack([acq(model, U) for acq in acqs])
-        front = _pareto_front_mask(scores)
-        front_idx = np.nonzero(front)[0]
-        if len(front_idx) >= n_points:
-            chosen = self.rng.choice(front_idx, size=n_points, replace=False)
-        else:
-            extra = self.rng.choice(len(U), size=n_points - len(front_idx), replace=False)
-            chosen = np.concatenate([front_idx, extra])
-        return [self.session.to_physical(U[i].reshape(1, -1))[0] for i in chosen]
-
-    def _select_phcbo(self, model, n_points: int) -> list[np.ndarray]:
-        """pBO weights plus the per-slot coverage penalty of Eq. 5/6.
-
-        The penalty and the weighted acquisition are combined on the unit
-        cube; each slot's chosen point is recorded for the next batches.
-        """
-        points = []
-        for slot, w in enumerate(pbo_weights(self.batch_size)[:n_points]):
-            base = WeightedAcquisition(w)
-
-            def scorer(U, _slot=slot, _base=base):
-                return _base(model, U) - self._hc(_slot, U)
-
-            from repro.core.optimizers import maximize_acquisition
-
-            u_best = maximize_acquisition(
-                scorer,
-                self.session.unit_bounds(),
-                rng=self.rng,
-                n_candidates=self.acq_candidates,
-                n_restarts=self.acq_restarts,
-            )
-            self._hc.record(slot, u_best)
-            points.append(self.session.to_physical(u_best.reshape(1, -1))[0])
-        return points
-
-    def _select_hallucinated(self, n_points: int, make_acq) -> list[np.ndarray]:
-        """Greedy batch: each member sees earlier members as pending.
-
-        This is the paper's penalization scheme (§III-C) applied at a
-        synchronous barrier (EasyBO-SP), or BUCB when the acquisition is a
-        fixed UCB.
-        """
-        points: list[np.ndarray] = []
-        for _ in range(n_points):
-            pending = np.vstack(points) if points else np.empty((0, self.session.dim))
-            model = self.session.model_with_pending(pending)
-            points.append(self._propose(make_acq(), model=model))
-        return points
-
-    def _select_lp(self, model, n_points: int) -> list[np.ndarray]:
-        """Local penalization: multiply EI by penalty balls around batch points.
-
-        The Lipschitz constant is estimated as the largest finite-difference
-        gradient norm of the posterior mean over a random probe set
-        (Gonzalez et al. 2016, eq. 11 simplified).
-        """
-        lipschitz = self._estimate_lipschitz(model)
-        best_std = self._standardized_best()
-        ei = ExpectedImprovement(best_std)
-        points: list[np.ndarray] = []
-        unit_points: list[np.ndarray] = []
-
-        def scorer(U):
-            values = np.log(np.maximum(ei(model, U), 1e-40))
-            for u_j in unit_points:
-                mu_j, sigma_j = model.predict(u_j.reshape(1, -1))
-                radius = np.linalg.norm(U - u_j[None, :], axis=1)
-                z = (lipschitz * radius - (best_std - mu_j[0])) / np.maximum(
-                    np.sqrt(2.0) * sigma_j[0], 1e-12
-                )
-                values += np.log(np.maximum(stats.norm.cdf(z), 1e-40))
-            return values
-
-        from repro.core.optimizers import maximize_acquisition
-
-        for _ in range(n_points):
-            u_best = maximize_acquisition(
-                scorer,
-                self.session.unit_bounds(),
-                rng=self.rng,
-                n_candidates=self.acq_candidates,
-                n_restarts=self.acq_restarts,
-            )
-            unit_points.append(u_best)
-            points.append(self.session.to_physical(u_best.reshape(1, -1))[0])
-        return points
+        return self.campaign.strategy.select(self.campaign, n_points)
 
     def _estimate_lipschitz(self, model, n_probes: int = 256) -> float:
-        """Max-norm finite-difference gradient of the posterior mean."""
-        d = self.session.dim
-        U = self.rng.uniform(size=(n_probes, d))
-        eps = 1e-4
-        mu0 = model.predict(U, return_std=False)
-        grad_sq = np.zeros(n_probes)
-        for j in range(d):
-            shifted = U.copy()
-            shifted[:, j] = np.minimum(shifted[:, j] + eps, 1.0)
-            mu1 = model.predict(shifted, return_std=False)
-            grad_sq += ((mu1 - mu0) / eps) ** 2
-        lipschitz = float(np.sqrt(grad_sq.max()))
-        return max(lipschitz, 1e-6)
+        """Delegate to the strategy's Lipschitz probe (kept for tests/ablations)."""
+        return self.campaign.strategy._estimate_lipschitz(
+            self.campaign, model, n_probes
+        )
 
     # -------------------------------------------------------------- main loop
     def _resume_config(self) -> dict:
@@ -294,7 +144,8 @@ class SynchronousBatchBO(BODriverBase):
             self._begin_run(self.batch_size)
             design = self._initial_design()
             self._journal_doe(design)
-            return self._drive(pool, design, issued=0, batch_index=0, leftover=())
+            self.campaign.begin(design)
+            return self._drive(pool, batch_index=0, leftover=())
         finally:
             shutdown_pool(pool)
 
@@ -304,7 +155,10 @@ class SynchronousBatchBO(BODriverBase):
             design = self._initial_design()
             self._journal_doe(design)
         batch_index, leftover = self._resume_position(state, design, pool)
-        return self._drive(pool, design, state.issued, batch_index, leftover)
+        self.campaign.restore(
+            design=design, issued=state.issued, pending=pool.pending_points()
+        )
+        return self._drive(pool, batch_index, leftover)
 
     def _resume_position(self, state, design, pool):
         """Locate the crash inside the batch structure.
@@ -339,40 +193,40 @@ class SynchronousBatchBO(BODriverBase):
             return current, ()
         return current + 1, ()
 
-    def _drive(self, pool, design, issued: int, batch_index: int, leftover) -> RunResult:
+    def _drive(self, pool, batch_index: int, leftover) -> RunResult:
+        campaign = self.campaign
         # Finish a partially-completed batch (resume only; no-op fresh).
         if leftover or pool.busy_count:
             for x in leftover:
                 self._submit(pool, x, batch=batch_index)
-                issued += 1
+                campaign.note_issued(x)
             while pool.busy_count:
                 self._consume(pool, self._wait(pool))
             batch_index += 1
         # Initial design goes out in synchronous batches too.
-        while issued < self.n_init:
-            for x in design[issued : min(issued + self.batch_size, self.n_init)]:
+        while campaign.in_doe:
+            points = campaign.ask(
+                min(self.batch_size, self.n_init - campaign.issued)
+            )
+            for x in points:
                 self._submit(pool, x, batch=batch_index)
-                issued += 1
             while pool.busy_count:
                 self._consume(pool, self._wait(pool))
             batch_index += 1
-        while issued < self.max_evals:
-            # One synchronous cycle: select a batch, issue it, barrier.
+        while not campaign.exhausted:
+            # One synchronous cycle: ask for a batch, issue it, barrier.
             with self.obs.span("iteration", batch=batch_index):
-                n_points = min(self.batch_size, self.max_evals - issued)
+                n_points = min(self.batch_size, self.max_evals - campaign.issued)
                 if self.session.n_observations < 2:
-                    # Too many dropped failures for the GP: fall back to
-                    # uniform exploration for this batch.
-                    points = list(
-                        random_design(self.problem.bounds, n_points, self.rng)
-                    )
+                    # Too many dropped failures for the GP: the campaign
+                    # falls back to uniform exploration for this batch.
+                    points = campaign.ask(n_points)
                 else:
                     with self.obs.span("select-batch", n_points=n_points):
-                        points = self._select_batch(n_points)
+                        points = campaign.ask(n_points, _propose=self._select_batch)
                 self._journal_batch(batch_index, points)
                 for x in points:
                     self._submit(pool, x, batch=batch_index)
-                    issued += 1
                 while pool.busy_count:
                     self._consume(pool, self._wait(pool))
             self.obs.inc("driver.iterations")

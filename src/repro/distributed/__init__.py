@@ -1,6 +1,6 @@
 """Distributed evaluation: process workers behind the shared pool contract.
 
-The subsystem has four pieces:
+The subsystem has six pieces:
 
 * :mod:`~repro.distributed.protocol` — message vocabulary and portable
   problem specs;
@@ -10,9 +10,14 @@ The subsystem has four pieces:
   (``python -m repro.distributed.worker``);
 * :mod:`~repro.distributed.pool` — :class:`ProcessWorkerPool`, the
   supervisor that presents the fleet through the same ``submit`` /
-  ``wait_next`` contract as the virtual and thread pools.
+  ``wait_next`` contract as the virtual and thread pools;
+* :mod:`~repro.distributed.server` — :class:`CampaignServer`, the
+  multi-tenant ask/tell campaign host (``python -m repro serve``);
+* :mod:`~repro.distributed.client` — :class:`CampaignClient`, the
+  synchronous RPC client for the server.
 """
 
+from repro.distributed.client import CampaignClient, CampaignServerError
 from repro.distributed.pool import ProcessWorkerPool
 from repro.distributed.protocol import (
     PROTOCOL_VERSION,
@@ -20,10 +25,17 @@ from repro.distributed.protocol import (
     load_problem,
     problem_spec,
 )
+from repro.distributed.server import CampaignServer, ServerError, WorkerLeaseRegistry, serve
 from repro.distributed.transport import ConnectionClosed, FramedConnection
 
 __all__ = [
     "ProcessWorkerPool",
+    "CampaignServer",
+    "CampaignClient",
+    "CampaignServerError",
+    "ServerError",
+    "WorkerLeaseRegistry",
+    "serve",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "problem_spec",

@@ -1,0 +1,132 @@
+"""Small synchronous client for the campaign server.
+
+One :class:`CampaignClient` is one framed-socket connection; its methods
+map one-to-one onto the server verbs (see :mod:`repro.distributed.server`).
+Calls are synchronous — each sends one request and blocks for the matching
+``seq`` response — which is all the drivers of tens-to-hundreds of
+campaigns need: the *server* multiplexes, clients stay dumb.
+
+    with CampaignClient(port=server.port) as client:
+        cid = client.create("EasyBO-3", "branin", config={"n_init": 5,
+                                                          "max_evals": 20})
+        while True:
+            x = client.ask(cid)[0]
+            result = problem.evaluate(x)
+            if client.tell(cid, x, result)["done"]:
+                break
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.core.problem import EvaluationResult
+from repro.distributed.protocol import result_to_dict
+from repro.distributed.transport import connect
+
+__all__ = ["CampaignClient", "CampaignServerError"]
+
+
+class CampaignServerError(RuntimeError):
+    """The server refused or failed a request (its message is preserved)."""
+
+
+class CampaignClient:
+    """Synchronous RPC client; one connection, sequential seq-correlated calls."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 timeout: float | None = 30.0):
+        self._conn = connect(host, port, timeout=timeout)
+        self._timeout = timeout
+        self._seq = itertools.count()
+
+    def call(self, verb: str, **payload) -> dict:
+        """Send one request; block for its response; raise on ``ok: false``."""
+        seq = next(self._seq)
+        self._conn.send({"verb": verb, "seq": seq, **payload})
+        while True:
+            response = self._conn.recv(timeout=self._timeout)
+            if response is None:
+                raise CampaignServerError("server closed the connection")
+            if response.get("seq") != seq:
+                continue  # a stale response from a pipelined/aborted call
+            if not response.get("ok"):
+                raise CampaignServerError(str(response.get("error")))
+            return response
+
+    # ----------------------------------------------------------------- verbs
+    def ping(self) -> dict:
+        return self.call("ping")
+
+    def create(self, label: str, problem: str, *, config: dict | None = None,
+               evaluate: bool = False, n_workers: int | None = None,
+               pool: str = "virtual") -> str:
+        """Create a campaign; returns its id.
+
+        ``problem`` is a benchmark name the server resolves through the
+        crash-recovery registry.  ``evaluate=True`` asks the server to lease
+        workers and run the evaluations itself.
+        """
+        payload: dict = {"label": label, "problem": problem,
+                         "config": config or {}}
+        if evaluate:
+            payload.update(evaluate=True, pool=pool)
+            if n_workers is not None:
+                payload["n_workers"] = int(n_workers)
+        return self.call("create", **payload)["campaign"]
+
+    def ask(self, campaign: str, n: int | None = None) -> list[np.ndarray]:
+        """Next point(s) to evaluate; always a list, even for ``n=None``."""
+        payload = {"campaign": campaign}
+        if n is not None:
+            payload["n"] = int(n)
+        points = self.call("ask", **payload)["points"]
+        return [np.asarray(p, dtype=float) for p in points]
+
+    def tell(self, campaign: str, x, result) -> dict:
+        """Report one evaluation; returns ``{"action": ..., "done": ...}``.
+
+        ``result`` may be an :class:`EvaluationResult` or an already
+        serialized dict.
+        """
+        if isinstance(result, EvaluationResult):
+            result = result_to_dict(result)
+        return self.call(
+            "tell", campaign=campaign,
+            x=[float(v) for v in np.asarray(x, dtype=float).ravel()],
+            result=result,
+        )
+
+    def status(self, campaign: str) -> dict:
+        return self.call("status", campaign=campaign)["status"]
+
+    def list(self) -> list[dict]:
+        return self.call("list")["campaigns"]
+
+    def metrics(self) -> dict:
+        return self.call("metrics")["metrics"]
+
+    def suspend(self, campaign: str) -> str:
+        return self.call("suspend", campaign=campaign)["state"]
+
+    def resume(self, campaign: str) -> dict:
+        """Rebuild a suspended/crashed campaign from its server-side journal."""
+        return self.call("resume", campaign=campaign)
+
+    def close_campaign(self, campaign: str) -> str:
+        return self.call("close", campaign=campaign)["state"]
+
+    def stop_server(self) -> None:
+        self.call("stop")
+
+    # ------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "CampaignClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -659,6 +659,24 @@ class ProcessWorkerPool:
         )
         return completion
 
+    def poll(self) -> Completion | None:
+        """Non-blocking :meth:`wait_next`: a ready completion or ``None``.
+
+        Runs one zero-timeout supervision step (accepting handshakes,
+        draining sockets, expiring deadlines) and resolves at most one
+        finished task.  The campaign server calls this to interleave many
+        independent pools from a single thread.
+        """
+        self._require_open()
+        if not self._tasks and not self._ready:
+            return None
+        self._service(0.0)
+        while self._ready:
+            index, result, attempts = self._ready.popleft()
+            if index in self._tasks:
+                return self._complete(index, result, attempts)
+        return None
+
     def wait_all(self) -> list[Completion]:
         """Drain every outstanding evaluation (synchronous barrier)."""
         completions = []

@@ -1,0 +1,557 @@
+"""Multi-tenant campaign server: many ask/tell optimizations, one process.
+
+The ask/tell extraction (:class:`repro.core.campaign.Campaign`) makes an
+optimization a value instead of a loop, which means one process can host
+*many* of them.  :class:`CampaignServer` does exactly that over the same
+CRC-framed loopback socket RPC the process-worker fleet uses
+(:mod:`repro.distributed.transport`):
+
+* clients create campaigns by algorithm label + problem name and drive them
+  with ``ask`` / ``tell`` round-trips (the client owns evaluation), or
+* create them with ``evaluate=True`` and let the server lease workers from
+  a shared :class:`WorkerLeaseRegistry` and run the evaluations itself,
+  interleaving every campaign's pool through the non-blocking ``poll()``
+  hook — no campaign ever blocks another.
+
+Durability and supervision
+--------------------------
+Every campaign appends to its own write-ahead journal
+(``journal_dir/<id>.journal``); a killed client, a server crash, or an
+explicit ``suspend`` all leave a journal from which ``resume`` rebuilds the
+bit-exact campaign state (GP data, hyperparameters, RNG stream, pending
+set).  A client disconnect mid-campaign suspends the campaigns it owns:
+their pools are shut down (no leaked worker processes), their leases
+return to the registry, and their journals stay resumable.  A request that
+raises inside ``ask``/``tell`` takes the same path — the campaign is
+suspended with its pool reaped and the error is returned to the client
+instead of wedging the server.
+
+Wire protocol
+-------------
+Requests and responses are journal-framed JSON records.  Every request
+carries a client-chosen ``seq`` echoed in the response, so clients may
+pipeline.  ``{"verb": ..., "seq": n, ...}`` -> ``{"seq": n, "ok": true,
+...}`` or ``{"seq": n, "ok": false, "error": msg}``.
+
+Verbs: ``ping``, ``create``, ``ask``, ``tell``, ``status``, ``list``,
+``metrics``, ``suspend``, ``resume``, ``close``, ``stop``.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import selectors
+import threading
+import time
+
+import numpy as np
+
+from repro.core.bo import shutdown_pool
+from repro.core.campaign import Campaign, CampaignExhausted, make_campaign, resume_campaign
+from repro.distributed.protocol import (
+    PROTOCOL_VERSION,
+    load_problem,
+    result_from_dict,
+)
+from repro.distributed.transport import ConnectionClosed, FramedConnection, listen
+from repro.obs import NULL_OBS
+
+__all__ = ["CampaignServer", "WorkerLeaseRegistry", "ServerError"]
+
+
+class ServerError(RuntimeError):
+    """A request the server understood but must refuse."""
+
+
+class WorkerLeaseRegistry:
+    """Caps the total number of evaluation workers leased across campaigns.
+
+    The server hosts tens-to-hundreds of campaigns on one machine; letting
+    each spin up its own full-size pool would oversubscribe it immediately.
+    Each server-evaluated campaign leases workers here at creation and the
+    lease returns on finish/suspend, so the sum of live pool sizes never
+    exceeds ``capacity``.  A ``None`` capacity disables the cap.
+    """
+
+    def __init__(self, capacity: int | None = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 (or None for unbounded)")
+        self.capacity = capacity
+        self._leases: dict[str, int] = {}
+
+    @property
+    def leased(self) -> int:
+        return sum(self._leases.values())
+
+    @property
+    def available(self) -> int | None:
+        if self.capacity is None:
+            return None
+        return max(self.capacity - self.leased, 0)
+
+    def lease(self, campaign_id: str, requested: int) -> int:
+        """Grant up to ``requested`` workers; raises when none are free."""
+        if requested < 1:
+            raise ValueError("requested must be >= 1")
+        if campaign_id in self._leases:
+            raise ServerError(f"campaign {campaign_id!r} already holds a lease")
+        granted = requested if self.capacity is None else min(
+            requested, self.available
+        )
+        if granted < 1:
+            raise ServerError(
+                f"no worker capacity available ({self.leased}/{self.capacity} "
+                "leased); retry after a campaign finishes"
+            )
+        self._leases[campaign_id] = granted
+        return granted
+
+    def release(self, campaign_id: str) -> None:
+        """Return a campaign's lease (idempotent)."""
+        self._leases.pop(campaign_id, None)
+
+
+class _Hosted:
+    """One campaign under management: state, owner, and (optionally) a pool."""
+
+    def __init__(self, campaign_id: str, campaign: Campaign, *, label: str,
+                 problem_name: str, owner: FramedConnection | None):
+        self.id = campaign_id
+        self.campaign = campaign
+        self.label = label
+        self.problem_name = problem_name
+        self.owner = owner
+        self.pool = None
+        self.n_workers = 0
+        self.state = "active"  # active | finished | suspended | failed
+        self.error: str | None = None
+
+    @property
+    def evaluating(self) -> bool:
+        return self.pool is not None
+
+
+class CampaignServer:
+    """Serve many concurrent ask/tell campaigns over the framed socket RPC.
+
+    Parameters
+    ----------
+    host / port:
+        Listening address; port 0 binds an ephemeral port, read it back
+        from :attr:`port`.
+    journal_dir:
+        Directory for per-campaign write-ahead journals.  ``None`` disables
+        journaling (campaigns are then not crash-resumable).
+    max_workers:
+        Capacity of the shared :class:`WorkerLeaseRegistry` for
+        server-evaluated campaigns.
+    obs:
+        Optional :class:`~repro.obs.Observability` facade; the server feeds
+        the ``campaign.*`` counters (creates, asks, tells, suspends,
+        resumes, finishes, errors) and hands itself to hosted campaigns.
+    """
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        journal_dir=None,
+        max_workers: int | None = None,
+        obs=None,
+    ):
+        self.journal_dir = None if journal_dir is None else pathlib.Path(journal_dir)
+        if self.journal_dir is not None:
+            self.journal_dir.mkdir(parents=True, exist_ok=True)
+        self.leases = WorkerLeaseRegistry(max_workers)
+        self.obs = obs if obs is not None else NULL_OBS
+        self._campaigns: dict[str, _Hosted] = {}
+        self._next_id = 0
+        self._stopping = False
+        self._selector = selectors.DefaultSelector()
+        self._listener, self.port = listen(host, port)
+        self.host = host
+        self._selector.register(self._listener, selectors.EVENT_READ, "accept")
+        self._connections: list[FramedConnection] = []
+
+    # ------------------------------------------------------------- lifecycle
+    def serve_forever(self, poll_interval: float = 0.05) -> None:
+        """Run the event loop until :meth:`stop` (or a ``stop`` verb)."""
+        while not self._stopping:
+            self.step(poll_interval)
+        self._shutdown()
+
+    def step(self, timeout: float = 0.0) -> None:
+        """One event-loop pass: socket events, then server-side evaluation."""
+        try:
+            events = self._selector.select(max(timeout, 0.0))
+        except OSError:  # pragma: no cover - selector raced a close
+            events = []
+        for key, _mask in events:
+            if key.data == "accept":
+                self._accept()
+            else:
+                self._read_client(key.data)
+        self._drive_evaluating()
+
+    def stop(self) -> None:
+        """Ask the event loop to exit after the current pass."""
+        self._stopping = True
+
+    def _shutdown(self) -> None:
+        """Suspend every campaign and release every socket (idempotent)."""
+        for hosted in list(self._campaigns.values()):
+            if hosted.state == "active":
+                self._suspend(hosted, reason="server shutdown")
+        for conn in list(self._connections):
+            self._drop_client(conn)
+        try:
+            self._selector.unregister(self._listener)
+        except (KeyError, ValueError):
+            pass
+        self._listener.close()
+        self._selector.close()
+
+    close = stop
+
+    # ----------------------------------------------------------- connections
+    def _accept(self) -> None:
+        while True:
+            try:
+                sock, _ = self._listener.accept()
+            except BlockingIOError:
+                return
+            except OSError:
+                return
+            conn = FramedConnection(sock)
+            self._connections.append(conn)
+            self._selector.register(conn, selectors.EVENT_READ, conn)
+
+    def _drop_client(self, conn: FramedConnection) -> None:
+        """Remove a client; suspend the campaigns it owned (pool reaped)."""
+        try:
+            self._selector.unregister(conn)
+        except (KeyError, ValueError):
+            pass
+        conn.close()
+        if conn in self._connections:
+            self._connections.remove(conn)
+        for hosted in self._campaigns.values():
+            if hosted.owner is conn:
+                hosted.owner = None
+                if hosted.state == "active":
+                    self._suspend(hosted, reason="client disconnected")
+
+    def _read_client(self, conn: FramedConnection) -> None:
+        try:
+            frames = conn.receive_available()
+        except (ConnectionClosed, OSError):
+            self._drop_client(conn)
+            return
+        for frame in frames:
+            self._handle_request(conn, frame)
+        if conn.closed:
+            self._drop_client(conn)
+
+    # -------------------------------------------------------------- requests
+    def _handle_request(self, conn: FramedConnection, request: dict) -> None:
+        seq = request.get("seq")
+        verb = request.get("verb")
+        handler = getattr(self, f"_verb_{verb}", None)
+        try:
+            if handler is None:
+                raise ServerError(f"unknown verb {verb!r}")
+            payload = handler(conn, request)
+        except Exception as exc:  # noqa: BLE001 — every failure becomes a response
+            self.obs.inc("campaign.errors")
+            payload = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        else:
+            payload = {"ok": True, **(payload or {})}
+        payload["seq"] = seq
+        try:
+            conn.send(payload)
+        except (ConnectionClosed, OSError):
+            self._drop_client(conn)
+
+    def _get(self, campaign_id, *, state: str | None = "active") -> _Hosted:
+        hosted = self._campaigns.get(campaign_id)
+        if hosted is None:
+            raise ServerError(f"unknown campaign {campaign_id!r}")
+        if state is not None and hosted.state != state:
+            raise ServerError(
+                f"campaign {campaign_id!r} is {hosted.state}, not {state}"
+            )
+        return hosted
+
+    def _journal_path(self, campaign_id: str):
+        if self.journal_dir is None:
+            return None
+        return self.journal_dir / f"{campaign_id}.journal"
+
+    # ----------------------------------------------------------------- verbs
+    def _verb_ping(self, conn, request) -> dict:
+        return {"pong": True, "protocol": PROTOCOL_VERSION}
+
+    def _verb_create(self, conn, request) -> dict:
+        label = request.get("label", "EasyBO")
+        if "problem_spec" in request:
+            problem = load_problem(request["problem_spec"])
+        else:
+            from repro.core.recovery import resolve_problem
+
+            problem = resolve_problem(request.get("problem", ""))
+        campaign_id = f"c{self._next_id:04d}"
+        self._next_id += 1
+        config = dict(request.get("config", {}))
+        campaign = make_campaign(
+            label,
+            problem,
+            journal=self._journal_path(campaign_id),
+            obs=self.obs,
+            **config,
+        )
+        hosted = _Hosted(
+            campaign_id, campaign, label=label,
+            problem_name=getattr(problem, "name", str(problem)), owner=conn,
+        )
+        self._campaigns[campaign_id] = hosted
+        granted = 0
+        if request.get("evaluate"):
+            requested = int(request.get("n_workers", campaign.batch_size))
+            try:
+                granted = self.leases.lease(campaign_id, requested)
+                hosted.pool = self._make_pool(
+                    problem, granted, campaign, backend=request.get("pool", "virtual")
+                )
+                hosted.n_workers = granted
+            except Exception:
+                self.leases.release(campaign_id)
+                shutdown_pool(hosted.pool)
+                campaign.close()
+                del self._campaigns[campaign_id]
+                raise
+        self.obs.inc("campaign.creates")
+        return {"campaign": campaign_id, "n_workers": granted}
+
+    def _make_pool(self, problem, n_workers: int, campaign: Campaign, *,
+                   backend: str = "virtual"):
+        if backend == "virtual":
+            from repro.sched.workers import VirtualWorkerPool
+
+            return VirtualWorkerPool(
+                problem, n_workers, policy=campaign.failure_policy
+            )
+        if backend == "thread":
+            from repro.sched.executor import ThreadWorkerPool
+
+            return ThreadWorkerPool(
+                problem, n_workers, policy=campaign.failure_policy
+            )
+        if backend == "process":
+            from repro.distributed.pool import ProcessWorkerPool
+
+            return ProcessWorkerPool(
+                problem, n_workers, policy=campaign.failure_policy
+            )
+        raise ServerError(f"unknown pool backend {backend!r}")
+
+    def _verb_ask(self, conn, request) -> dict:
+        hosted = self._get(request.get("campaign"))
+        if hosted.evaluating:
+            raise ServerError(
+                f"campaign {hosted.id!r} is server-evaluated; poll status "
+                "instead of asking"
+            )
+        n = request.get("n")
+        try:
+            if n is None:
+                points = [hosted.campaign.ask()]
+            else:
+                points = hosted.campaign.ask(int(n))
+        except CampaignExhausted as exc:
+            raise ServerError(str(exc)) from None
+        except Exception:
+            self._fail(hosted)
+            raise
+        return {"points": [[float(v) for v in p] for p in points]}
+
+    def _verb_tell(self, conn, request) -> dict:
+        hosted = self._get(request.get("campaign"))
+        x = np.asarray(request["x"], dtype=float)
+        result = result_from_dict(request["result"])
+        try:
+            action = hosted.campaign.tell(x, result)
+        except Exception:
+            self._fail(hosted)
+            raise
+        if hosted.campaign.done:
+            self._finish(hosted)
+        return {"action": action, "done": hosted.state == "finished"}
+
+    def _verb_status(self, conn, request) -> dict:
+        hosted = self._get(request.get("campaign"), state=None)
+        return {"status": self._status(hosted)}
+
+    def _verb_list(self, conn, request) -> dict:
+        return {
+            "campaigns": [self._status(h) for h in self._campaigns.values()]
+        }
+
+    def _verb_metrics(self, conn, request) -> dict:
+        states = [h.state for h in self._campaigns.values()]
+        return {
+            "metrics": {
+                "campaigns": len(self._campaigns),
+                "active": states.count("active"),
+                "finished": states.count("finished"),
+                "suspended": states.count("suspended"),
+                "failed": states.count("failed"),
+                "workers_leased": self.leases.leased,
+                "worker_capacity": self.leases.capacity,
+            }
+        }
+
+    def _verb_suspend(self, conn, request) -> dict:
+        hosted = self._get(request.get("campaign"))
+        self._suspend(hosted, reason="suspended by client")
+        return {"state": hosted.state}
+
+    def _verb_resume(self, conn, request) -> dict:
+        campaign_id = request.get("campaign")
+        hosted = self._campaigns.get(campaign_id)
+        if hosted is not None and hosted.state == "active":
+            raise ServerError(f"campaign {campaign_id!r} is already active")
+        path = self._journal_path(campaign_id)
+        if path is None or not os.path.exists(path):
+            raise ServerError(
+                f"campaign {campaign_id!r} has no journal to resume from"
+            )
+        campaign = resume_campaign(path)
+        campaign.obs = self.obs
+        label = hosted.label if hosted is not None else campaign.algorithm
+        hosted = _Hosted(
+            campaign_id, campaign, label=label,
+            problem_name=campaign.problem.name, owner=conn,
+        )
+        self._campaigns[campaign_id] = hosted
+        # Keep ids monotonic across resumes of journals from a prior server.
+        try:
+            self._next_id = max(self._next_id, int(campaign_id.lstrip("c")) + 1)
+        except ValueError:
+            pass
+        self.obs.inc("campaign.resumes")
+        return {
+            "campaign": campaign_id,
+            "pending": [[float(v) for v in p] for p in campaign.pending],
+            "status": self._status(hosted),
+        }
+
+    def _verb_close(self, conn, request) -> dict:
+        hosted = self._get(request.get("campaign"), state=None)
+        if hosted.state == "active":
+            self._finish(hosted)
+        return {"state": hosted.state}
+
+    def _verb_stop(self, conn, request) -> dict:
+        self.stop()
+        return {"stopping": True}
+
+    # ----------------------------------------------------- state transitions
+    def _status(self, hosted: _Hosted) -> dict:
+        campaign = hosted.campaign
+        best = campaign.best()
+        return {
+            "campaign": hosted.id,
+            "label": hosted.label,
+            "problem": hosted.problem_name,
+            "state": hosted.state,
+            "issued": int(campaign.issued),
+            "max_evals": int(campaign.max_evals),
+            "n_pending": campaign.n_pending,
+            "n_observations": campaign.n_observations,
+            "exhausted": campaign.exhausted,
+            "done": campaign.done,
+            "evaluating": hosted.evaluating,
+            "n_workers": hosted.n_workers,
+            "best_fom": None if best is None else float(best[1]),
+            "error": hosted.error,
+        }
+
+    def _release_pool(self, hosted: _Hosted) -> None:
+        """Reap the pool and return the lease — the no-leak choke point."""
+        shutdown_pool(hosted.pool)
+        hosted.pool = None
+        self.leases.release(hosted.id)
+
+    def _suspend(self, hosted: _Hosted, *, reason: str) -> None:
+        self._release_pool(hosted)
+        hosted.state = "suspended"
+        hosted.error = reason
+        hosted.campaign.close()  # journal stays on disk, resumable
+        self.obs.inc("campaign.suspends")
+
+    def _finish(self, hosted: _Hosted) -> None:
+        self._release_pool(hosted)
+        hosted.state = "finished"
+        hosted.campaign.finish()
+        self.obs.inc("campaign.finishes")
+
+    def _fail(self, hosted: _Hosted) -> None:
+        """An ask/tell blew up: reap the pool, keep the journal for triage."""
+        self._release_pool(hosted)
+        hosted.state = "failed"
+        hosted.campaign.close()
+
+    # -------------------------------------------------- server-side driving
+    def _drive_evaluating(self) -> None:
+        """Advance every server-evaluated campaign without blocking.
+
+        For each active campaign with a pool: keep idle workers fed with
+        ``ask()`` points, fold at most a handful of ``poll()`` completions
+        back via ``tell()``.  Work is bounded per pass so one campaign
+        cannot starve the socket loop.
+        """
+        for hosted in list(self._campaigns.values()):
+            if hosted.state != "active" or not hosted.evaluating:
+                continue
+            campaign, pool = hosted.campaign, hosted.pool
+            try:
+                while not campaign.exhausted and pool.idle_count > 0:
+                    pool.submit(campaign.ask())
+                for _ in range(hosted.n_workers):
+                    completion = pool.poll()
+                    if completion is None:
+                        break
+                    action = campaign.tell(completion.x, completion.result)
+                    if action == "reissued":
+                        pool.submit(completion.x)
+                if campaign.done:
+                    self._finish(hosted)
+            except Exception as exc:  # noqa: BLE001 — isolate per campaign
+                hosted.error = f"{type(exc).__name__}: {exc}"
+                self._fail(hosted)
+                self.obs.inc("campaign.errors")
+
+
+def serve(host: str = "127.0.0.1", port: int = 0, *, journal_dir=None,
+          max_workers: int | None = None, obs=None,
+          background: bool = False):
+    """Start a :class:`CampaignServer`; optionally on a daemon thread.
+
+    Foreground (default): blocks in ``serve_forever`` until stopped.
+    ``background=True`` returns the running server after its thread is up —
+    the form the tests and the benchmark use.
+    """
+    server = CampaignServer(host=host, port=port, journal_dir=journal_dir,
+                            max_workers=max_workers, obs=obs)
+    if not background:
+        server.serve_forever()
+        return server
+    thread = threading.Thread(target=server.serve_forever, daemon=True,
+                              name="campaign-server")
+    thread.start()
+    server._thread = thread
+    # Give the loop a beat to enter select() before callers dial in.
+    time.sleep(0.01)
+    return server

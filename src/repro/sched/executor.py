@@ -281,6 +281,58 @@ class ThreadWorkerPool:
         )
         return completion
 
+    def poll(self) -> Completion | None:
+        """Non-blocking :meth:`wait_next`: a ready completion or ``None``.
+
+        Drains at most one finished evaluation (expiring an overdue
+        timeout/lease deadline counts); returns ``None`` when nothing has
+        finished yet so a caller multiplexing many pools — the campaign
+        server — never blocks on one of them.
+        """
+        while True:
+            try:
+                index, result, attempts = self._results.get_nowait()
+            except queue.Empty:
+                with self._lock:
+                    if not self._tasks:
+                        return None
+                    deadlines = [
+                        (m["deadline"], i, "timeout")
+                        for i, m in self._tasks.items()
+                        if m["deadline"] is not None
+                    ] + [
+                        (m["lease"], i, "lease")
+                        for i, m in self._tasks.items()
+                        if m["lease"] is not None
+                    ]
+                expired = min(
+                    (entry for entry in deadlines if entry[0] <= self.now),
+                    default=None,
+                )
+                if expired is None:
+                    return None
+                _, task_index, kind = expired
+                if kind == "timeout":
+                    failure = EvaluationResult.failed(
+                        f"evaluation exceeded timeout of {self.policy.timeout:g}s",
+                        status=STATUS_TIMEOUT,
+                        cost=self.policy.timeout,
+                    )
+                else:
+                    failure = EvaluationResult.failed(
+                        "worker lease expired with the evaluation still in "
+                        "flight (worker presumed dead)",
+                        status=STATUS_ORPHANED,
+                    )
+                return self._complete(task_index, failure, attempts=1, abandon=True)
+            with self._lock:
+                stale = index in self._abandoned
+                if stale:
+                    self._abandoned.discard(index)
+            if stale:
+                continue  # late result of a timed-out, abandoned task
+            return self._complete(index, result, attempts)
+
     def wait_all(self) -> list[Completion]:
         """Drain every outstanding evaluation (synchronous barrier)."""
         completions = []

@@ -243,6 +243,18 @@ class VirtualWorkerPool:
         self._obs.observe("pool.task_seconds", max(event.time - task.issue_time, 0.0))
         return completion
 
+    def poll(self) -> Completion | None:
+        """Non-blocking :meth:`wait_next`: a completion if any task is running.
+
+        On the simulated clock every in-flight evaluation is immediately
+        completable (time is free to advance), so ``poll`` only returns
+        ``None`` on an idle pool.  This is the hook the campaign server uses
+        to interleave many campaigns without blocking on any one of them.
+        """
+        if not self._events:
+            return None
+        return self.wait_next()
+
     def wait_all(self) -> list[Completion]:
         """Drain all outstanding evaluations (synchronous batch barrier).
 

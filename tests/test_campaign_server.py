@@ -1,0 +1,234 @@
+"""Campaign server: multi-tenancy, leases, crash/suspend/resume, no leaks.
+
+The server under test runs on a daemon thread in-process
+(``serve(background=True)``); clients dial in over real loopback sockets
+through :class:`CampaignClient`.  Determinism is checked against local
+"twin" campaigns built with the same label/seed: a campaign hosted behind
+the RPC must ask for byte-identical points, however many tenants the
+server is juggling in between.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.circuits.benchmarks import sphere
+from repro.core import make_campaign
+from repro.distributed import CampaignClient, CampaignServerError, serve
+from repro.distributed.protocol import PROTOCOL_VERSION
+from repro.obs import MetricsRegistry, Observability
+
+CONFIG = dict(n_init=3, max_evals=6, acq_candidates=32, acq_restarts=1)
+
+
+@pytest.fixture()
+def server(tmp_path):
+    srv = serve(journal_dir=tmp_path / "journals", max_workers=4,
+                obs=Observability(metrics=MetricsRegistry()),
+                background=True)
+    yield srv
+    srv.stop()
+
+
+@pytest.fixture()
+def client(server):
+    with CampaignClient(port=server.port) as c:
+        yield c
+
+
+def _twin(seed):
+    return make_campaign("EasyBO-2", sphere(2), rng=seed, **CONFIG)
+
+
+def _wait_for(predicate, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.02)
+    return False
+
+
+class TestBasics:
+    def test_ping_reports_protocol_version(self, client):
+        pong = client.ping()
+        assert pong["protocol"] == PROTOCOL_VERSION
+
+    def test_unknown_campaign_is_an_error_not_a_crash(self, client):
+        with pytest.raises(CampaignServerError, match="c9999"):
+            client.status("c9999")
+        assert client.ping()["ok"]  # the connection survived the error
+
+    def test_ask_past_budget_maps_to_server_error(self, client):
+        cid = client.create("LCB", "sphere2",
+                            config=dict(rng=0, n_init=2, max_evals=2,
+                                        acq_candidates=16, acq_restarts=1))
+        client.ask(cid, n=2)
+        with pytest.raises(CampaignServerError, match="budget"):
+            client.ask(cid)
+
+
+class TestMultiTenancy:
+    def test_interleaved_campaigns_stay_byte_identical(self, client):
+        """Three tenants round-robin through one connection; each must track
+        its isolated twin exactly — no cross-campaign state bleed."""
+        problem = sphere(2)
+        seeds = [101, 202, 303]
+        cids = [client.create("EasyBO-2", "sphere2", config=dict(rng=s, **CONFIG))
+                for s in seeds]
+        twins = {cid: _twin(s) for cid, s in zip(cids, seeds)}
+        done = set()
+        while len(done) < len(cids):
+            for cid in cids:
+                if cid in done:
+                    continue
+                try:
+                    x = client.ask(cid)[0]
+                except CampaignServerError:
+                    done.add(cid)
+                    continue
+                np.testing.assert_array_equal(x, twins[cid].ask())
+                result = problem.evaluate(x)
+                reply = client.tell(cid, x, result)
+                twins[cid].tell(x, result)
+                if reply["done"]:
+                    done.add(cid)
+        states = {c["campaign"]: c["state"] for c in client.list()}
+        assert all(states[cid] == "finished" for cid in cids)
+
+    def test_status_and_metrics_track_tenants(self, client, server):
+        cid = client.create("LCB", "sphere2", config=dict(rng=1, **CONFIG))
+        status = client.status(cid)
+        assert status["state"] == "active"
+        assert status["max_evals"] == CONFIG["max_evals"]
+        assert client.metrics()["active"] >= 1
+
+
+class TestWorkerLeases:
+    def test_leases_capped_and_returned(self, client):
+        # Budgets big enough that neither tenant finishes mid-test.
+        slow = dict(rng=5, n_init=3, max_evals=40,
+                    acq_candidates=32, acq_restarts=1)
+        a = client.create("EasyBO-3", "sphere2", config=slow,
+                          evaluate=True, n_workers=3)
+        assert client.metrics()["workers_leased"] == 3
+        # Capacity 4: the second tenant gets the single remaining worker.
+        b = client.create("EasyBO-3", "sphere2", config=dict(slow, rng=6),
+                          evaluate=True, n_workers=3)
+        assert client.metrics()["workers_leased"] == 4
+        with pytest.raises(CampaignServerError, match="no worker capacity"):
+            client.create("EasyBO-2", "sphere2", config=dict(slow, rng=7),
+                          evaluate=True, n_workers=1)
+        # Suspending returns each lease to the shared registry.
+        client.suspend(a)
+        assert client.metrics()["workers_leased"] == 1
+        client.suspend(b)
+        assert client.metrics()["workers_leased"] == 0
+
+    def test_server_evaluated_campaign_finishes(self, client):
+        cid = client.create("EasyBO-2", "sphere2",
+                            config=dict(rng=9, **CONFIG),
+                            evaluate=True)
+        with pytest.raises(CampaignServerError, match="server-evaluated"):
+            client.ask(cid)
+        assert _wait_for(lambda: client.status(cid)["state"] == "finished")
+        status = client.status(cid)
+        assert status["issued"] == CONFIG["max_evals"]
+        assert status["best_fom"] is not None
+
+
+class TestSuspendResume:
+    def test_client_disconnect_suspends_and_resume_is_bit_exact(self, server):
+        """Kill a client mid-campaign: the server suspends the orphaned
+        campaign (journal durable, lease returned); a second client resumes
+        it to the exact pre-kill state and finishes byte-identically to an
+        uninterrupted twin."""
+        problem = sphere(2)
+        twin = _twin(77)
+        doomed = CampaignClient(port=server.port)
+        cid = doomed.create("EasyBO-2", "sphere2", config=dict(rng=77, **CONFIG))
+        for _ in range(3):
+            x = doomed.ask(cid)[0]
+            np.testing.assert_array_equal(x, twin.ask())
+            result = problem.evaluate(x)
+            doomed.tell(cid, x, result)
+            twin.tell(x, result)
+        in_flight = doomed.ask(cid)[0]  # asked but never told
+        np.testing.assert_array_equal(in_flight, twin.ask())
+        doomed.close()  # the "kill": socket drops with a point in flight
+
+        with CampaignClient(port=server.port) as client:
+            assert _wait_for(lambda: client.status(cid)["state"] == "suspended")
+            reply = client.resume(cid)
+            np.testing.assert_array_equal(
+                np.asarray(reply["pending"]), twin.pending_matrix()
+            )
+            # Tell the recovered in-flight point, then drive both to done.
+            result = problem.evaluate(in_flight)
+            client.tell(cid, in_flight, result)
+            twin.tell(in_flight, result)
+            while True:
+                try:
+                    x = client.ask(cid)[0]
+                except CampaignServerError:
+                    break
+                np.testing.assert_array_equal(x, twin.ask())
+                result = problem.evaluate(x)
+                reply = client.tell(cid, x, result)
+                twin.tell(x, result)
+                if reply["done"]:
+                    break
+            assert client.status(cid)["state"] == "finished"
+            assert twin.done
+
+    def test_explicit_suspend_then_resume(self, client):
+        cid = client.create("LCB", "sphere2", config=dict(rng=13, **CONFIG))
+        x = client.ask(cid)[0]
+        assert client.suspend(cid) == "suspended"
+        with pytest.raises(CampaignServerError, match="active"):
+            client.ask(cid)
+        reply = client.resume(cid)
+        np.testing.assert_array_equal(np.asarray(reply["pending"])[0], x)
+        assert client.status(cid)["state"] == "active"
+
+    def test_resume_without_journal_is_an_error(self, tmp_path):
+        srv = serve(journal_dir=None, background=True)
+        try:
+            with CampaignClient(port=srv.port) as client:
+                cid = client.create("LCB", "sphere2", config=dict(rng=1, **CONFIG))
+                client.suspend(cid)
+                with pytest.raises(CampaignServerError, match="journal"):
+                    client.resume(cid)
+        finally:
+            srv.stop()
+
+
+class TestFailureContainment:
+    def test_malformed_request_leaves_campaign_active(self, client):
+        """A request the server cannot even parse is the *client's* problem:
+        it gets an error back, the campaign is untouched."""
+        cid = client.create("LCB", "sphere2", config=dict(rng=2, **CONFIG))
+        x = client.ask(cid)[0]
+        with pytest.raises(CampaignServerError):
+            client.call("tell", campaign=cid, x=[float(v) for v in x],
+                        result={"garbage": True})
+        assert client.status(cid)["state"] == "active"
+
+    def test_tell_blowing_up_fails_campaign_and_releases_lease(self, client):
+        from repro.core.problem import EvaluationResult
+
+        cid = client.create("LCB", "sphere2", config=dict(rng=2, **CONFIG))
+        client.ask(cid)
+        # A wrong-dimension point detonates inside campaign.tell(); the
+        # server must contain it: campaign failed, lease returned.
+        with pytest.raises(CampaignServerError):
+            client.tell(cid, [0.5], EvaluationResult(
+                fom=1.0, metrics={}, cost=1.0, feasible=True))
+        assert client.status(cid)["state"] == "failed"
+        assert client.metrics()["workers_leased"] == 0
+        # The server keeps serving other tenants.
+        other = client.create("LCB", "sphere2", config=dict(rng=3, **CONFIG))
+        assert client.status(other)["state"] == "active"

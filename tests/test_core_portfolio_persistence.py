@@ -101,13 +101,16 @@ class TestPersistence:
     def test_version_checked(self, sample_run):
         data = run_to_dict(sample_run)
         data["version"] = 99
+        with pytest.raises(ValueError, match="newer than supported"):
+            run_from_dict(data)
+        data["version"] = "bogus"
         with pytest.raises(ValueError, match="version"):
             run_from_dict(data)
 
     def test_grid_version_checked(self, tmp_path):
         path = tmp_path / "bad.json"
         path.write_text('{"version": 99, "grid": {}}')
-        with pytest.raises(ValueError, match="version"):
+        with pytest.raises(ValueError, match="newer than supported"):
             load_runs(path)
 
     def test_summaries_from_restored_grid(self, sample_run, tmp_path):

@@ -271,3 +271,40 @@ class TestDriverIntegration:
         assert np.isfinite(result.best_fom)
         assert result.pool_telemetry is not None
         assert result.pool_telemetry.backend == "process"
+
+
+class TestCampaignServerNoZombies:
+    """The server-hosted pools follow the same no-zombie close guarantee."""
+
+    def test_client_disconnect_reaps_server_pool(self, tmp_path):
+        from repro.distributed import CampaignClient, serve
+
+        server = serve(journal_dir=tmp_path, max_workers=2, background=True)
+        try:
+            client = CampaignClient(port=server.port)
+            cid = client.create(
+                "EasyBO-2", "sphere2",
+                config=dict(rng=0, n_init=3, max_evals=200,
+                            acq_candidates=32, acq_restarts=1),
+                evaluate=True, n_workers=2, pool="process",
+            )
+            hosted = server._campaigns[cid]
+            pool = hosted.pool
+            assert isinstance(pool, ProcessWorkerPool)
+            deadline = time.monotonic() + 60
+            while not pool._all_procs and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert pool._all_procs, "workers never spawned"
+            client.close()  # the mid-campaign kill: socket drops, no goodbye
+            deadline = time.monotonic() + 60
+            while hosted.state != "suspended" and time.monotonic() < deadline:
+                time.sleep(0.05)
+            # The orphaned campaign was suspended, its pool reaped, its
+            # worker lease returned — and the journal survives for resume.
+            assert hosted.state == "suspended"
+            assert hosted.pool is None and pool._closed
+            assert_reaped(pool)
+            assert server.leases.leased == 0
+            assert (tmp_path / f"{cid}.journal").exists()
+        finally:
+            server.stop()

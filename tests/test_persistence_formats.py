@@ -128,9 +128,11 @@ def test_current_writer_round_trips_newest_version(tmp_path):
 
 def test_unsupported_versions_are_rejected():
     module = _regenerator()
+    # A *newer* format gets the explicit upgrade-me message, not a generic
+    # rejection (tests/test_campaign.py covers the same guard for journals).
     payload = module.build_payload(6)
     payload["version"] = 99
-    with pytest.raises(ValueError, match="unsupported grid format"):
+    with pytest.raises(ValueError, match="grid format v99 is newer than supported"):
         load_runs_from_payload(payload)
 
     run = module.build_run(6)
