@@ -19,7 +19,11 @@ Commands
     telemetry of a saved runs file.
 ``run``
     Generic driver: any algorithm label from ``make_algorithm`` on any
-    named benchmark problem.
+    named benchmark problem (``--pending-policy`` picks the asynchronous
+    pending-point policy, see ``docs/pending_policies.md``).
+``tournament``
+    Head-to-head of the pending-point policies: policies x circuits x
+    batch sizes x fault rates over paired seeds, ranked by simple regret.
 ``trace``
     Render a run trace written with ``--trace``/``--metrics``: the span
     tree (run → iteration → fit / acquisition-maximize / dispatch / wait)
@@ -235,20 +239,52 @@ def cmd_run(args) -> int:
     if args.workers is not None:
         label = re.sub(r"-\d+$", "", label) + f"-{args.workers}"
     obs_kwargs, finish = _obs_kwargs(args, f"{args.problem}-trace.jsonl")
+    policy_kwargs = (
+        {} if args.pending_policy is None
+        else {"pending_policy": args.pending_policy}
+    )
     algorithm = make_algorithm(
         label, problem, max_evals=args.budget, rng=args.seed,
-        n_init=args.n_init, **_journal_kwargs(args), **_pool_kwargs(args),
-        **obs_kwargs,
+        n_init=args.n_init, **policy_kwargs, **_journal_kwargs(args),
+        **_pool_kwargs(args), **obs_kwargs,
     )
     result = None
     try:
         result = algorithm.run()
     finally:
         finish(result)
-    print(f"{label} on {args.problem}: best FOM {result.best_fom:.4f} "
-          f"after {result.n_evaluations} evaluations "
-          f"(wall-clock {result.wall_clock:.1f} s)")
+    policy_note = (
+        f" [pending policy: {result.pending_policy}]"
+        if result.pending_policy else ""
+    )
+    print(f"{result.algorithm} on {args.problem}: best FOM "
+          f"{result.best_fom:.4f} after {result.n_evaluations} evaluations "
+          f"(wall-clock {result.wall_clock:.1f} s){policy_note}")
     _print_telemetry(result, args)
+    return 0
+
+
+def cmd_tournament(args) -> int:
+    from repro.core.tournament import (
+        SCALES,
+        check_tournament,
+        render_report,
+        run_tournament,
+    )
+
+    scale = SCALES["smoke" if args.smoke else args.scale]
+
+    def progress(done: int, total: int, cell) -> None:
+        print(f"[{done:>3}/{total}] {cell.policy:<12} {cell.circuit:<9} "
+              f"B={cell.batch} fault={cell.fault_rate:g} seed={cell.seed} "
+              f"regret={cell.regret:.4g}", flush=True)
+
+    results = run_tournament(scale, progress=progress if args.verbose else None)
+    print("\n" + render_report(scale, results))
+    if args.check:
+        check_tournament(scale, results)
+        print("checks passed (full grid, paired seeds, reproducible cell, "
+              "hallucinate matches golden)")
     return 0
 
 
@@ -372,7 +408,32 @@ def main(argv=None) -> int:
         "--workers", type=int, default=None, metavar="N",
         help="pool size (overrides the label's trailing batch size)",
     )
+    p.add_argument(
+        "--pending-policy", dest="pending_policy", default=None,
+        choices=("hallucinate", "lp", "pessimistic", "none"),
+        help="asynchronous pending-point policy for the EasyBO family "
+             "(default: the label's policy; plain EasyBO hallucinates)",
+    )
     _add_obs_flags(p)
+    p = sub.add_parser(
+        "tournament",
+        help="rank the pending-point policies over a seeded grid",
+        description="Run every pending-point policy over circuits x batch "
+                    "sizes x fault rates with paired seeds and print a "
+                    "ranked regret table (docs/pending_policies.md).  "
+                    "--check asserts the harness ran the full grid, is "
+                    "seed-reproducible, and that the hallucinate policy "
+                    "still matches its committed golden trajectory.",
+    )
+    p.add_argument("--scale", choices=("smoke", "reduced", "paper"),
+                   default="reduced")
+    p.add_argument("--smoke", action="store_true",
+                   help="shorthand for --scale smoke")
+    p.add_argument("--check", action="store_true",
+                   help="assert grid completeness, reproducibility, and the "
+                        "hallucinate-matches-golden invariant")
+    p.add_argument("--verbose", action="store_true",
+                   help="print one line per completed cell")
     p = sub.add_parser(
         "resume",
         help="continue a crashed run from its journal",
@@ -433,6 +494,7 @@ def main(argv=None) -> int:
         "opamp": cmd_opamp,
         "classe": cmd_classe,
         "run": cmd_run,
+        "tournament": cmd_tournament,
         "resume": cmd_resume,
         "serve": cmd_serve,
         "trace": cmd_trace,

@@ -7,6 +7,9 @@ Public surface:
   (:func:`make_campaign` / :func:`resume_campaign` for standalone use).
 * Drivers: :class:`SequentialBO`, :class:`SynchronousBatchBO`,
   :class:`AsynchronousBatchBO`.
+* Pending-point policies (:mod:`repro.core.pending`): how asynchronous
+  proposals account for in-flight points — ``"hallucinate"`` (Eq. 9,
+  default), ``"lp"``, ``"pessimistic"``, ``"none"``.
 * Acquisitions (§II-B/III-B): UCB, EI, PI, the weighted rule (Eq. 7-9), the
   EasyBO weight sampler, the pHCBO coverage penalty.
 * :func:`make_algorithm` — paper-label registry used by the benches.
@@ -32,6 +35,7 @@ from repro.core.async_batch import AsynchronousBatchBO
 from repro.core.bo import BODriverBase, SequentialBO
 from repro.core.campaign import (
     Campaign,
+    CampaignError,
     CampaignExhausted,
     make_campaign,
     resume_campaign,
@@ -56,6 +60,15 @@ from repro.core.journal import (
     recover_journal,
 )
 from repro.core.optimizers import maximize_acquisition
+from repro.core.pending import (
+    PENDING_POLICIES,
+    HallucinatePolicy,
+    LocalPenalisationPolicy,
+    PendingPolicy,
+    PessimisticPolicy,
+    StandardPolicy,
+    make_pending_policy,
+)
 from repro.core.persistence import load_runs, run_from_dict, run_to_dict, save_runs
 from repro.core.recovery import resolve_problem, resume
 from repro.core.portfolio import PortfolioBO
@@ -73,9 +86,17 @@ __all__ = [
     "make_algorithm",
     "ALGORITHM_FAMILIES",
     "Campaign",
+    "CampaignError",
     "CampaignExhausted",
     "make_campaign",
     "resume_campaign",
+    "PendingPolicy",
+    "PENDING_POLICIES",
+    "HallucinatePolicy",
+    "LocalPenalisationPolicy",
+    "PessimisticPolicy",
+    "StandardPolicy",
+    "make_pending_policy",
     "SequentialBO",
     "SynchronousBatchBO",
     "AsynchronousBatchBO",

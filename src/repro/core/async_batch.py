@@ -10,7 +10,12 @@ The loop is the paper's Algorithm 1:
    ``(1-w) mu + w sigma_hat`` (Eq. 9) for the idle worker (line 7).
 
 ``penalized=False`` gives the EasyBO-A ablation (asynchronous issue, plain
-sigma).  ``batch_size=1`` degenerates to sequential EasyBO.
+sigma).  ``batch_size=1`` degenerates to sequential EasyBO.  Step 3's
+pending-point handling is pluggable via ``pending_policy=`` (see
+:mod:`repro.core.pending`): ``"hallucinate"`` (the default, Eq. 9),
+``"lp"`` (local penalisation), ``"pessimistic"`` (pessimistic asynchronous
+sampling), or ``"none"`` (standard acquisition, same as
+``penalized=False``).
 
 Step 3 is the hot path: in the default ``surrogate_update="incremental"``
 mode the hallucinated model is a factor-sharing
@@ -35,6 +40,15 @@ __all__ = ["AsynchronousBatchBO"]
 class AsynchronousBatchBO(BODriverBase):
     """EasyBO (penalized) and EasyBO-A (unpenalized) asynchronous drivers."""
 
+    #: Display base per pending-point policy; the label round-trips through
+    #: ``make_algorithm`` (``EasyBO-LP-5`` parses back to the ``lp`` policy).
+    _POLICY_BASES = {
+        "hallucinate": "EasyBO",
+        "none": "EasyBO-A",
+        "lp": "EasyBO-LP",
+        "pessimistic": "EasyBO-PESS",
+    }
+
     def __init__(
         self,
         problem,
@@ -42,17 +56,24 @@ class AsynchronousBatchBO(BODriverBase):
         batch_size: int,
         penalized: bool = True,
         lam: float = EASYBO_LAMBDA,
+        pending_policy=None,
         **kwargs,
     ):
         super().__init__(problem, **kwargs)
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         self.batch_size = int(batch_size)
-        self.penalized = bool(penalized)
         self.lam = float(lam)
-        base = "EasyBO" if penalized else "EasyBO-A"
+        strategy = AsyncBatchStrategy(
+            penalized=penalized, lam=self.lam, pending_policy=pending_policy
+        )
+        self.penalized = strategy.penalized
+        self.pending_policy = strategy.pending_policy.name
+        base = self._POLICY_BASES.get(
+            self.pending_policy, f"EasyBO+{self.pending_policy}"
+        )
         self.algorithm_name = base if batch_size == 1 else f"{base}-{batch_size}"
-        self.campaign.strategy = AsyncBatchStrategy(penalized=self.penalized, lam=self.lam)
+        self.campaign.strategy = strategy
         self.campaign.batch_size = self.batch_size
         self.campaign.algorithm = self.algorithm_name
 
@@ -68,7 +89,7 @@ class AsynchronousBatchBO(BODriverBase):
 
     def _resume_config(self) -> dict:
         config = super()._resume_config()
-        config.update(lam=self.lam)
+        config.update(lam=self.lam, pending_policy=self.pending_policy)
         return config
 
     def run(self) -> RunResult:

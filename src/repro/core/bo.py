@@ -162,6 +162,9 @@ class BODriverBase:
         self._journal = None
         self._owns_journal = False
         self._since_checkpoint = 0
+        # Async drivers overwrite this with their pending-point policy name;
+        # it rides along in the packaged RunResult (runs format v7).
+        self.pending_policy: str | None = None
 
     # ------------------------------------------------------- campaign state
     @property
@@ -433,6 +436,7 @@ class BODriverBase:
             rng_state=rng_state_to_dict(self.rng),
             pool_telemetry=telemetry,
             metrics=metrics_snapshot,
+            pending_policy=self.pending_policy,
         )
         self._journal_event(
             {

@@ -44,6 +44,7 @@ from repro.core.doe import random_design
 from repro.core.faults import FailurePolicy
 from repro.core.journal import JournalError, JournalWriter, recover_journal
 from repro.core.optimizers import maximize_acquisition
+from repro.core.pending import make_pending_policy
 from repro.core.problem import STATUS_ORPHANED, Problem
 from repro.core.surrogate import SurrogateSession
 from repro.obs import NULL_OBS
@@ -52,6 +53,7 @@ from repro.utils.rng import as_generator, rng_state_to_dict, set_rng_state
 __all__ = [
     "CAMPAIGN_JOURNAL_VERSION",
     "Campaign",
+    "CampaignError",
     "CampaignExhausted",
     "SequentialStrategy",
     "AsyncBatchStrategy",
@@ -72,7 +74,11 @@ CAMPAIGN_JOURNAL_VERSION = 1
 _COLD_REDRAW_ATTEMPTS = 32
 
 
-class CampaignExhausted(RuntimeError):
+class CampaignError(RuntimeError):
+    """A campaign was driven outside its ask/tell contract."""
+
+
+class CampaignExhausted(CampaignError):
     """``ask()`` was called after the evaluation budget was fully issued."""
 
 
@@ -139,12 +145,30 @@ class SequentialStrategy:
 
 
 class AsyncBatchStrategy:
-    """The paper's Alg. 1 proposal: hallucinate pending points, Eq. 9 weight."""
+    """The paper's Alg. 1 proposal with a pluggable pending-point policy.
+
+    The policy decides how in-flight points shape the proposal: the default
+    ``"hallucinate"`` folds them in at predictive means (lines 5-6, Eq. 9,
+    byte-for-byte the historical pipeline), ``"lp"`` penalizes the
+    acquisition in Lipschitz balls around them, ``"pessimistic"``
+    hallucinates at ``mu - beta * sigma``, and ``"none"`` ignores them
+    (standard acquisition, the historical ``penalized=False``).  See
+    :mod:`repro.core.pending`.
+    """
 
     kind = "async"
 
-    def __init__(self, *, penalized: bool = True, lam: float = EASYBO_LAMBDA):
-        self.penalized = bool(penalized)
+    def __init__(
+        self,
+        *,
+        penalized: bool = True,
+        lam: float = EASYBO_LAMBDA,
+        pending_policy=None,
+    ):
+        if pending_policy is None:
+            pending_policy = "hallucinate" if penalized else "none"
+        self.pending_policy = make_pending_policy(pending_policy)
+        self.penalized = self.pending_policy.name == "hallucinate"
         self.lam = float(lam)
 
     def propose(self, core: "Campaign") -> np.ndarray:
@@ -154,12 +178,14 @@ class AsyncBatchStrategy:
             # re-issue a point that is already under evaluation.
             return core.cold_point()
         core.session.refit()
-        if self.penalized:
-            model = core.session.model_with_pending(core.pending_matrix())
-        else:
-            model = core.session.require_model()
+        policy = self.pending_policy
+        pending = core.pending_matrix()
+        model = policy.model(core.session, pending)
         w = sample_easybo_weight(core.rng, self.lam)
-        return core.maximize(WeightedAcquisition(w), model=model)
+        acquisition = policy.wrap(
+            core.session, model, WeightedAcquisition(w), pending, rng=core.rng
+        )
+        return core.maximize(acquisition, model=model)
 
     def select(self, core: "Campaign", n_points: int) -> list[np.ndarray]:
         # Greedy: each member sees the earlier ones as pending via the
@@ -597,8 +623,18 @@ class Campaign:
         at a pessimistic FOM), ``"dropped"`` (budget spent, posterior
         unchanged), or ``"reissued"`` (orphaned point kept pending — the
         caller should evaluate it again; budget-neutral).
+
+        Raises :class:`CampaignError` when ``x`` is not in the pending set —
+        a point that was never asked, or one already told back.  Silently
+        absorbing such a result would double-count budget and poison the
+        pending bookkeeping every later hallucination reads.
         """
         x = np.asarray(x, dtype=float)
+        if self._find_pending(x) is None:
+            raise CampaignError(
+                f"tell() for campaign {self.algorithm!r} got a point that is "
+                f"not pending (never asked, or already told): {x.tolist()}"
+            )
         if result.status == STATUS_ORPHANED and self.note_orphan(x):
             action = "reissued"
         else:
@@ -787,6 +823,20 @@ class Campaign:
 # Label factory and journal resume.
 # --------------------------------------------------------------------------
 _SEQUENTIAL_FAMILIES = {"ei": "ei", "pi": "pi", "lcb": "lcb", "ucb": "ucb"}
+#: Async label families and the pending policy each one implies.
+_ASYNC_FAMILIES = {
+    "easybo": "hallucinate",
+    "easybo-a": "none",
+    "easybo-lp": "lp",
+    "easybo-pess": "pessimistic",
+}
+#: Display base per pending policy (inverse of ``_ASYNC_FAMILIES``).
+_ASYNC_BASE_NAMES = {
+    "hallucinate": "EasyBO",
+    "none": "EasyBO-A",
+    "lp": "EasyBO-LP",
+    "pessimistic": "EasyBO-PESS",
+}
 _SYNC_FAMILIES = {
     "pbo": "pbo",
     "phcbo": "phcbo",
@@ -805,7 +855,11 @@ def make_campaign(label: str, problem: Problem, **kwargs) -> Campaign:
     the BO families (``"EasyBO-5"``, ``"pBO-3"``, ``"LCB"``, ...); the
     non-ask/tell baselines (DE, random search, portfolio) have no campaign
     form.  Keyword arguments are Campaign constructor kwargs plus the
-    family knobs ``lam`` / ``ucb_kappa`` / ``ei_xi`` / ``hc_d``.
+    family knobs ``lam`` / ``ucb_kappa`` / ``ei_xi`` / ``hc_d`` and, for the
+    asynchronous EasyBO family, ``pending_policy`` (a name from
+    :data:`repro.core.pending.PENDING_POLICIES` or a policy instance) —
+    equivalently spelled as a label: ``"EasyBO-LP-5"`` / ``"EasyBO-PESS-5"``
+    / ``"EasyBO-A-5"``.
     """
     import re
 
@@ -818,8 +872,16 @@ def make_campaign(label: str, problem: Problem, **kwargs) -> Campaign:
     ucb_kappa = float(kwargs.pop("ucb_kappa", 2.0))
     ei_xi = float(kwargs.pop("ei_xi", 0.0))
     hc_d = kwargs.pop("hc_d", None)
+    pending_policy = kwargs.pop("pending_policy", None)
 
-    if family in _SEQUENTIAL_FAMILIES or (family == "easybo" and batch == 1):
+    if family in _SEQUENTIAL_FAMILIES or (
+        family == "easybo" and batch == 1 and pending_policy is None
+    ):
+        if pending_policy is not None:
+            raise ValueError(
+                "pending_policy applies to the asynchronous EasyBO family "
+                f"only, not to {label!r}"
+            )
         acq = _SEQUENTIAL_FAMILIES.get(family, "easybo")
         strategy = SequentialStrategy(
             acq, lam=lam, ucb_kappa=ucb_kappa, ei_xi=ei_xi
@@ -828,11 +890,24 @@ def make_campaign(label: str, problem: Problem, **kwargs) -> Campaign:
                    "lcb": "LCB", "ucb": "UCB"}[acq]
         algorithm = display
         batch = 1
-    elif family in ("easybo", "easybo-a"):
-        strategy = AsyncBatchStrategy(penalized=family == "easybo", lam=lam)
-        base = "EasyBO" if family == "easybo" else "EasyBO-A"
+    elif family in _ASYNC_FAMILIES:
+        strategy = AsyncBatchStrategy(
+            lam=lam,
+            pending_policy=(
+                pending_policy
+                if pending_policy is not None
+                else _ASYNC_FAMILIES[family]
+            ),
+        )
+        policy_name = strategy.pending_policy.name
+        base = _ASYNC_BASE_NAMES.get(policy_name, f"EasyBO+{policy_name}")
         algorithm = base if batch == 1 else f"{base}-{batch}"
     elif family in _SYNC_FAMILIES:
+        if pending_policy is not None:
+            raise ValueError(
+                "pending_policy applies to the asynchronous EasyBO family "
+                f"only, not to the synchronous {label!r}"
+            )
         strategy = SyncBatchStrategy(
             _SYNC_FAMILIES[family],
             batch_size=batch,
@@ -878,6 +953,10 @@ def make_campaign(label: str, problem: Problem, **kwargs) -> Campaign:
         "ei_xi": ei_xi,
         "hc_d": hc_d,
     }
+    if isinstance(strategy, AsyncBatchStrategy):
+        # Journaled so resume rebuilds the same policy even when the label
+        # alone would imply a different one.
+        campaign._config["pending_policy"] = strategy.pending_policy.name
     return campaign
 
 

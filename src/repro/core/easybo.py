@@ -140,14 +140,33 @@ ALGORITHM_FAMILIES = {
     "easybo-a": lambda problem, b, **kw: AsynchronousBatchBO(
         problem, batch_size=b, penalized=False, **kw
     ),
-    "easybo": lambda problem, b, **kw: (
-        SequentialBO(problem, acquisition="easybo", **kw)
-        if b == 1
-        else AsynchronousBatchBO(problem, batch_size=b, penalized=True, **kw)
+    # Async EasyBO with a non-default pending-point policy, as a label:
+    # "EasyBO-LP-5" / "EasyBO-PESS-5".  An explicit pending_policy kwarg
+    # (e.g. from a resumed config) wins over the label's implied policy.
+    "easybo-lp": lambda problem, b, **kw: AsynchronousBatchBO(
+        problem, batch_size=b, **{"pending_policy": "lp", **kw}
     ),
+    "easybo-pess": lambda problem, b, **kw: AsynchronousBatchBO(
+        problem, batch_size=b, **{"pending_policy": "pessimistic", **kw}
+    ),
+    "easybo": lambda problem, b, **kw: _make_easybo(problem, b, **kw),
 }
 
 _LABEL_RE = re.compile(r"^(?P<family>[a-zA-Z][a-zA-Z-]*?)(?:-(?P<batch>\d+))?$")
+
+
+def _make_easybo(problem, batch_size, **kw):
+    """The ``easybo`` family: sequential at B=1, async otherwise.
+
+    A ``pending_policy`` kwarg forces the asynchronous driver even at B=1 —
+    the sequential driver has no pending set to apply a policy to.
+    """
+    if batch_size == 1 and kw.get("pending_policy") is None:
+        kw.pop("pending_policy", None)
+        return SequentialBO(problem, acquisition="easybo", **kw)
+    return AsynchronousBatchBO(
+        problem, batch_size=batch_size, penalized=True, **kw
+    )
 
 
 def _make_constrained(problem, batch_size, **kw):
@@ -178,7 +197,11 @@ def make_algorithm(label: str, problem: Problem, **kwargs):
     ``"EasyBO"``, ``"pBO-5"``, ``"pHCBO-10"``, ``"EasyBO-S-5"``,
     ``"EasyBO-A-15"``, ``"EasyBO-SP-10"``, ``"EasyBO-15"``, ``"BUCB-5"``,
     ``"LP-5"``, ``"Random"``.  A trailing ``-<int>`` is the batch size.
-    Keyword arguments are forwarded to the driver.
+    The asynchronous pending-point policies also have label forms:
+    ``"EasyBO-LP-5"`` (local penalisation), ``"EasyBO-PESS-5"``
+    (pessimistic), ``"EasyBO-A-5"`` (standard acquisition) — equivalently,
+    pass ``pending_policy=`` to the ``EasyBO`` family.  Keyword arguments
+    are forwarded to the driver.
     """
     match = _LABEL_RE.match(label.strip())
     if not match:

@@ -30,9 +30,11 @@ __all__ = ["run_to_dict", "run_from_dict", "save_runs", "load_runs"]
 #: operational counters); older files load with it ``None``.  Version 6
 #: added the optional ``metrics`` block (the run's
 #: :class:`~repro.obs.MetricsRegistry` snapshot); older files load with it
-#: ``None``.
-_FORMAT_VERSION = 6
-_READABLE_VERSIONS = frozenset({1, 2, 3, 4, 5, 6})
+#: ``None``.  Version 7 added the optional ``pending_policy`` field (which
+#: asynchronous pending-point policy the run used, see
+#: :mod:`repro.core.pending`); older files load with it ``None``.
+_FORMAT_VERSION = 7
+_READABLE_VERSIONS = frozenset({1, 2, 3, 4, 5, 6, 7})
 
 
 def _check_version(version, what: str) -> None:
@@ -72,6 +74,7 @@ def run_to_dict(run: RunResult) -> dict:
             None if run.pool_telemetry is None else run.pool_telemetry.as_dict()
         ),
         "metrics": run.metrics,
+        "pending_policy": run.pending_policy,
         "n_workers": run.trace.n_workers,
         "records": [r.as_dict() for r in run.trace.records],
     }
@@ -103,6 +106,7 @@ def run_from_dict(data: dict) -> RunResult:
         rng_state=data.get("rng_state"),
         pool_telemetry=telemetry,
         metrics=data.get("metrics"),
+        pending_policy=data.get("pending_policy"),
     )
 
 

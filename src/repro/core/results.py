@@ -54,6 +54,10 @@ class RunResult:
     #: ``None`` when the run was not started with ``metrics=`` and for runs
     #: loaded from pre-v6 files.
     metrics: dict | None = None
+    #: Pending-point policy the asynchronous driver ran under (a name from
+    #: :data:`repro.core.pending.PENDING_POLICIES`, e.g. ``"hallucinate"``).
+    #: ``None`` for non-async drivers and for runs loaded from pre-v7 files.
+    pending_policy: str | None = None
 
     @property
     def best_curve(self):

@@ -62,15 +62,20 @@ class CampaignClient:
 
     def create(self, label: str, problem: str, *, config: dict | None = None,
                evaluate: bool = False, n_workers: int | None = None,
-               pool: str = "virtual") -> str:
+               pool: str = "virtual", pending_policy: str | None = None) -> str:
         """Create a campaign; returns its id.
 
         ``problem`` is a benchmark name the server resolves through the
         crash-recovery registry.  ``evaluate=True`` asks the server to lease
-        workers and run the evaluations itself.
+        workers and run the evaluations itself.  ``pending_policy`` picks
+        the asynchronous pending-point policy (``"hallucinate"`` / ``"lp"``
+        / ``"pessimistic"`` / ``"none"``, see ``docs/pending_policies.md``)
+        — shorthand for putting it in ``config``.
         """
         payload: dict = {"label": label, "problem": problem,
                          "config": config or {}}
+        if pending_policy is not None:
+            payload["pending_policy"] = pending_policy
         if evaluate:
             payload.update(evaluate=True, pool=pool)
             if n_workers is not None:

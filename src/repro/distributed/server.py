@@ -304,6 +304,11 @@ class CampaignServer:
         campaign_id = f"c{self._next_id:04d}"
         self._next_id += 1
         config = dict(request.get("config", {}))
+        # Top-level convenience mirroring the CLI flag; an explicit config
+        # entry wins.  The policy also rides along in the campaign journal,
+        # so a resumed campaign keeps it without the client re-sending it.
+        if "pending_policy" in request:
+            config.setdefault("pending_policy", request["pending_policy"])
         campaign = make_campaign(
             label,
             problem,
@@ -464,6 +469,7 @@ class CampaignServer:
         return {
             "campaign": hosted.id,
             "label": hosted.label,
+            "algorithm": campaign.algorithm,
             "problem": hosted.problem_name,
             "state": hosted.state,
             "issued": int(campaign.issued),

@@ -1,4 +1,4 @@
-"""Regenerate the golden persistence fixtures (``runs_v1.json`` .. ``runs_v6.json``).
+"""Regenerate the golden persistence fixtures (``runs_v1.json`` .. ``runs_v7.json``).
 
 Each fixture is a hand-built, byte-stable runs file in one historical
 format version, so ``load_runs`` is pinned against every version it claims
@@ -15,6 +15,7 @@ The payloads are version-additive, mirroring the real history:
 * v4 — optional final ``rng_state`` block.
 * v5 — optional ``pool_telemetry`` block.
 * v6 — optional ``metrics`` block (MetricsRegistry snapshot).
+* v7 — optional ``pending_policy`` label (async pending-point policy).
 
 Run ``python tests/golden/persistence/regenerate.py`` after an intentional
 format change; never edit the JSON files by hand.
@@ -139,6 +140,8 @@ def build_run(version: int) -> dict:
         run["pool_telemetry"] = dict(_POOL_TELEMETRY)
     if version >= 6:
         run["metrics"] = dict(_METRICS)
+    if version >= 7:
+        run["pending_policy"] = "hallucinate"
     return run
 
 
@@ -153,7 +156,7 @@ def render(version: int) -> str:
 
 
 def main() -> None:
-    for version in range(1, 7):
+    for version in range(1, 8):
         path = HERE / f"runs_v{version}.json"
         path.write_text(render(version), encoding="utf-8")
         print(f"wrote {path}")

@@ -34,6 +34,14 @@ SCENARIOS = {
     "easybo-async-branin": ("EasyBO-3", "branin", dict(rng=7, n_init=5, max_evals=12)),
     # Synchronous pBO baseline on a different landscape.
     "pbo-sphere2": ("pBO-3", "sphere2", dict(rng=3, n_init=5, max_evals=11)),
+    # The non-default pending-point policies (repro.core.pending), same seed
+    # and landscape as easybo-async-branin so the trajectories are directly
+    # comparable: local penalisation, pessimistic sampling, and standard
+    # acquisition.  Adding them here automatically enrolls each policy in
+    # the byte-for-byte replay and the kill/resume chaos sweeps.
+    "easybo-lp-branin": ("EasyBO-LP-3", "branin", dict(rng=7, n_init=5, max_evals=12)),
+    "easybo-pess-branin": ("EasyBO-PESS-3", "branin", dict(rng=7, n_init=5, max_evals=12)),
+    "easybo-std-branin": ("EasyBO-A-3", "branin", dict(rng=7, n_init=5, max_evals=12)),
 }
 
 #: Acquisition settings shared by every scenario (small but deterministic).

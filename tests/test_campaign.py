@@ -17,6 +17,7 @@ import pytest
 from repro.circuits.benchmarks import sphere
 from repro.core import (
     Campaign,
+    CampaignError,
     CampaignExhausted,
     JournalError,
     JournalWriter,
@@ -121,6 +122,25 @@ class TestTellActions:
         assert campaign.tell(x, orphan) == "imputed"
         assert campaign.n_pending == 0
 
+    def test_tell_for_never_asked_point_raises(self):
+        # Regression: this used to be silently absorbed as a foreign
+        # observation, hiding client bugs (wrong point, wrong campaign).
+        campaign = self._primed()
+        with pytest.raises(CampaignError, match="never asked"):
+            campaign.tell(
+                np.array([0.123, 0.456]),
+                campaign.problem.evaluate(np.array([0.123, 0.456])),
+            )
+
+    def test_tell_twice_for_same_point_raises(self):
+        campaign = self._primed()
+        x = campaign.ask()
+        result = campaign.problem.evaluate(x)
+        assert campaign.tell(x, result) == "added"
+        with pytest.raises(CampaignError, match="never asked"):
+            campaign.tell(x, result)
+        assert campaign.n_observations == 3  # the double tell changed nothing
+
 
 class TestColdStartDedupe:
     """``batch_size >= n_init``: cold proposals must dodge in-flight points."""
@@ -211,6 +231,53 @@ class TestMakeCampaign:
             make_campaign("3-easybo", sphere(2))
 
 
+class TestPendingPolicySelection:
+    @pytest.mark.parametrize(
+        "label,policy",
+        [
+            ("EasyBO-3", "hallucinate"),
+            ("EasyBO-A-3", "none"),
+            ("EasyBO-LP-3", "lp"),
+            ("EasyBO-PESS-3", "pessimistic"),
+        ],
+    )
+    def test_label_implies_policy(self, label, policy):
+        campaign = _campaign(label)
+        assert campaign.strategy.pending_policy.name == policy
+        assert campaign._config["pending_policy"] == policy
+        assert campaign.algorithm == label
+
+    @pytest.mark.parametrize(
+        "policy,algorithm",
+        [
+            ("hallucinate", "EasyBO-3"),
+            ("none", "EasyBO-A-3"),
+            ("lp", "EasyBO-LP-3"),
+            ("pessimistic", "EasyBO-PESS-3"),
+        ],
+    )
+    def test_kwarg_selects_policy_and_renames(self, policy, algorithm):
+        # The kwarg spelling and the label spelling are interchangeable:
+        # an explicit pending_policy wins and the display name follows it.
+        campaign = _campaign("EasyBO-3", pending_policy=policy)
+        assert campaign.strategy.pending_policy.name == policy
+        assert campaign.algorithm == algorithm
+
+    def test_policy_on_batch_one_forces_async_form(self):
+        campaign = _campaign("EasyBO", pending_policy="lp")
+        assert campaign.strategy.kind == "async"
+        assert campaign.algorithm == "EasyBO-LP"
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown pending policy"):
+            _campaign("EasyBO-3", pending_policy="krig")
+
+    @pytest.mark.parametrize("label", ["LCB", "pBO-3"])
+    def test_non_async_families_reject_policy(self, label):
+        with pytest.raises(ValueError, match="asynchronous EasyBO family"):
+            _campaign(label, pending_policy="lp")
+
+
 class TestCampaignJournalResume:
     def _drive(self, campaign, n_tells, n_extra_asks):
         problem = campaign.problem
@@ -219,9 +286,15 @@ class TestCampaignJournalResume:
             campaign.tell(x, problem.evaluate(x))
         return [campaign.ask() for _ in range(n_extra_asks)]
 
-    def test_resume_restores_pending_and_rng_bit_exact(self, tmp_path):
+    @pytest.mark.parametrize(
+        "label", ["EasyBO-3", "EasyBO-A-3", "EasyBO-LP-3", "EasyBO-PESS-3"]
+    )
+    def test_resume_restores_pending_and_rng_bit_exact(self, label, tmp_path):
+        # Every pending policy must survive the journal round trip: the
+        # resumed campaign rebuilds the same policy (journaled config beats
+        # the label default) and continues the exact random stream.
         journal = tmp_path / "campaign.journal"
-        kwargs = dict(label="EasyBO-3", n_init=3, max_evals=12, rng=11)
+        kwargs = dict(label=label, n_init=3, max_evals=12, rng=11)
         crashed = _campaign(**kwargs, journal=journal)
         in_flight = self._drive(crashed, n_tells=4, n_extra_asks=2)
         crashed.close()  # simulate the process dying with 2 points in flight
@@ -241,6 +314,10 @@ class TestCampaignJournalResume:
         # resumed and the uninterrupted campaign ask for the same point.
         np.testing.assert_array_equal(resumed.ask(), twin.ask())
         assert rng_state_to_dict(resumed.rng) == rng_state_to_dict(twin.rng)
+        assert (
+            resumed.strategy.pending_policy.name
+            == twin.strategy.pending_policy.name
+        )
 
     def test_resume_replays_tells_in_order(self, tmp_path):
         journal = tmp_path / "campaign.journal"

@@ -77,6 +77,18 @@ def test_full_mode_is_byte_for_byte(name):
     )
 
 
+def test_explicit_hallucinate_policy_matches_legacy_golden():
+    # pending_policy="hallucinate" is the refactored spelling of the original
+    # Eq. 9 pending-point handling; selecting it explicitly must reproduce
+    # the pre-refactor fixture byte-for-byte.
+    result = run_scenario(
+        "easybo-async-branin", surrogate_update="full", refit_every=1,
+        pending_policy="hallucinate",
+    )
+    replayed = canonical_json(trajectory_payload("easybo-async-branin", result))
+    assert replayed == golden_path("easybo-async-branin").read_text()
+
+
 def test_incremental_sequential_is_byte_for_byte():
     # No pending points and refit_every=1: the incremental mode executes
     # bit-identical arithmetic, so even the fast path must hit the fixture.

@@ -17,6 +17,13 @@ deterministic, so a failure reproduces from its case index alone:
   shrinks, rank-1 up/downdates, row deletion) reproduces a fresh
   factorization of the assembled matrix, including near-singular inputs
   where the jitter policy engages.
+* Pending-point policies (``repro.core.pending``): the local-penalisation
+  factor lies in ``(0, 1]``, is non-decreasing in the distance to the
+  pending point, and tends to 1 far away; the pessimistic extension never
+  inflates the posterior spread, never raises the acquisition at a lone
+  pending point above its no-pending baseline, and degenerates to the
+  kriging believer at ``beta=0``; the standard policy is a strict no-op
+  for every pending set.
 """
 
 from __future__ import annotations
@@ -25,6 +32,11 @@ import numpy as np
 import pytest
 
 from repro.core.acquisition import EASYBO_LAMBDA, sample_easybo_weight
+from repro.core.pending import (
+    LocalPenalisationPolicy,
+    PessimisticPolicy,
+    StandardPolicy,
+)
 from repro.core.surrogate import HallucinatedView
 from repro.gp import linalg
 from repro.gp.gp import GaussianProcess
@@ -155,6 +167,127 @@ class TestPosteriorPermutationInvariance:
             mu_b, sigma_b = permuted.predict(X_test)
             np.testing.assert_allclose(mu_a, mu_b, atol=1e-8)
             np.testing.assert_allclose(sigma_a, sigma_b, atol=1e-8)
+
+
+# ---------------------------------------------- pending-point policies
+class TestLocalPenalisationFactor:
+    def test_factor_in_unit_interval_and_one_far_away(self):
+        """``phi_j`` lies in ``(0, 1]``, grows with distance, and saturates
+        to 1 outside the Lipschitz ball around the pending point."""
+        factor = LocalPenalisationPolicy.penalisation_factor
+        for case in range(N_CASES):
+            rng = np.random.default_rng(80_000 + case)
+            dim = int(rng.integers(1, 6))
+            u_j = rng.uniform(size=dim)
+            mu_j = float(rng.normal())
+            sigma_j = float(10.0 ** rng.uniform(-3, 0.5))
+            lipschitz = float(10.0 ** rng.uniform(-2, 2))
+            best = mu_j + float(rng.uniform(0.0, 3.0))  # incumbent >= mean
+
+            U = rng.uniform(size=(32, dim))
+            phi = factor(U, u_j, mu_j, sigma_j, lipschitz, best)
+            assert phi.shape == (32,)
+            assert np.all(phi > 0.0) and np.all(phi <= 1.0), case
+
+            # Monotone in the distance to the pending point: scoring the
+            # same direction at growing radii never shrinks the factor.
+            direction = rng.standard_normal(dim)
+            direction /= np.linalg.norm(direction)
+            radii = np.sort(rng.uniform(0.0, 5.0, size=16))
+            ray = u_j[None, :] + radii[:, None] * direction[None, :]
+            along = factor(ray, u_j, mu_j, sigma_j, lipschitz, best)
+            assert np.all(np.diff(along) >= -1e-12), case
+
+            # Far outside the ball (z >= 8) the penalty vanishes: phi ~ 1.
+            r_far = ((best - mu_j) + 8.0 * np.sqrt(2.0) * sigma_j) / lipschitz
+            far = u_j[None, :] + (r_far + 1.0) * direction[None, :]
+            assert factor(far, u_j, mu_j, sigma_j, lipschitz, best)[0] >= 1 - 1e-9
+
+            # At the pending point itself the factor is a real penalty
+            # (< 1/2 whenever the incumbent strictly dominates the mean).
+            at = factor(u_j[None, :], u_j, mu_j, sigma_j, lipschitz, best)
+            if best > mu_j:
+                assert at[0] <= 0.5, case
+
+
+class TestPessimisticExtension:
+    def test_lone_pending_point_never_beats_baseline(self):
+        """Eq. 8 acquisition at a single pending point: pessimistic model
+        value <= no-pending value, for random ``beta`` and weight ``w``."""
+        for case in range(N_CASES):
+            rng = np.random.default_rng(90_000 + case)
+            model, _, _ = _random_gp(rng)
+            policy = PessimisticPolicy(beta=float(rng.uniform(0.0, 2.0)))
+            u = rng.uniform(-1.0, 1.0, size=(1, model.dim))
+            extended = policy.condition_pessimistic(model, u)
+            mu0, sigma0 = model.predict(u)
+            mu1, sigma1 = extended.predict(u)
+            w = float(rng.uniform(0.0, 1.0))
+            base = (1.0 - w) * mu0[0] + w * sigma0[0]
+            pess = (1.0 - w) * mu1[0] + w * sigma1[0]
+            assert pess <= base + 1e-8, case
+
+    def test_spread_never_inflates_for_any_pending_set(self):
+        for case in range(N_CASES):
+            rng = np.random.default_rng(91_000 + case)
+            model, _, _ = _random_gp(rng)
+            policy = PessimisticPolicy(beta=float(rng.uniform(0.0, 2.0)))
+            k = int(rng.integers(1, 4))
+            U_pending = rng.uniform(-1.0, 1.0, size=(k, model.dim))
+            extended = policy.condition_pessimistic(model, U_pending)
+            X_test = np.vstack(
+                [U_pending, rng.uniform(-1.0, 1.0, size=(8, model.dim))]
+            )
+            _, sigma = model.predict(X_test)
+            _, sigma_hat = extended.predict(X_test)
+            assert np.all(sigma_hat <= sigma + 1e-8), case
+
+    def test_beta_zero_degenerates_to_kriging_believer(self):
+        for case in range(N_CASES):
+            rng = np.random.default_rng(92_000 + case)
+            model, _, _ = _random_gp(rng, noise_floor=1e-4)
+            k = int(rng.integers(1, 4))
+            U_pending = rng.uniform(-1.0, 1.0, size=(k, model.dim))
+            extended = PessimisticPolicy(beta=0.0).condition_pessimistic(
+                model, U_pending
+            )
+            believer = model.condition_on_pending(U_pending)
+            X_test = rng.uniform(-1.0, 1.0, size=(8, model.dim))
+            mu_p, sigma_p = extended.predict(X_test)
+            mu_b, sigma_b = believer.predict(X_test)
+            np.testing.assert_allclose(mu_p, mu_b, atol=1e-7)
+            np.testing.assert_allclose(sigma_p, sigma_b, atol=1e-7)
+
+    def test_rejects_negative_beta(self):
+        with pytest.raises(ValueError):
+            PessimisticPolicy(beta=-0.1)
+
+
+class TestStandardPolicyIsNoOp:
+    def test_invariant_to_the_pending_set(self):
+        """The standard policy must not look at the pending matrix at all:
+        same model object, same acquisition object, for any pending set."""
+
+        class SessionStub:
+            def __init__(self, model):
+                self._model = model
+
+            def require_model(self):
+                return self._model
+
+        policy = StandardPolicy()
+        for case in range(N_CASES):
+            rng = np.random.default_rng(93_000 + case)
+            model, _, _ = _random_gp(rng)
+            session = SessionStub(model)
+            k = int(rng.integers(0, 5))
+            X_pending = rng.uniform(-1.0, 1.0, size=(k, model.dim))
+            assert policy.model(session, X_pending) is model, case
+            acquisition = object()
+            wrapped = policy.wrap(
+                session, model, acquisition, X_pending, rng=rng
+            )
+            assert wrapped is acquisition, case
 
 
 # --------------------------------------------------- incremental Cholesky
