@@ -20,19 +20,35 @@ finish with every op accounted for.  Run standalone::
     python benchmarks/bench_campaign_server.py --smoke --check
 
 Under pytest-benchmark the smoke scale runs once and asserts the floor.
+
+``--chaos`` runs the robustness sweep instead: campaigns driven through
+the fault-injecting :class:`~repro.distributed.chaos.ChaosProxy` (drop /
+delay / truncate / corrupt / disconnect) by a retrying client, with the
+server kill -9'd and restarted from its ``--journal-dir`` at seed-derived
+points mid-run.  Every ask is compared byte-for-byte against an
+uninterrupted local golden twin, and ``--check`` asserts the acceptance
+criterion: identical trajectories, every campaign finished with exactly
+``max_evals`` issued — retried asks/tells never double-issue or
+double-count.  ``--seed`` (default: ``$REPRO_CHAOS_SEED`` or 0) picks the
+fault schedule.
 """
 
 from __future__ import annotations
 
 import argparse
 import dataclasses
+import os
+import random
+import shutil
+import tempfile
 import threading
 import time
 
 import numpy as np
 
 from repro.circuits.benchmarks import sphere
-from repro.distributed import CampaignClient, serve
+from repro.core import make_campaign
+from repro.distributed import CampaignClient, ChaosConfig, ChaosProxy, serve
 from repro.obs import MetricsRegistry, Observability
 from repro.utils.tables import format_table
 
@@ -157,6 +173,128 @@ def check(stats) -> None:
     )
 
 
+def run_chaos(seed: int = 0, *, n_campaigns: int = 4, max_evals: int = 6,
+              n_kills: int = 4, verbose: bool = True):
+    """Drive campaigns through the chaos proxy with kill -9s mid-run.
+
+    Single-threaded on purpose: the op counter is the clock the seeded kill
+    schedule fires on, so a given ``seed`` reproduces the exact interleaving
+    of faults, kills, and recoveries.  Asks are checked byte-for-byte
+    against uninterrupted local twins *as they happen* — a divergence fails
+    at the first drifted point, not at a fuzzy end-of-run comparison.
+    """
+    journal_dir = tempfile.mkdtemp(prefix="bench-chaos-")
+    obs = Observability(metrics=MetricsRegistry())
+    server = serve(journal_dir=journal_dir, obs=obs, background=True)
+    config = ChaosConfig(drop=0.06, delay=0.04, truncate=0.03, corrupt=0.03,
+                         disconnect=0.03, delay_s=0.01)
+    proxy = ChaosProxy(server.port, config=config, seed=seed)
+    problem = sphere(2)
+    total_ops = n_campaigns * max_evals * 2
+    kill_at = sorted(random.Random(seed).sample(
+        range(2, total_ops), min(n_kills, total_ops - 2)))
+    restarts = 0
+    op = 0
+
+    def maybe_kill():
+        nonlocal server, restarts, op
+        op += 1
+        if kill_at and op >= kill_at[0]:
+            kill_at.pop(0)
+            server.abort()  # kill -9: no suspends, no journal bookkeeping
+            server._thread.join(timeout=5.0)
+            server = serve(journal_dir=journal_dir, obs=obs, background=True)
+            proxy.set_upstream(server.port)
+            restarts += 1
+
+    start = time.perf_counter()
+    try:
+        client = CampaignClient(port=proxy.port, timeout=0.35, retries=12,
+                                backoff=0.01)
+        cids, twins = [], {}
+        for i in range(n_campaigns):
+            cfg = dict(rng=100 + i, max_evals=max_evals, **CONFIG)
+            cid = client.create("EasyBO-2", "sphere2", config=cfg)
+            cids.append(cid)
+            twins[cid] = make_campaign("EasyBO-2", sphere(2), **cfg)
+        done: set[str] = set()
+        while len(done) < len(cids):
+            for cid in cids:
+                if cid in done:
+                    continue
+                x = client.ask(cid)[0]
+                maybe_kill()
+                golden = twins[cid].ask()
+                if not np.array_equal(x, golden):
+                    raise AssertionError(
+                        f"trajectory diverged on {cid}: server asked {x!r}, "
+                        f"golden twin asked {golden!r}"
+                    )
+                result = problem.evaluate(x)
+                reply = client.tell(cid, x, result)
+                maybe_kill()
+                twins[cid].tell(x, result)
+                if reply["done"]:
+                    done.add(cid)
+        statuses = {cid: client.status(cid) for cid in cids}
+        metrics = client.metrics()
+        elapsed = time.perf_counter() - start
+        client.close()
+    finally:
+        proxy.stop()
+        server.stop()
+        shutil.rmtree(journal_dir, ignore_errors=True)
+
+    faults = {k: proxy.stats[k] for k in
+              ("dropped", "delayed", "truncated", "corrupted", "disconnects")}
+    rows = [
+        ["campaigns finished",
+         f"{sum(s['state'] == 'finished' for s in statuses.values())}"
+         f"/{n_campaigns}"],
+        ["server kills survived", str(restarts)],
+        ["client retries", str(client.n_retries)],
+        ["client reconnects", str(client.n_reconnects)],
+        ["server-side replayed replies", str(metrics["rpc_replayed_replies"])],
+        ["proxy faults injected", str(sum(faults.values()))],
+        *[[f"  {k}", str(v)] for k, v in faults.items()],
+        ["frames through proxy", str(proxy.stats["frames"])],
+    ]
+    rendered = format_table(
+        ["metric", "value"], rows,
+        title=(f"chaos sweep (seed {seed}): {n_campaigns} campaigns x "
+               f"{max_evals} evals, bit-exact vs golden — {elapsed:.1f} s"),
+    )
+    stats = {
+        "seed": seed, "n_campaigns": n_campaigns, "max_evals": max_evals,
+        "restarts": restarts, "retries": client.n_retries,
+        "reconnects": client.n_reconnects, "statuses": statuses,
+        "metrics": metrics, "proxy": dict(proxy.stats), "elapsed": elapsed,
+    }
+    if verbose:
+        print("\n" + rendered)
+    return stats, rendered
+
+
+def check_chaos(stats) -> None:
+    """Acceptance criterion: chaos changed nothing observable."""
+    statuses = stats["statuses"]
+    for cid, status in statuses.items():
+        assert status["state"] == "finished", f"{cid} ended {status['state']}"
+        assert status["issued"] == stats["max_evals"], (
+            f"{cid} issued {status['issued']} != {stats['max_evals']}: "
+            "a retry double-issued or a recovery lost points"
+        )
+        assert status["n_observations"] == stats["max_evals"]
+    assert stats["restarts"] >= 1, "kill schedule never fired"
+    assert stats["reconnects"] >= stats["restarts"], (
+        "every server kill must force at least one client reconnect"
+    )
+    injected = sum(stats["proxy"][k] for k in
+                   ("dropped", "delayed", "truncated", "corrupted",
+                    "disconnects"))
+    assert injected > 0, "chaos proxy injected nothing; the sweep is vacuous"
+
+
 def test_campaign_server_smoke(benchmark):
     stats, rendered = benchmark.pedantic(
         lambda: run_bench("smoke", verbose=False),
@@ -173,9 +311,24 @@ if __name__ == "__main__":
     parser.add_argument("--smoke", action="store_true",
                         help="shorthand for --scale smoke")
     parser.add_argument("--check", action="store_true",
-                        help="assert the >= 20-concurrent-campaigns floor")
+                        help="assert the >= 20-concurrent-campaigns floor "
+                             "(or, with --chaos, the bit-exact-survival "
+                             "criterion)")
+    parser.add_argument("--chaos", action="store_true",
+                        help="run the chaos sweep: faults + server kills, "
+                             "bit-exact vs golden twins")
+    parser.add_argument("--seed", type=int,
+                        default=int(os.environ.get("REPRO_CHAOS_SEED", "0")),
+                        help="chaos fault-schedule seed "
+                             "(default: $REPRO_CHAOS_SEED or 0)")
     args = parser.parse_args()
-    stats, _ = run_bench("smoke" if args.smoke else args.scale)
-    if args.check:
-        check(stats)
-        print("checks passed")
+    if args.chaos:
+        stats, _ = run_chaos(args.seed)
+        if args.check:
+            check_chaos(stats)
+            print("chaos checks passed (bit-exact through kills and faults)")
+    else:
+        stats, _ = run_bench("smoke" if args.smoke else args.scale)
+        if args.check:
+            check(stats)
+            print("checks passed")

@@ -16,7 +16,9 @@ Commands
     (see ``docs/campaign_server.md``).
 ``summary``
     Print the paper-style table (Best/Worst/Mean/Std/Time) and the pool
-    telemetry of a saved runs file.
+    telemetry of a saved runs file — or, with ``--server [HOST:]PORT``,
+    the live health of a campaign server (campaign states, uptime,
+    recoveries, idempotent-RPC retry/replay counters).
 ``run``
     Generic driver: any algorithm label from ``make_algorithm`` on any
     named benchmark problem (``--pending-policy`` picks the asynchronous
@@ -290,10 +292,12 @@ def cmd_tournament(args) -> int:
 
 def cmd_serve(args) -> int:
     from repro.distributed.server import CampaignServer
+    from repro.obs import MetricsRegistry, Observability
 
     server = CampaignServer(
         host=args.host, port=args.port, journal_dir=args.journal_dir,
         max_workers=args.max_workers,
+        obs=Observability(metrics=MetricsRegistry()),
     )
     # Flush so wrappers piping our stdout see the banner (and the port)
     # before they try to dial in.
@@ -301,6 +305,9 @@ def cmd_serve(args) -> int:
           f"(journal dir: {args.journal_dir or 'disabled'}, "
           f"worker capacity: {args.max_workers or 'unbounded'})",
           flush=True)
+    if server.recoveries:
+        print(f"recovered {server.recoveries} campaign(s) from "
+              f"{args.journal_dir}", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -316,11 +323,48 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def _summary_server(address: str) -> int:
+    """Print a live server's health: campaigns, uptime, RPC idempotency."""
+    from repro.distributed.client import CampaignClient
+    from repro.utils.tables import format_table
+
+    host, _, port = address.rpartition(":")
+    with CampaignClient(host or "127.0.0.1", int(port), retries=1) as client:
+        metrics = client.metrics()
+    rows = [
+        ["campaigns", str(metrics.get("campaigns", 0))],
+        ["  active", str(metrics.get("active", 0))],
+        ["  finished", str(metrics.get("finished", 0))],
+        ["  suspended", str(metrics.get("suspended", 0))],
+        ["  failed", str(metrics.get("failed", 0))],
+        ["workers leased", f"{metrics.get('workers_leased', 0)}"
+                           f"/{metrics.get('worker_capacity') or 'inf'}"],
+        ["uptime", f"{metrics.get('uptime_seconds', 0.0):.1f}s"],
+        ["recoveries", str(metrics.get("recoveries", 0))],
+        ["rpc retries seen", str(metrics.get("rpc_retries", 0))],
+        ["rpc replayed replies", str(metrics.get("rpc_replayed_replies", 0))],
+        ["frame corruptions", str(metrics.get("frame_corruptions", 0))],
+    ]
+    print(format_table(["Metric", "Value"], rows))
+    registry = metrics.get("registry")
+    if registry and registry.get("counters"):
+        print("\nserver counters:")
+        for name in sorted(registry["counters"]):
+            print(f"  {name}: {registry['counters'][name]}")
+    return 0
+
+
 def cmd_summary(args) -> int:
     from repro import summarize_runs
     from repro.core.persistence import load_runs
     from repro.utils.tables import format_table
 
+    if args.server:
+        return _summary_server(args.server)
+    if not args.runs:
+        print("summary: provide a runs file or --server [HOST:]PORT",
+              file=sys.stderr)
+        return 2
     grid = load_runs(args.runs)
     rows = [summarize_runs(runs).as_row() for runs in grid.values() if runs]
     print(format_table(["Algorithm", "Best", "Worst", "Mean", "Std", "Time"],
@@ -483,9 +527,16 @@ def main(argv=None) -> int:
         description="Summarize a JSON runs file written with "
                     "repro.core.persistence.save_runs: Best/Worst/Mean/Std/"
                     "Time per algorithm, plus evaluation-pool telemetry for "
-                    "runs that recorded it (format v5+).",
+                    "runs that recorded it (format v5+).  With --server, "
+                    "summarize a live campaign server instead: campaign "
+                    "states, uptime, recoveries, and the idempotent-RPC "
+                    "retry/replay counters.",
     )
-    p.add_argument("runs", help="runs file written by save_runs")
+    p.add_argument("runs", nargs="?", default=None,
+                   help="runs file written by save_runs")
+    p.add_argument("--server", default=None, metavar="[HOST:]PORT",
+                   help="summarize a live campaign server's metrics verb "
+                        "instead of a runs file")
 
     args = parser.parse_args(argv)
     handler = {

@@ -555,14 +555,19 @@ class Campaign:
             self._journal = None
 
     # ------------------------------------------------------------- ask/tell
-    def ask(self, n: int | None = None, *, _propose=None):
+    def ask(self, n: int | None = None, *, request_id: str | None = None,
+            _propose=None):
         """Return the next point (``n=None``) or batch of ``n`` points.
 
         Initial-design rows are served first; afterwards the family strategy
         runs the refit/hallucinate/acquisition pipeline.  Asked points are
-        tracked as pending until the matching :meth:`tell`.  ``_propose``
-        lets the embedded drivers route proposals through their overridable
-        hook methods; it is not part of the public surface.
+        tracked as pending until the matching :meth:`tell`.  ``request_id``
+        rides along in the journal event so the campaign server can rebuild
+        its idempotent reply cache after a restart (a retried ``ask`` whose
+        reply was lost replays the journaled points instead of issuing new
+        ones).  ``_propose`` lets the embedded drivers route proposals
+        through their overridable hook methods; it is not part of the
+        public surface.
         """
         if self.exhausted:
             raise CampaignExhausted(
@@ -577,14 +582,15 @@ class Campaign:
         self._note_asked(points)
         if not self._embedded:
             self.obs.inc("campaign.asks")
-            self._journal_event(
-                {
-                    "type": "ask",
-                    "points": [[float(v) for v in p] for p in points],
-                    "rng_state": rng_state_to_dict(self.rng),
-                    "surrogate": self.session.snapshot(),
-                }
-            )
+            event = {
+                "type": "ask",
+                "points": [[float(v) for v in p] for p in points],
+                "rng_state": rng_state_to_dict(self.rng),
+                "surrogate": self.session.snapshot(),
+            }
+            if request_id is not None:
+                event["request_id"] = str(request_id)
+            self._journal_event(event)
         return points[0] if n is None else points
 
     def _one(self, propose) -> np.ndarray:
@@ -616,13 +622,14 @@ class Campaign:
         """Mark an externally selected point as issued (resume leftovers)."""
         self._note_asked([x])
 
-    def tell(self, x, result) -> str:
+    def tell(self, x, result, *, request_id: str | None = None) -> str:
         """Fold one evaluation result back in; returns the action taken.
 
         ``"added"`` (observation recorded), ``"imputed"`` (failure recorded
         at a pessimistic FOM), ``"dropped"`` (budget spent, posterior
         unchanged), or ``"reissued"`` (orphaned point kept pending — the
-        caller should evaluate it again; budget-neutral).
+        caller should evaluate it again; budget-neutral).  ``request_id``
+        is journaled with the event (see :meth:`ask`).
 
         Raises :class:`CampaignError` when ``x`` is not in the pending set —
         a point that was never asked, or one already told back.  Silently
@@ -642,7 +649,7 @@ class Campaign:
             action = self.last_action[0]
         if not self._embedded:
             self.obs.inc("campaign.tells")
-            self._journal_tell(x, result, action)
+            self._journal_tell(x, result, action, request_id=request_id)
         return action
 
     def note_orphan(self, x) -> bool:
@@ -791,21 +798,23 @@ class Campaign:
             }
         )
 
-    def _journal_tell(self, x, result, action) -> None:
+    def _journal_tell(self, x, result, action, *, request_id=None) -> None:
         if self._journal is None:
             return
         from repro.distributed.protocol import result_to_dict
 
         _, value = self.last_action if action != "reissued" else (None, None)
-        self._journal_event(
-            {
-                "type": "tell",
-                "x": [float(v) for v in x],
-                "result": result_to_dict(result),
-                "action": action,
-                "value": None if value is None else float(value),
-            }
-        )
+        event = {
+            "type": "tell",
+            "x": [float(v) for v in x],
+            "result": result_to_dict(result),
+            "action": action,
+            "value": None if value is None else float(value),
+            "done": self.done,
+        }
+        if request_id is not None:
+            event["request_id"] = str(request_id)
+        self._journal_event(event)
 
     # --------------------------------------------------------------- resume
     def restore(self, *, design=None, issued=0, pending=(), reissue_counts=None):

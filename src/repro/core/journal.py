@@ -33,6 +33,7 @@ __all__ = [
     "recover_journal",
     "frame_record",
     "parse_line",
+    "frame_error",
 ]
 
 #: Version stamp embedded in every ``run_start`` record.  Bump when the event
@@ -80,6 +81,44 @@ def parse_line(line: bytes) -> dict | None:
     except (UnicodeDecodeError, json.JSONDecodeError):
         return None
     return record if isinstance(record, dict) else None
+
+
+def frame_error(line: bytes) -> str | None:
+    """Why :func:`parse_line` rejects ``line``, or ``None`` when it is valid.
+
+    The journal reader only needs the boolean (any invalid line ends the
+    readable prefix), but the socket transport wants to *report* a corrupt
+    frame — which byte stream invariant broke — so connection drops are
+    diagnosable instead of generic.  Kept beside :func:`parse_line` so the
+    two can never disagree about what counts as valid.
+    """
+    if not line.startswith(_MAGIC.encode("ascii")):
+        return f"bad magic: expected {_MAGIC!r}, got {bytes(line[:2])!r}"
+    if len(line) < _HEADER_LEN + 1:
+        return f"short frame: {len(line)} bytes < {_HEADER_LEN + 1} minimum"
+    header = line[:_HEADER_LEN]
+    try:
+        _, length_hex, crc_hex = header.decode("ascii").split(" ")[:3]
+        length = int(length_hex, 16)
+        crc = int(crc_hex, 16)
+    except (UnicodeDecodeError, ValueError):
+        return f"unparseable header {bytes(header)!r}"
+    body = line[_HEADER_LEN:]
+    if not body.endswith(b"\n"):
+        return "torn frame: no trailing newline"
+    data = body[:-1]
+    if len(data) != length:
+        return f"length mismatch: header says {length}, payload is {len(data)}"
+    actual = zlib.crc32(data) & 0xFFFFFFFF
+    if actual != crc:
+        return f"crc mismatch: header {crc:08x}, computed {actual:08x}"
+    try:
+        record = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return "payload is not valid JSON"
+    if not isinstance(record, dict):
+        return f"payload is a {type(record).__name__}, not an object"
+    return None
 
 
 class JournalWriter:

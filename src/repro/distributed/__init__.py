@@ -1,45 +1,70 @@
 """Distributed evaluation: process workers behind the shared pool contract.
 
-The subsystem has six pieces:
+The subsystem's pieces:
 
-* :mod:`~repro.distributed.protocol` — message vocabulary and portable
-  problem specs;
+* :mod:`~repro.distributed.protocol` — message vocabulary, portable
+  problem specs, and idempotent request ids;
 * :mod:`~repro.distributed.transport` — journal-framed messages over
-  loopback TCP;
+  loopback TCP (corrupt frames raise :class:`FrameCorruptionError`);
 * :mod:`~repro.distributed.worker` — the per-process evaluation daemon
   (``python -m repro.distributed.worker``);
 * :mod:`~repro.distributed.pool` — :class:`ProcessWorkerPool`, the
   supervisor that presents the fleet through the same ``submit`` /
   ``wait_next`` contract as the virtual and thread pools;
 * :mod:`~repro.distributed.server` — :class:`CampaignServer`, the
-  multi-tenant ask/tell campaign host (``python -m repro serve``);
+  multi-tenant ask/tell campaign host (``python -m repro serve``) that
+  recovers every non-terminal campaign from its journals after a crash;
+* :mod:`~repro.distributed.manifest` — the server-level lifecycle ledger
+  that restart recovery replays;
 * :mod:`~repro.distributed.client` — :class:`CampaignClient`, the
-  synchronous RPC client for the server.
+  retrying idempotent RPC client for the server;
+* :mod:`~repro.distributed.chaos` — :class:`ChaosProxy`, the seeded
+  fault-injecting TCP relay the robustness suite drives everything
+  through.
 """
 
-from repro.distributed.client import CampaignClient, CampaignServerError
+from repro.distributed.chaos import ChaosConfig, ChaosProxy
+from repro.distributed.client import (
+    CampaignClient,
+    CampaignRetriesExhausted,
+    CampaignServerError,
+)
+from repro.distributed.manifest import ServerManifest, manifest_state, read_manifest
 from repro.distributed.pool import ProcessWorkerPool
 from repro.distributed.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
     load_problem,
+    make_request_id,
     problem_spec,
 )
 from repro.distributed.server import CampaignServer, ServerError, WorkerLeaseRegistry, serve
-from repro.distributed.transport import ConnectionClosed, FramedConnection
+from repro.distributed.transport import (
+    ConnectionClosed,
+    FrameCorruptionError,
+    FramedConnection,
+)
 
 __all__ = [
     "ProcessWorkerPool",
     "CampaignServer",
     "CampaignClient",
     "CampaignServerError",
+    "CampaignRetriesExhausted",
     "ServerError",
     "WorkerLeaseRegistry",
     "serve",
+    "ServerManifest",
+    "read_manifest",
+    "manifest_state",
+    "ChaosConfig",
+    "ChaosProxy",
     "PROTOCOL_VERSION",
     "ProtocolError",
+    "make_request_id",
     "problem_spec",
     "load_problem",
     "ConnectionClosed",
+    "FrameCorruptionError",
     "FramedConnection",
 ]

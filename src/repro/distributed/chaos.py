@@ -1,0 +1,250 @@
+"""Network chaos proxy: manufacture the failures the RPC claims to survive.
+
+:class:`ChaosProxy` is a tiny TCP proxy that sits between a
+:class:`~repro.distributed.client.CampaignClient` (or worker connection)
+and its server and injects faults *at frame granularity* — it splits the
+byte stream on the journal framing's newline terminator and, per frame,
+may:
+
+* **drop** it (a lost request or reply — the retry path),
+* **delay** it (reordering pressure on timeouts and stale-reply handling),
+* **truncate** it (a torn frame: the next frame's bytes glue onto the
+  stump and the receiver's CRC check raises
+  :class:`~repro.distributed.transport.FrameCorruptionError`),
+* **corrupt** it (flip a payload byte — same detection, different cause),
+* **disconnect** mid-stream (both sides see a dead connection and must
+  redial).
+
+Faults are *seeded*: each proxied connection direction gets its own
+``random.Random`` derived from ``(seed, connection index, direction)``, so
+a chaos run is reproducible bit-for-bit — the property the chaos sweep in
+``benchmarks/bench_campaign_server.py --chaos`` and the CI ``server-chaos``
+job rely on.  With all probabilities at 0 the proxy is a transparent relay.
+
+Server restarts are part of the repertoire: :meth:`ChaosProxy.set_upstream`
+repoints *future* connections at a freshly restarted server's port while
+existing (now dead) ones drain; while the upstream is down, dials fail and
+the proxy closes the client socket immediately, which a retrying client
+experiences as connection-refused-with-backoff.
+
+The proxy speaks raw bytes, not frames-as-objects: it never parses JSON
+and cannot "helpfully" repair what it forwards — what the receiver gets is
+exactly what a hostile network would deliver.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import threading
+import time
+from dataclasses import dataclass
+
+__all__ = ["ChaosConfig", "ChaosProxy"]
+
+_CHUNK = 65536
+
+
+@dataclass
+class ChaosConfig:
+    """Per-frame fault probabilities (at most one fault per frame).
+
+    ``delay_s`` is the hold applied to delayed frames — order within a
+    direction is preserved (the pump sleeps), so a delay stresses timeouts,
+    not reordering logic the framing never promised to handle.
+    """
+
+    drop: float = 0.0
+    delay: float = 0.0
+    truncate: float = 0.0
+    corrupt: float = 0.0
+    disconnect: float = 0.0
+    delay_s: float = 0.02
+
+    def total(self) -> float:
+        return self.drop + self.delay + self.truncate + self.corrupt + self.disconnect
+
+
+class _Disconnect(Exception):
+    """Internal: the dice said kill this proxied connection now."""
+
+
+class ChaosProxy:
+    """Seeded fault-injecting TCP relay for one client<->server link.
+
+    Parameters
+    ----------
+    upstream_port / upstream_host:
+        Where the real server listens (repointable via :meth:`set_upstream`).
+    config:
+        The fault mix; defaults to a transparent relay.
+    seed:
+        Root of every per-connection RNG stream; same seed, same faults.
+    """
+
+    def __init__(self, upstream_port: int, *,
+                 upstream_host: str = "127.0.0.1",
+                 host: str = "127.0.0.1", port: int = 0,
+                 config: ChaosConfig | None = None, seed: int = 0):
+        self.config = config if config is not None else ChaosConfig()
+        self.seed = int(seed)
+        self._upstream = (upstream_host, int(upstream_port))
+        self._lock = threading.Lock()
+        self._conn_index = 0
+        self._pairs: list[tuple[socket.socket, socket.socket]] = []
+        self._stopping = False
+        self.stats = {
+            "connections": 0, "frames": 0, "dropped": 0, "delayed": 0,
+            "truncated": 0, "corrupted": 0, "disconnects": 0,
+            "failed_dials": 0,
+        }
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen()
+        self.host = host
+        self.port = self._listener.getsockname()[1]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, daemon=True, name="chaos-proxy-accept"
+        )
+        self._accept_thread.start()
+
+    # ------------------------------------------------------------- control
+    def set_upstream(self, port: int, host: str | None = None) -> None:
+        """Repoint future connections (e.g. at a restarted server)."""
+        with self._lock:
+            self._upstream = (host or self._upstream[0], int(port))
+
+    def stop(self) -> None:
+        """Close the listener and every live proxied pair."""
+        self._stopping = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._lock:
+            pairs, self._pairs = self._pairs, []
+        for a, b in pairs:
+            for sock in (a, b):
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+
+    close = stop
+
+    def __enter__(self) -> "ChaosProxy":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------ plumbing
+    def _count(self, key: str, n: int = 1) -> None:
+        with self._lock:
+            self.stats[key] += n
+
+    def _accept_loop(self) -> None:
+        while not self._stopping:
+            try:
+                client, _ = self._listener.accept()
+            except OSError:
+                return
+            with self._lock:
+                index = self._conn_index
+                self._conn_index += 1
+                upstream = self._upstream
+            try:
+                server = socket.create_connection(upstream, timeout=2.0)
+            except OSError:
+                # Upstream down (mid-restart): the client experiences an
+                # immediate close and redials after backoff.
+                self._count("failed_dials")
+                try:
+                    client.close()
+                except OSError:
+                    pass
+                continue
+            for sock in (client, server):
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            with self._lock:
+                self._pairs.append((client, server))
+            self._count("connections")
+            for direction, (src, dst) in enumerate(
+                ((client, server), (server, client))
+            ):
+                # One independent, reproducible stream per connection
+                # direction: same seed, same fault schedule.
+                rng = random.Random(self.seed * 1_000_003 + index * 2 + direction)
+                threading.Thread(
+                    target=self._pump, args=(src, dst, rng),
+                    daemon=True, name=f"chaos-pump-{index}-{direction}",
+                ).start()
+
+    def _pump(self, src: socket.socket, dst: socket.socket, rng: random.Random) -> None:
+        buffer = bytearray()
+        try:
+            while True:
+                chunk = src.recv(_CHUNK)
+                if not chunk:
+                    break
+                buffer.extend(chunk)
+                while True:
+                    newline = buffer.find(b"\n")
+                    if newline < 0:
+                        break
+                    frame = bytes(buffer[: newline + 1])
+                    del buffer[: newline + 1]
+                    mangled = self._mangle(frame, rng)
+                    if mangled:
+                        dst.sendall(mangled)
+            if buffer:  # partial tail at EOF: the network would deliver it
+                dst.sendall(bytes(buffer))
+        except (_Disconnect, OSError):
+            pass
+        finally:
+            for sock in (src, dst):
+                try:
+                    sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+
+    def _mangle(self, frame: bytes, rng: random.Random) -> bytes | None:
+        """Apply at most one fault to one frame; returns bytes to forward."""
+        self._count("frames")
+        cfg = self.config
+        roll = rng.random()
+        if roll < cfg.drop:
+            self._count("dropped")
+            return None
+        roll -= cfg.drop
+        if roll < cfg.delay:
+            self._count("delayed")
+            time.sleep(cfg.delay_s)
+            return frame
+        roll -= cfg.delay
+        if roll < cfg.truncate:
+            self._count("truncated")
+            # Keep a newline-less stump: it glues onto the next frame and
+            # the receiver's CRC catches the mess.
+            return frame[: max(len(frame) // 2, 1)].rstrip(b"\n")
+        roll -= cfg.truncate
+        if roll < cfg.corrupt:
+            self._count("corrupted")
+            mutable = bytearray(frame)
+            # Flip a byte strictly inside the line so framing still splits
+            # on the newline but length/CRC validation fails.
+            position = rng.randrange(0, max(len(mutable) - 1, 1))
+            mutable[position] ^= 0xFF
+            if mutable[position : position + 1] == b"\n":
+                mutable[position] ^= 0x01  # never forge a frame boundary
+            return bytes(mutable)
+        roll -= cfg.corrupt
+        if roll < cfg.disconnect:
+            self._count("disconnects")
+            raise _Disconnect
+        return frame

@@ -1,10 +1,10 @@
-"""Small synchronous client for the campaign server.
+"""Retrying synchronous client for the campaign server.
 
 One :class:`CampaignClient` is one framed-socket connection; its methods
 map one-to-one onto the server verbs (see :mod:`repro.distributed.server`).
-Calls are synchronous — each sends one request and blocks for the matching
-``seq`` response — which is all the drivers of tens-to-hundreds of
-campaigns need: the *server* multiplexes, clients stay dumb.
+Calls are synchronous — each sends one request and blocks for its response
+— which is all the drivers of tens-to-hundreds of campaigns need: the
+*server* multiplexes, clients stay dumb.
 
     with CampaignClient(port=server.port) as client:
         cid = client.create("EasyBO-3", "branin", config={"n_init": 5,
@@ -14,47 +14,177 @@ campaigns need: the *server* multiplexes, clients stay dumb.
             result = problem.evaluate(x)
             if client.tell(cid, x, result)["done"]:
                 break
+
+Failure semantics
+-----------------
+The client assumes the link can lose, delay, truncate, or corrupt frames
+and that the server can restart mid-conversation (see
+:mod:`repro.distributed.chaos` for the proxy that manufactures exactly
+those conditions).  Every logical call carries one
+:func:`~repro.distributed.protocol.make_request_id` for its whole lifetime:
+
+* a **receive timeout** resends the same request on the same connection —
+  the request frame may simply have been dropped;
+* a **dead or corrupt connection** (:class:`ConnectionClosed`,
+  :class:`FrameCorruptionError`, ``OSError``) redials with capped
+  exponential backoff and resends;
+* **responses are matched by** ``request_id``, so a late reply to a call
+  that already timed out is discarded instead of being parsed as the next
+  call's answer (the classic desync bug of seq-only matching);
+* retries carry an ``attempt`` counter and the server's idempotent reply
+  cache guarantees a retried ``create``/``ask``/``tell`` replays the
+  original answer — the client never double-issues or double-counts.
+
+An ``ok: false`` response is *not* retried: the server heard the request
+and refused it; that answer would not change.
 """
 
 from __future__ import annotations
 
 import itertools
+import socket
+import time
 
 import numpy as np
 
 from repro.core.problem import EvaluationResult
-from repro.distributed.protocol import result_to_dict
-from repro.distributed.transport import connect
+from repro.distributed.protocol import make_request_id, result_to_dict
+from repro.distributed.transport import (
+    ConnectionClosed,
+    FrameCorruptionError,
+    connect,
+)
 
-__all__ = ["CampaignClient", "CampaignServerError"]
+__all__ = ["CampaignClient", "CampaignServerError", "CampaignRetriesExhausted"]
+
+#: Verbs that deserve more (or less) patience than the blanket timeout:
+#: ``create`` may spin up a worker pool, ``resume`` replays a whole journal.
+DEFAULT_VERB_TIMEOUTS = {"create": 60.0, "resume": 60.0}
 
 
 class CampaignServerError(RuntimeError):
     """The server refused or failed a request (its message is preserved)."""
 
 
+class CampaignRetriesExhausted(CampaignServerError):
+    """Every attempt of one logical call failed; the last cause is kept."""
+
+
 class CampaignClient:
-    """Synchronous RPC client; one connection, sequential seq-correlated calls."""
+    """Synchronous RPC client: one connection, retried idempotent calls.
+
+    Parameters
+    ----------
+    timeout:
+        Blanket per-attempt receive timeout in seconds (``None`` blocks
+        forever, disabling timeout-driven resends).
+    retries:
+        Extra attempts per logical call after the first (0 restores the
+        fail-fast client).
+    backoff / backoff_max:
+        Reconnect delay after a dead connection: ``backoff * 2**attempt``
+        seconds, capped at ``backoff_max`` — long enough for a restarted
+        server to come back, short enough to not stall a campaign.
+    verb_timeouts:
+        Per-verb overrides merged over :data:`DEFAULT_VERB_TIMEOUTS`.
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
-                 timeout: float | None = 30.0):
-        self._conn = connect(host, port, timeout=timeout)
+                 timeout: float | None = 30.0, retries: int = 5,
+                 backoff: float = 0.05, backoff_max: float = 2.0,
+                 verb_timeouts: dict | None = None):
+        self.host = host
+        self.port = port
         self._timeout = timeout
+        self._retries = max(int(retries), 0)
+        self._backoff = float(backoff)
+        self._backoff_max = float(backoff_max)
+        self._verb_timeouts = dict(DEFAULT_VERB_TIMEOUTS)
+        if verb_timeouts:
+            self._verb_timeouts.update(verb_timeouts)
         self._seq = itertools.count()
+        #: Telemetry for tests and the chaos bench.
+        self.n_retries = 0
+        self.n_reconnects = 0
+        self._conn = connect(host, port, timeout=timeout)
 
+    # ------------------------------------------------------------------ RPC
     def call(self, verb: str, **payload) -> dict:
-        """Send one request; block for its response; raise on ``ok: false``."""
-        seq = next(self._seq)
-        self._conn.send({"verb": verb, "seq": seq, **payload})
-        while True:
-            response = self._conn.recv(timeout=self._timeout)
-            if response is None:
-                raise CampaignServerError("server closed the connection")
-            if response.get("seq") != seq:
-                continue  # a stale response from a pipelined/aborted call
+        """One logical request: send, await its reply, retry through faults."""
+        request = {
+            "verb": verb,
+            "seq": next(self._seq),
+            "request_id": make_request_id(),
+            **payload,
+        }
+        timeout = self._verb_timeouts.get(verb, self._timeout)
+        last_cause = "no attempt made"
+        for attempt in range(self._retries + 1):
+            if attempt:
+                self.n_retries += 1
+                request["attempt"] = attempt
+            try:
+                if self._conn is None or self._conn.closed:
+                    self._redial(attempt)
+                self._conn.send(request)
+                response = self._await_reply(request, timeout)
+            except (socket.timeout, TimeoutError):
+                # The request (or its reply) may be sitting in a dropped
+                # frame; the connection itself still looks healthy, so
+                # resend on it rather than churning through reconnects.
+                last_cause = f"timed out after {timeout}s"
+                continue
+            except (ConnectionClosed, FrameCorruptionError, OSError) as exc:
+                last_cause = f"{type(exc).__name__}: {exc}"
+                self._teardown()
+                self._sleep_backoff(attempt)
+                continue
             if not response.get("ok"):
                 raise CampaignServerError(str(response.get("error")))
             return response
+        raise CampaignRetriesExhausted(
+            f"{verb!r} failed after {self._retries + 1} attempts; "
+            f"last cause: {last_cause}"
+        )
+
+    def _await_reply(self, request: dict, timeout: float | None) -> dict:
+        """Receive until the reply to *this* request arrives.
+
+        The deadline covers the whole wait, not each frame: a stream of
+        stale frames cannot keep a dead call alive.  Frames answering other
+        request ids — late replies to calls that already timed out — are
+        discarded, never returned.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise socket.timeout(f"no reply within {timeout}s")
+            response = self._conn.recv(timeout=remaining)
+            if response is None:
+                raise ConnectionClosed("server closed the connection")
+            echoed = response.get("request_id")
+            if echoed is not None:
+                if echoed == request["request_id"]:
+                    return response
+                continue  # stale reply to an earlier, abandoned call
+            if response.get("seq") == request["seq"]:
+                return response  # request_id-less server (compat path)
+
+    # ---------------------------------------------------------- connection
+    def _teardown(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+        self._conn = None
+
+    def _sleep_backoff(self, attempt: int) -> None:
+        time.sleep(min(self._backoff * (2 ** attempt), self._backoff_max))
+
+    def _redial(self, attempt: int) -> None:
+        self._conn = connect(self.host, self.port, timeout=self._timeout)
+        self.n_reconnects += 1
 
     # ----------------------------------------------------------------- verbs
     def ping(self) -> dict:
@@ -128,7 +258,7 @@ class CampaignClient:
 
     # ------------------------------------------------------------- lifecycle
     def close(self) -> None:
-        self._conn.close()
+        self._teardown()
 
     def __enter__(self) -> "CampaignClient":
         return self

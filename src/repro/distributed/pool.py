@@ -55,6 +55,7 @@ from repro.core.faults import FailurePolicy
 from repro.core.problem import STATUS_ORPHANED, STATUS_TIMEOUT, EvaluationResult
 from repro.distributed.protocol import (
     PROTOCOL_VERSION,
+    ProtocolError,
     problem_spec,
     result_from_dict,
 )
@@ -403,7 +404,9 @@ class ProcessWorkerPool:
     def _read_hello(self, conn: FramedConnection) -> None:
         try:
             frames = conn.receive_available()
-        except (ConnectionClosed, OSError):
+        except (ConnectionClosed, ProtocolError, OSError):
+            # ProtocolError covers a corrupt hello frame: an unidentifiable
+            # worker is indistinguishable from a dead one.
             self._selector.unregister(conn)
             self._unidentified.pop(conn, None)
             conn.close()
@@ -416,6 +419,11 @@ class ProcessWorkerPool:
     def _read_worker(self, slot: _Slot) -> None:
         try:
             frames = slot.conn.receive_available()
+        except ProtocolError as exc:
+            # A corrupt frame leaves the stream unrecoverable: treat it as
+            # that worker dying, not as a supervisor-crashing event.
+            self._worker_failed(slot, f"sent a corrupt frame ({exc})")
+            return
         except (ConnectionClosed, OSError):
             self._worker_failed(slot, "closed its connection")
             return

@@ -35,12 +35,25 @@ to the by-name registry used by crash recovery
 pickled, such as the synthetic benchmarks built around closures.  Named
 specs rebuild the problem with constructor defaults — pass a picklable
 problem when non-default construction matters.
+
+Idempotent requests
+-------------------
+The campaign RPC (:mod:`repro.distributed.server` /
+:mod:`~repro.distributed.client`) additionally tags every request with a
+client-generated ``request_id`` (:func:`make_request_id`) and an ``attempt``
+counter.  The server keeps a bounded per-campaign reply cache keyed by
+``request_id`` — journaled alongside the campaign events, so it survives a
+server restart — and a retried state-changing verb (``create`` / ``ask`` /
+``tell``) returns the *original* reply instead of re-executing: a dropped
+response frame never double-issues a point or double-counts an observation.
+Replayed responses carry ``"replayed": true``.
 """
 
 from __future__ import annotations
 
 import base64
 import pickle
+import uuid
 
 import numpy as np
 
@@ -49,6 +62,7 @@ from repro.core.problem import EvaluationResult
 __all__ = [
     "PROTOCOL_VERSION",
     "ProtocolError",
+    "make_request_id",
     "problem_spec",
     "load_problem",
     "result_to_dict",
@@ -62,6 +76,17 @@ PROTOCOL_VERSION = 1
 
 class ProtocolError(RuntimeError):
     """A malformed or out-of-order message on a worker connection."""
+
+
+def make_request_id() -> str:
+    """Globally unique id for one logical request (stable across retries).
+
+    Uniqueness must hold across client restarts — a resurrected client must
+    never collide with an id the server already cached — so this is a UUID,
+    not a counter.  The id identifies the *logical* call: every retry of the
+    same call resends the same id with a bumped ``attempt``.
+    """
+    return uuid.uuid4().hex
 
 
 def problem_spec(problem) -> dict:

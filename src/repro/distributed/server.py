@@ -16,15 +16,28 @@ CRC-framed loopback socket RPC the process-worker fleet uses
 Durability and supervision
 --------------------------
 Every campaign appends to its own write-ahead journal
-(``journal_dir/<id>.journal``); a killed client, a server crash, or an
-explicit ``suspend`` all leave a journal from which ``resume`` rebuilds the
-bit-exact campaign state (GP data, hyperparameters, RNG stream, pending
-set).  A client disconnect mid-campaign suspends the campaigns it owns:
-their pools are shut down (no leaked worker processes), their leases
-return to the registry, and their journals stay resumable.  A request that
-raises inside ``ask``/``tell`` takes the same path — the campaign is
-suspended with its pool reaped and the error is returned to the client
-instead of wedging the server.
+(``journal_dir/<id>.journal``) and every lifecycle transition to the
+server-level manifest (``journal_dir/server.manifest``, see
+:mod:`repro.distributed.manifest`).  A killed client, a server crash
+(kill -9 included), or an explicit ``suspend`` all leave durable journals:
+on start with a ``journal_dir`` the server scans the manifest and replays
+every non-terminal campaign via
+:func:`~repro.core.campaign.resume_campaign` to bit-exact state (GP data,
+hyperparameters, RNG stream, pending set), re-leasing workers for
+server-evaluated campaigns — a restarted server answers ``status``/``ask``
+as if nothing happened.  A campaign whose journal is missing or corrupt
+degrades to ``failed`` while the rest recover.
+
+A client disconnect mid-campaign suspends the campaigns it owns: their
+pools are shut down (no leaked worker processes), their leases return to
+the registry, and their journals stay resumable — and because the suspend
+was not the client's choice, a *retried* ``ask``/``tell`` from a
+reconnected client revives the campaign transparently.  A request that
+raises inside ``ask``/``tell`` takes the failure path — the campaign is
+failed with its pool reaped and the error is returned to the client
+instead of wedging the server.  A corrupt frame
+(:class:`~repro.distributed.transport.FrameCorruptionError`) drops only
+the connection it arrived on.
 
 Wire protocol
 -------------
@@ -33,12 +46,20 @@ carries a client-chosen ``seq`` echoed in the response, so clients may
 pipeline.  ``{"verb": ..., "seq": n, ...}`` -> ``{"seq": n, "ok": true,
 ...}`` or ``{"seq": n, "ok": false, "error": msg}``.
 
+Requests may additionally carry a ``request_id`` (and an ``attempt``
+retry counter).  State-changing verbs (``create``/``ask``/``tell``) are
+then idempotent: the server keeps a bounded per-campaign reply cache —
+rebuilt from the journals after a restart — and a retried request returns
+the original reply (marked ``"replayed": true``) instead of double-issuing
+points or double-counting observations.
+
 Verbs: ``ping``, ``create``, ``ask``, ``tell``, ``status``, ``list``,
 ``metrics``, ``suspend``, ``resume``, ``close``, ``stop``.
 """
 
 from __future__ import annotations
 
+import collections
 import os
 import pathlib
 import selectors
@@ -48,9 +69,22 @@ import time
 import numpy as np
 
 from repro.core.bo import shutdown_pool
-from repro.core.campaign import Campaign, CampaignExhausted, make_campaign, resume_campaign
+from repro.core.campaign import (
+    Campaign,
+    CampaignExhausted,
+    make_campaign,
+    read_campaign_journal,
+    resume_campaign,
+)
+from repro.distributed.manifest import (
+    TERMINAL_EVENTS,
+    ServerManifest,
+    manifest_state,
+    read_manifest,
+)
 from repro.distributed.protocol import (
     PROTOCOL_VERSION,
+    ProtocolError,
     load_problem,
     result_from_dict,
 )
@@ -58,6 +92,15 @@ from repro.distributed.transport import ConnectionClosed, FramedConnection, list
 from repro.obs import NULL_OBS
 
 __all__ = ["CampaignServer", "WorkerLeaseRegistry", "ServerError"]
+
+#: Bound on each campaign's idempotent reply cache.  Retries arrive within a
+#: client's backoff horizon — a handful of round-trips — so a few hundred
+#: remembered replies is already generous; the bound keeps a long campaign's
+#: memory O(1).
+REPLY_CACHE_LIMIT = 256
+
+#: Verbs with side effects whose replies are cached under ``request_id``.
+_IDEMPOTENT_VERBS = frozenset(("create", "ask", "tell"))
 
 
 class ServerError(RuntimeError):
@@ -112,11 +155,39 @@ class WorkerLeaseRegistry:
         self._leases.pop(campaign_id, None)
 
 
-class _Hosted:
-    """One campaign under management: state, owner, and (optionally) a pool."""
+class _ReplyCache:
+    """Bounded ``request_id -> reply payload`` map (insertion-evicting)."""
 
-    def __init__(self, campaign_id: str, campaign: Campaign, *, label: str,
-                 problem_name: str, owner: FramedConnection | None):
+    def __init__(self, limit: int = REPLY_CACHE_LIMIT):
+        self.limit = int(limit)
+        self._replies: "collections.OrderedDict[str, dict]" = (
+            collections.OrderedDict()
+        )
+
+    def get(self, request_id: str) -> dict | None:
+        return self._replies.get(request_id)
+
+    def put(self, request_id: str, payload: dict) -> None:
+        self._replies[request_id] = payload
+        while len(self._replies) > self.limit:
+            self._replies.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._replies)
+
+
+class _Hosted:
+    """One campaign under management: state, owner, and (optionally) a pool.
+
+    ``campaign`` may be ``None`` for a *stub* — a campaign the restarted
+    server knows about from the manifest but has not (re)loaded: suspended
+    campaigns await their revival, failed/finished ones only answer
+    ``status``.
+    """
+
+    def __init__(self, campaign_id: str, campaign: Campaign | None, *,
+                 label: str, problem_name: str,
+                 owner: FramedConnection | None):
         self.id = campaign_id
         self.campaign = campaign
         self.label = label
@@ -126,6 +197,13 @@ class _Hosted:
         self.n_workers = 0
         self.state = "active"  # active | finished | suspended | failed
         self.error: str | None = None
+        #: Suspension the campaign's client did not ask for (disconnect,
+        #: server shutdown): a retried ask/tell revives it transparently.
+        self.auto_resumable = False
+        self.replies = _ReplyCache()
+        #: Manifest-derived creation context for stubs, so a later revival
+        #: can rebuild worker leases/pools without the client re-sending them.
+        self.manifest_info: dict | None = None
 
     @property
     def evaluating(self) -> bool:
@@ -141,15 +219,21 @@ class CampaignServer:
         Listening address; port 0 binds an ephemeral port, read it back
         from :attr:`port`.
     journal_dir:
-        Directory for per-campaign write-ahead journals.  ``None`` disables
-        journaling (campaigns are then not crash-resumable).
+        Directory for per-campaign write-ahead journals and the server
+        manifest.  On start the manifest is scanned and every non-terminal
+        campaign is recovered to bit-exact state (see
+        :mod:`repro.distributed.manifest`).  ``None`` disables journaling
+        (campaigns are then not crash-resumable).
     max_workers:
         Capacity of the shared :class:`WorkerLeaseRegistry` for
         server-evaluated campaigns.
     obs:
         Optional :class:`~repro.obs.Observability` facade; the server feeds
         the ``campaign.*`` counters (creates, asks, tells, suspends,
-        resumes, finishes, errors) and hands itself to hosted campaigns.
+        resumes, finishes, errors), the ``rpc.*`` idempotency counters
+        (retries, replayed_replies), and the ``server.*`` gauges (uptime,
+        recoveries, frame_corruptions), and hands itself to hosted
+        campaigns.
     """
 
     def __init__(
@@ -169,6 +253,20 @@ class CampaignServer:
         self._campaigns: dict[str, _Hosted] = {}
         self._next_id = 0
         self._stopping = False
+        self._aborted = False
+        self._started_at = time.monotonic()
+        self.recoveries = 0
+        self.rpc_retries = 0
+        self.rpc_replayed_replies = 0
+        self.frame_corruptions = 0
+        self._create_replies = _ReplyCache(limit=4 * REPLY_CACHE_LIMIT)
+        self.manifest = (
+            None
+            if self.journal_dir is None
+            else ServerManifest(self.journal_dir / "server.manifest")
+        )
+        if self.manifest is not None:
+            self._recover()
         self._selector = selectors.DefaultSelector()
         self._listener, self.port = listen(host, port)
         self.host = host
@@ -199,21 +297,254 @@ class CampaignServer:
         """Ask the event loop to exit after the current pass."""
         self._stopping = True
 
+    def abort(self) -> None:
+        """Simulate kill -9: exit *without* any suspend/journal bookkeeping.
+
+        On-disk journals and the manifest stay exactly as the crash left
+        them — no suspend events, no campaign_end records — which is what a
+        SIGKILL'd process leaves behind; a new server on the same
+        ``journal_dir`` must recover from that state alone.  (Unlike a real
+        kill -9 the worker pools *are* reaped, purely so tests and the
+        chaos bench never leak OS processes; pool shutdown touches no
+        journal.)
+        """
+        self._aborted = True
+        self._stopping = True
+
     def _shutdown(self) -> None:
         """Suspend every campaign and release every socket (idempotent)."""
-        for hosted in list(self._campaigns.values()):
-            if hosted.state == "active":
-                self._suspend(hosted, reason="server shutdown")
+        if self._aborted:
+            for hosted in self._campaigns.values():
+                shutdown_pool(hosted.pool)
+                hosted.pool = None
+        else:
+            for hosted in list(self._campaigns.values()):
+                if hosted.state == "active":
+                    self._suspend(hosted, reason="server shutdown", auto=True)
         for conn in list(self._connections):
-            self._drop_client(conn)
+            if self._aborted:
+                conn.close()
+            else:
+                self._drop_client(conn)
+        self._connections.clear()
         try:
             self._selector.unregister(self._listener)
         except (KeyError, ValueError):
             pass
         self._listener.close()
         self._selector.close()
+        if self.manifest is not None and not self._aborted:
+            self.manifest.close()
 
     close = stop
+
+    # --------------------------------------------------------------- recovery
+    def _recover(self) -> None:
+        """Replay the manifest: reload every non-terminal campaign.
+
+        Campaigns whose last event is terminal become status-only stubs;
+        suspended ones become resumable stubs (revived on demand); everything
+        else — including campaigns the crash caught mid-``ask`` — is replayed
+        from its journal to bit-exact state, with leases re-registered and
+        in-flight points resubmitted for server-evaluated campaigns.  A
+        campaign whose journal is missing or corrupt degrades to ``failed``
+        without taking the rest down.
+        """
+        state = manifest_state(read_manifest(self.manifest.path))
+        for campaign_id in sorted(state):
+            info = state[campaign_id]
+            try:
+                self._next_id = max(
+                    self._next_id, int(campaign_id.lstrip("c")) + 1
+                )
+            except ValueError:
+                pass
+            last = info.get("state")
+            if info.get("request_id"):
+                self._create_replies.put(
+                    info["request_id"],
+                    {"ok": True, "campaign": campaign_id,
+                     "n_workers": int(info.get("n_workers") or 0)},
+                )
+            if last in TERMINAL_EVENTS:
+                stub = self._stub(campaign_id, info, "finished")
+                stub.campaign = None
+                continue
+            if last == "failed":
+                self._stub(campaign_id, info, "failed",
+                           error=info.get("error"))
+                continue
+            if last == "suspended":
+                stub = self._stub(campaign_id, info, "suspended",
+                                  error=info.get("error"))
+                stub.auto_resumable = bool(info.get("auto", False))
+                continue
+            # created / started / resumed / recovered: the crash caught it
+            # live.
+            try:
+                path = self._journal_path(campaign_id)
+                if (
+                    path is not None
+                    and not os.path.exists(path)
+                    and last == "created"
+                    and isinstance(info.get("config"), dict)
+                ):
+                    # Killed inside create, after the manifest append but
+                    # before the journal materialized: rebuild fresh from
+                    # the recorded config — same seed, same trajectory.
+                    # (Once ``started`` was recorded the journal existed;
+                    # a missing file then is data loss and degrades below.)
+                    self._rebuild_created(campaign_id, info)
+                else:
+                    self._load_campaign(campaign_id, info, owner=None)
+                self.recoveries += 1
+            except Exception as exc:  # noqa: BLE001 — degrade this one only
+                stub = self._stub(
+                    campaign_id, info, "failed",
+                    error=f"unrecoverable journal: {type(exc).__name__}: {exc}",
+                )
+                self._record("failed", campaign_id, error=stub.error)
+                self.obs.inc("campaign.errors")
+        if self.recoveries:
+            self.obs.inc("campaign.resumes", self.recoveries)
+
+    def _stub(self, campaign_id: str, info: dict, state: str, *,
+              error: str | None = None) -> _Hosted:
+        hosted = _Hosted(
+            campaign_id, None,
+            label=str(info.get("label", "?")),
+            problem_name=str(info.get("problem", "?")),
+            owner=None,
+        )
+        hosted.state = state
+        hosted.error = error
+        hosted.manifest_info = dict(info)
+        self._campaigns[campaign_id] = hosted
+        return hosted
+
+    def _load_campaign(self, campaign_id: str, info: dict | None, *,
+                       owner: FramedConnection | None) -> _Hosted:
+        """Resume a campaign from its journal into the active table.
+
+        The shared path behind startup recovery, the ``resume`` verb, and
+        the transparent revival of auto-resumable suspensions: replays the
+        journal to bit-exact state, rebuilds the idempotent reply cache from
+        the journaled request ids, re-leases workers for server-evaluated
+        campaigns, and records the transition in the manifest.
+        """
+        path = self._journal_path(campaign_id)
+        if path is None or not os.path.exists(path):
+            raise ServerError(
+                f"campaign {campaign_id!r} has no journal to resume from"
+            )
+        campaign = resume_campaign(path)
+        campaign.obs = self.obs
+        prior = self._campaigns.get(campaign_id)
+        if info is None:
+            info = prior.manifest_info if prior is not None else None
+        if info is None:
+            info = {}
+        label = str(
+            info.get("label")
+            or (prior.label if prior is not None else campaign.algorithm)
+        )
+        hosted = _Hosted(
+            campaign_id, campaign, label=label,
+            problem_name=campaign.problem.name, owner=owner,
+        )
+        self._rebuild_replies(hosted, path)
+        self._campaigns[campaign_id] = hosted
+        if info.get("evaluate"):
+            requested = int(info.get("n_workers") or campaign.batch_size)
+            granted = self.leases.lease(campaign_id, requested)
+            hosted.pool = self._make_pool(
+                campaign.problem, granted, campaign,
+                backend=info.get("pool", "virtual"),
+            )
+            hosted.n_workers = granted
+            # Points the crash caught in flight go straight back to workers;
+            # the drive loop only feeds *fresh* asks.
+            for point in campaign.pending:
+                hosted.pool.submit(point)
+        self._record(
+            "recovered", campaign_id,
+            label=label, problem=hosted.problem_name,
+            evaluate=bool(info.get("evaluate", False)),
+            pool=info.get("pool", "virtual"),
+            n_workers=hosted.n_workers,
+        )
+        return hosted
+
+    def _rebuild_created(self, campaign_id: str, info: dict) -> _Hosted:
+        """Rebuild a campaign the crash caught between create and first write."""
+        if "problem_spec" in info:
+            problem = load_problem(info["problem_spec"])
+        else:
+            from repro.core.recovery import resolve_problem
+
+            problem = resolve_problem(str(info.get("problem", "")))
+        label = str(info.get("label", "EasyBO"))
+        campaign = make_campaign(
+            label,
+            problem,
+            journal=self._journal_path(campaign_id),
+            obs=self.obs,
+            **dict(info.get("config") or {}),
+        )
+        campaign.start()
+        hosted = _Hosted(
+            campaign_id, campaign, label=label,
+            problem_name=getattr(problem, "name", str(problem)), owner=None,
+        )
+        self._campaigns[campaign_id] = hosted
+        if info.get("evaluate"):
+            granted = self.leases.lease(
+                campaign_id, int(info.get("n_workers") or campaign.batch_size)
+            )
+            hosted.pool = self._make_pool(
+                problem, granted, campaign, backend=info.get("pool", "virtual")
+            )
+            hosted.n_workers = granted
+        self._record(
+            "recovered", campaign_id,
+            label=label, problem=hosted.problem_name,
+            evaluate=bool(info.get("evaluate", False)),
+            pool=info.get("pool", "virtual"),
+            n_workers=hosted.n_workers,
+        )
+        return hosted
+
+    def _rebuild_replies(self, hosted: _Hosted, path) -> None:
+        """Rebuild the reply cache from the journaled request ids.
+
+        The journal *is* the durable reply cache: every ask/tell that was
+        applied carries its ``request_id``, so a retry that raced a server
+        crash still replays the original answer instead of hitting a
+        "not pending" error or double-issuing points.
+        """
+        try:
+            events = read_campaign_journal(path)
+        except Exception:  # noqa: BLE001 — cache rebuild is best-effort
+            return
+        for event in events:
+            request_id = event.get("request_id")
+            if not request_id:
+                continue
+            kind = event.get("type")
+            if kind == "ask":
+                hosted.replies.put(
+                    request_id, {"ok": True, "points": event["points"]}
+                )
+            elif kind == "tell":
+                hosted.replies.put(
+                    request_id,
+                    {"ok": True, "action": event.get("action"),
+                     "done": bool(event.get("done", False))},
+                )
+
+    def _record(self, event: str, campaign_id: str, **fields) -> None:
+        if self.manifest is not None:
+            self.manifest.record(event, campaign_id, **fields)
 
     # ----------------------------------------------------------- connections
     def _accept(self) -> None:
@@ -241,11 +572,19 @@ class CampaignServer:
             if hosted.owner is conn:
                 hosted.owner = None
                 if hosted.state == "active":
-                    self._suspend(hosted, reason="client disconnected")
+                    self._suspend(hosted, reason="client disconnected",
+                                  auto=True)
 
     def _read_client(self, conn: FramedConnection) -> None:
         try:
             frames = conn.receive_available()
+        except ProtocolError:
+            # A corrupt frame poisons only this connection's byte stream:
+            # drop the client, keep serving everyone else.
+            self.frame_corruptions += 1
+            self.obs.inc("server.frame_corruptions")
+            self._drop_client(conn)
+            return
         except (ConnectionClosed, OSError):
             self._drop_client(conn)
             return
@@ -258,21 +597,58 @@ class CampaignServer:
     def _handle_request(self, conn: FramedConnection, request: dict) -> None:
         seq = request.get("seq")
         verb = request.get("verb")
+        request_id = request.get("request_id")
+        if request.get("attempt"):
+            self.rpc_retries += 1
+            self.obs.inc("rpc.retries")
         handler = getattr(self, f"_verb_{verb}", None)
         try:
-            if handler is None:
-                raise ServerError(f"unknown verb {verb!r}")
-            payload = handler(conn, request)
+            if verb in ("ask", "tell"):
+                # Revive before the cache lookup: the revival *rebuilds* the
+                # reply cache from the journal, and a retry whose original
+                # ask raced a crash must find its cached answer there.
+                self._revive_if_needed(request.get("campaign"), conn)
+            cached = self._cached_reply(verb, request_id, request)
+            if cached is not None:
+                self.rpc_replayed_replies += 1
+                self.obs.inc("rpc.replayed_replies")
+                payload = {**cached, "replayed": True}
+            else:
+                if handler is None:
+                    raise ServerError(f"unknown verb {verb!r}")
+                payload = handler(conn, request)
+                payload = {"ok": True, **(payload or {})}
+                self._store_reply(verb, request_id, request, payload)
         except Exception as exc:  # noqa: BLE001 — every failure becomes a response
             self.obs.inc("campaign.errors")
             payload = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
-        else:
-            payload = {"ok": True, **(payload or {})}
         payload["seq"] = seq
+        if request_id is not None:
+            payload["request_id"] = request_id
         try:
             conn.send(payload)
         except (ConnectionClosed, OSError):
             self._drop_client(conn)
+
+    def _cached_reply(self, verb, request_id, request) -> dict | None:
+        if request_id is None or verb not in _IDEMPOTENT_VERBS:
+            return None
+        if verb == "create":
+            return self._create_replies.get(request_id)
+        hosted = self._campaigns.get(request.get("campaign"))
+        if hosted is None:
+            return None
+        return hosted.replies.get(request_id)
+
+    def _store_reply(self, verb, request_id, request, payload: dict) -> None:
+        if request_id is None or verb not in _IDEMPOTENT_VERBS:
+            return
+        if verb == "create":
+            self._create_replies.put(request_id, dict(payload))
+            return
+        hosted = self._campaigns.get(request.get("campaign"))
+        if hosted is not None:
+            hosted.replies.put(request_id, dict(payload))
 
     def _get(self, campaign_id, *, state: str | None = "active") -> _Hosted:
         hosted = self._campaigns.get(campaign_id)
@@ -283,6 +659,23 @@ class CampaignServer:
                 f"campaign {campaign_id!r} is {hosted.state}, not {state}"
             )
         return hosted
+
+    def _revive_if_needed(self, campaign_id, conn) -> None:
+        """Transparently resume a campaign suspended *on* (not *by*) its client.
+
+        Disconnect- and shutdown-suspensions are bookkeeping, not intent: a
+        reconnected client retrying an ``ask``/``tell`` should find its
+        campaign exactly where it left it, without knowing the server
+        suspended (or restarted) in between.
+        """
+        hosted = self._campaigns.get(campaign_id)
+        if (
+            hosted is not None
+            and hosted.state == "suspended"
+            and hosted.auto_resumable
+        ):
+            self._load_campaign(campaign_id, None, owner=conn)
+            self.obs.inc("campaign.resumes")
 
     def _journal_path(self, campaign_id: str):
         if self.journal_dir is None:
@@ -309,10 +702,11 @@ class CampaignServer:
         # so a resumed campaign keeps it without the client re-sending it.
         if "pending_policy" in request:
             config.setdefault("pending_policy", request["pending_policy"])
+        journal_path = self._journal_path(campaign_id)
         campaign = make_campaign(
             label,
             problem,
-            journal=self._journal_path(campaign_id),
+            journal=journal_path,
             obs=self.obs,
             **config,
         )
@@ -336,6 +730,34 @@ class CampaignServer:
                 campaign.close()
                 del self._campaigns[campaign_id]
                 raise
+        created = {
+            "label": str(label),
+            "problem": hosted.problem_name,
+            "journal": None if journal_path is None else str(journal_path),
+            "config": config,
+            "evaluate": bool(request.get("evaluate", False)),
+            "pool": request.get("pool", "virtual"),
+            "n_workers": granted,
+        }
+        if "problem_spec" in request:
+            created["problem_spec"] = request["problem_spec"]
+        if request.get("request_id") is not None:
+            created["request_id"] = request["request_id"]
+        # Manifest first, then journal: a kill between the two appends leaves
+        # a ``created`` record whose config rebuilds the campaign fresh
+        # (:meth:`_rebuild_created`); the reverse order would orphan a
+        # journal the manifest never heard of.
+        self._record("created", campaign_id, **created)
+        if journal_path is not None:
+            # Materialize the campaign journal (campaign_start + doe) before
+            # the client hears the id.  start() is idempotent, so the first
+            # ask sees the same design and RNG stream either way.  The
+            # ``started`` event marks the journal as existing: from here on
+            # a *missing* journal is data loss, not a creation crash, and
+            # recovery degrades the campaign instead of silently rebuilding
+            # a fresh one whose replies would diverge.
+            campaign.start()
+            self._record("started", campaign_id)
         self.obs.inc("campaign.creates")
         return {"campaign": campaign_id, "n_workers": granted}
 
@@ -369,14 +791,16 @@ class CampaignServer:
                 "instead of asking"
             )
         n = request.get("n")
+        request_id = request.get("request_id")
         try:
             if n is None:
-                points = [hosted.campaign.ask()]
+                points = [hosted.campaign.ask(request_id=request_id)]
             else:
-                points = hosted.campaign.ask(int(n))
+                points = hosted.campaign.ask(int(n), request_id=request_id)
         except CampaignExhausted as exc:
             raise ServerError(str(exc)) from None
-        except Exception:
+        except Exception as exc:
+            hosted.error = f"{type(exc).__name__}: {exc}"
             self._fail(hosted)
             raise
         return {"points": [[float(v) for v in p] for p in points]}
@@ -386,8 +810,11 @@ class CampaignServer:
         x = np.asarray(request["x"], dtype=float)
         result = result_from_dict(request["result"])
         try:
-            action = hosted.campaign.tell(x, result)
-        except Exception:
+            action = hosted.campaign.tell(
+                x, result, request_id=request.get("request_id")
+            )
+        except Exception as exc:
+            hosted.error = f"{type(exc).__name__}: {exc}"
             self._fail(hosted)
             raise
         if hosted.campaign.done:
@@ -405,50 +832,58 @@ class CampaignServer:
 
     def _verb_metrics(self, conn, request) -> dict:
         states = [h.state for h in self._campaigns.values()]
-        return {
-            "metrics": {
-                "campaigns": len(self._campaigns),
-                "active": states.count("active"),
-                "finished": states.count("finished"),
-                "suspended": states.count("suspended"),
-                "failed": states.count("failed"),
-                "workers_leased": self.leases.leased,
-                "worker_capacity": self.leases.capacity,
-            }
+        uptime = time.monotonic() - self._started_at
+        registry = self.obs.metrics
+        if registry is not None:
+            registry.set_gauge("server.uptime_seconds", uptime)
+            registry.set_counter("server.recoveries", self.recoveries)
+        metrics = {
+            "campaigns": len(self._campaigns),
+            "active": states.count("active"),
+            "finished": states.count("finished"),
+            "suspended": states.count("suspended"),
+            "failed": states.count("failed"),
+            "workers_leased": self.leases.leased,
+            "worker_capacity": self.leases.capacity,
+            "uptime_seconds": uptime,
+            "recoveries": self.recoveries,
+            "rpc_retries": self.rpc_retries,
+            "rpc_replayed_replies": self.rpc_replayed_replies,
+            "frame_corruptions": self.frame_corruptions,
         }
+        if registry is not None:
+            metrics["registry"] = registry.as_dict()
+        return {"metrics": metrics}
 
     def _verb_suspend(self, conn, request) -> dict:
-        hosted = self._get(request.get("campaign"))
-        self._suspend(hosted, reason="suspended by client")
+        hosted = self._get(request.get("campaign"), state=None)
+        if hosted.state == "suspended":
+            return {"state": hosted.state}  # idempotent for retries
+        if hosted.state != "active":
+            raise ServerError(
+                f"campaign {hosted.id!r} is {hosted.state}, not active"
+            )
+        self._suspend(hosted, reason="suspended by client", auto=False)
         return {"state": hosted.state}
 
     def _verb_resume(self, conn, request) -> dict:
         campaign_id = request.get("campaign")
         hosted = self._campaigns.get(campaign_id)
-        if hosted is not None and hosted.state == "active":
-            raise ServerError(f"campaign {campaign_id!r} is already active")
-        path = self._journal_path(campaign_id)
-        if path is None or not os.path.exists(path):
-            raise ServerError(
-                f"campaign {campaign_id!r} has no journal to resume from"
-            )
-        campaign = resume_campaign(path)
-        campaign.obs = self.obs
-        label = hosted.label if hosted is not None else campaign.algorithm
-        hosted = _Hosted(
-            campaign_id, campaign, label=label,
-            problem_name=campaign.problem.name, owner=conn,
-        )
-        self._campaigns[campaign_id] = hosted
+        if hosted is None or hosted.state != "active":
+            hosted = self._load_campaign(campaign_id, None, owner=conn)
+            self.obs.inc("campaign.resumes")
+        else:
+            # Idempotent: a retried resume whose reply was lost finds the
+            # campaign already active and just reads it back.
+            hosted.owner = conn
         # Keep ids monotonic across resumes of journals from a prior server.
         try:
             self._next_id = max(self._next_id, int(campaign_id.lstrip("c")) + 1)
         except ValueError:
             pass
-        self.obs.inc("campaign.resumes")
         return {
             "campaign": campaign_id,
-            "pending": [[float(v) for v in p] for p in campaign.pending],
+            "pending": [[float(v) for v in p] for p in hosted.campaign.pending],
             "status": self._status(hosted),
         }
 
@@ -465,6 +900,26 @@ class CampaignServer:
     # ----------------------------------------------------- state transitions
     def _status(self, hosted: _Hosted) -> dict:
         campaign = hosted.campaign
+        if campaign is None:
+            # A stub: known from the manifest, not (re)loaded.  Budget
+            # numbers live in the journal; state and identity suffice here.
+            return {
+                "campaign": hosted.id,
+                "label": hosted.label,
+                "algorithm": None,
+                "problem": hosted.problem_name,
+                "state": hosted.state,
+                "issued": None,
+                "max_evals": None,
+                "n_pending": None,
+                "n_observations": None,
+                "exhausted": None,
+                "done": hosted.state == "finished",
+                "evaluating": False,
+                "n_workers": 0,
+                "best_fom": None,
+                "error": hosted.error,
+            }
         best = campaign.best()
         return {
             "campaign": hosted.id,
@@ -490,17 +945,20 @@ class CampaignServer:
         hosted.pool = None
         self.leases.release(hosted.id)
 
-    def _suspend(self, hosted: _Hosted, *, reason: str) -> None:
+    def _suspend(self, hosted: _Hosted, *, reason: str, auto: bool) -> None:
         self._release_pool(hosted)
         hosted.state = "suspended"
         hosted.error = reason
+        hosted.auto_resumable = auto
         hosted.campaign.close()  # journal stays on disk, resumable
+        self._record("suspended", hosted.id, error=reason, auto=auto)
         self.obs.inc("campaign.suspends")
 
     def _finish(self, hosted: _Hosted) -> None:
         self._release_pool(hosted)
         hosted.state = "finished"
         hosted.campaign.finish()
+        self._record("finished", hosted.id)
         self.obs.inc("campaign.finishes")
 
     def _fail(self, hosted: _Hosted) -> None:
@@ -508,6 +966,7 @@ class CampaignServer:
         self._release_pool(hosted)
         hosted.state = "failed"
         hosted.campaign.close()
+        self._record("failed", hosted.id, error=hosted.error)
 
     # -------------------------------------------------- server-side driving
     def _drive_evaluating(self) -> None:

@@ -15,17 +15,40 @@ from __future__ import annotations
 
 import socket
 
-from repro.core.journal import frame_record, parse_line
+from repro.core.journal import frame_error, frame_record, parse_line
 
 from repro.distributed.protocol import ProtocolError
 
-__all__ = ["ConnectionClosed", "FramedConnection", "listen", "connect"]
+__all__ = [
+    "ConnectionClosed",
+    "FrameCorruptionError",
+    "FramedConnection",
+    "listen",
+    "connect",
+]
 
 _CHUNK = 65536
 
 
 class ConnectionClosed(ConnectionError):
     """The peer closed the socket (worker death or supervisor exit)."""
+
+
+class FrameCorruptionError(ProtocolError):
+    """A frame on the stream failed its length/CRC validation.
+
+    Once a frame is corrupt the byte stream has no recoverable alignment —
+    the connection must be dropped, but *only* that connection: the server
+    keeps serving its other clients and a retrying client redials.  Carries
+    the stream offset where corruption was detected and the framing detail
+    (which invariant broke, expected vs computed CRC) for diagnosis.
+    """
+
+    def __init__(self, message: str, *, offset: int | None = None,
+                 detail: str | None = None):
+        super().__init__(message)
+        self.offset = offset
+        self.detail = detail
 
 
 def listen(host: str = "127.0.0.1", port: int = 0) -> tuple[socket.socket, int]:
@@ -51,6 +74,7 @@ class FramedConnection:
         self._sock = sock
         self._buffer = bytearray()
         self._closed = False
+        self._consumed = 0  # bytes of valid frames already popped
 
     def fileno(self) -> int:
         return self._sock.fileno()
@@ -77,7 +101,14 @@ class FramedConnection:
         del self._buffer[: newline + 1]
         record = parse_line(line)
         if record is None:
-            raise ProtocolError(f"corrupt frame on socket: {line[:64]!r}")
+            detail = frame_error(line) or "unknown framing violation"
+            raise FrameCorruptionError(
+                f"corrupt frame at stream offset {self._consumed} "
+                f"({detail}): {line[:64]!r}",
+                offset=self._consumed,
+                detail=detail,
+            )
+        self._consumed += len(line)
         return record
 
     def recv(self, timeout: float | None = None) -> dict | None:

@@ -1,0 +1,250 @@
+"""Chaos proxy + retrying client: campaigns survive a hostile network.
+
+The proxy (:mod:`repro.distributed.chaos`) drops, delays, truncates, and
+corrupts frames and kills connections mid-stream — seeded, so every run of
+a given ``REPRO_CHAOS_SEED`` injects the identical fault schedule.  The
+contract under test is the tentpole's acceptance criterion: a campaign
+driven through the proxy by a retrying client, with the server kill -9'd
+and restarted mid-run, finishes with a trajectory byte-for-byte equal to
+an uninterrupted local twin — retries never double-issue points or
+double-count observations.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.circuits.benchmarks import sphere
+from repro.core import make_campaign
+from repro.core.journal import frame_record
+from repro.distributed import (
+    CampaignClient,
+    ChaosConfig,
+    ChaosProxy,
+    serve,
+)
+from repro.distributed.transport import FrameCorruptionError, FramedConnection
+from repro.obs import MetricsRegistry, Observability
+
+CONFIG = dict(n_init=3, max_evals=6, acq_candidates=32, acq_restarts=1)
+
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+
+
+def _serve(journal_dir):
+    return serve(journal_dir=journal_dir, max_workers=4,
+                 obs=Observability(metrics=MetricsRegistry()),
+                 background=True)
+
+
+def _kill(server):
+    server.abort()
+    server._thread.join(timeout=5.0)
+    assert not server._thread.is_alive()
+
+
+def _twin(seed):
+    return make_campaign("EasyBO-2", sphere(2), rng=seed, **CONFIG)
+
+
+def _tcp_pair():
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    left = socket.create_connection(("127.0.0.1", listener.getsockname()[1]))
+    right, _ = listener.accept()
+    listener.close()
+    return left, right
+
+
+class TestFrameCorruption:
+    def test_corrupt_frame_raises_typed_error_with_offset(self):
+        left, right = _tcp_pair()
+        receiver = FramedConnection(right)
+        good = frame_record({"type": "fine"})
+        left.sendall(good)
+        left.sendall(b"J1 0000dead beefcafe {\"type\": \"mangled\"}\n")
+        assert receiver.recv(timeout=5.0) == {"type": "fine"}
+        with pytest.raises(FrameCorruptionError) as excinfo:
+            receiver.recv(timeout=5.0)
+        assert excinfo.value.offset == len(good)
+        assert excinfo.value.detail  # which invariant broke, for diagnosis
+        left.close()
+        receiver.close()
+
+    def test_server_drops_only_the_corrupt_client(self, tmp_path):
+        server = _serve(tmp_path)
+        try:
+            healthy = CampaignClient(port=server.port)
+            vandal = socket.create_connection(("127.0.0.1", server.port))
+            vandal.sendall(b"this is not a frame\n")
+            deadline = time.monotonic() + 5.0
+            while server.frame_corruptions == 0:
+                assert time.monotonic() < deadline
+                time.sleep(0.02)
+            # The vandal's socket is dead; everyone else is still served.
+            assert vandal.recv(1) == b""
+            assert healthy.ping()["ok"]
+            assert healthy.metrics()["frame_corruptions"] == 1
+            vandal.close()
+            healthy.close()
+        finally:
+            server.stop()
+
+
+class TestClientDesync:
+    def test_late_reply_to_timed_out_call_is_discarded(self):
+        """The seq-only desync bug: after a recv timeout, the *late* reply
+        to the abandoned attempt must never be parsed as the answer to the
+        next call.  A scripted server answers the first logical call only
+        after seeing its retry — then both replies are on the wire."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+        errors = []
+
+        def script():
+            try:
+                sock, _ = listener.accept()
+                conn = FramedConnection(sock)
+                first = conn.recv(timeout=10.0)
+                retry = conn.recv(timeout=10.0)  # arrives after the timeout
+                assert retry["request_id"] == first["request_id"]
+                assert retry["attempt"] == 1
+                for request in (first, retry):
+                    conn.send({"seq": request["seq"], "ok": True,
+                               "request_id": request["request_id"],
+                               "points": [[0.5, 0.5]]})
+                nxt = conn.recv(timeout=10.0)
+                conn.send({"seq": nxt["seq"], "ok": True,
+                           "request_id": nxt["request_id"],
+                           "status": {"state": "active"}})
+                conn.close()
+            except Exception as exc:  # noqa: BLE001 — surfaced below
+                errors.append(exc)
+
+        thread = threading.Thread(target=script, daemon=True)
+        thread.start()
+        client = CampaignClient(port=port, timeout=0.3, retries=3,
+                                backoff=0.01)
+        reply = client.call("ask", campaign="c0000")
+        assert reply["points"] == [[0.5, 0.5]]
+        assert client.n_retries == 1
+        # The duplicate reply to the retried ask is still buffered; the next
+        # call must skip it by request_id instead of consuming it.
+        status = client.call("status", campaign="c0000")
+        assert status["status"] == {"state": "active"}
+        assert "points" not in status
+        client.close()
+        thread.join(timeout=5.0)
+        listener.close()
+        assert not errors
+
+
+class TestChaosProxy:
+    def test_transparent_relay_with_zero_faults(self, tmp_path):
+        problem, twin = sphere(2), _twin(70)
+        server = _serve(tmp_path)
+        try:
+            with ChaosProxy(server.port, seed=CHAOS_SEED) as proxy:
+                with CampaignClient(port=proxy.port) as client:
+                    cid = client.create("EasyBO-2", "sphere2",
+                                        config=dict(rng=70, **CONFIG))
+                    while True:
+                        x = client.ask(cid)[0]
+                        np.testing.assert_array_equal(x, twin.ask())
+                        result = problem.evaluate(x)
+                        reply = client.tell(cid, x, result)
+                        twin.tell(x, result)
+                        if reply["done"]:
+                            break
+                assert proxy.stats["frames"] > 0
+                assert proxy.stats["dropped"] == 0
+                assert proxy.stats["corrupted"] == 0
+        finally:
+            server.stop()
+
+    def test_chaos_sweep_with_server_kill_is_bit_exact(self, tmp_path):
+        """The acceptance criterion: drop/delay/truncate/corrupt/disconnect
+        faults on every frame, plus a kill -9 + restart mid-campaign, and
+        the trajectory still matches the uninterrupted twin byte for byte."""
+        problem, twin = sphere(2), _twin(71)
+        server = _serve(tmp_path)
+        config = ChaosConfig(drop=0.08, delay=0.05, truncate=0.04,
+                             corrupt=0.04, disconnect=0.04, delay_s=0.01)
+        with ChaosProxy(server.port, config=config, seed=CHAOS_SEED) as proxy:
+            client = CampaignClient(port=proxy.port, timeout=0.35,
+                                    retries=10, backoff=0.01)
+            cid = client.create("EasyBO-2", "sphere2",
+                                config=dict(rng=71, **CONFIG))
+            rounds = 0
+            while True:
+                x = client.ask(cid)[0]
+                np.testing.assert_array_equal(x, twin.ask())
+                result = problem.evaluate(x)
+                reply = client.tell(cid, x, result)
+                twin.tell(x, result)
+                if reply["done"]:
+                    break
+                rounds += 1
+                if rounds == 2:  # kill -9 mid-campaign, behind the chaos
+                    _kill(server)
+                    server = _serve(tmp_path)
+                    proxy.set_upstream(server.port)
+            assert twin.done
+            status = client.status(cid)
+            assert status["state"] == "finished"
+            # Retries never double-issued or double-counted.
+            assert status["issued"] == CONFIG["max_evals"]
+            assert status["n_observations"] == CONFIG["max_evals"]
+            client.close()
+        assert proxy.stats["frames"] > 20
+        faults = sum(proxy.stats[k] for k in
+                     ("dropped", "delayed", "truncated", "corrupted",
+                      "disconnects"))
+        assert faults > 0, "chaos config injected nothing; sweep is vacuous"
+        server.stop()
+
+    def test_restart_between_every_operation(self, tmp_path):
+        """The harshest schedule: kill -9 and restart the server after
+        *every* client operation.  Every recovery replays the manifest and
+        journals; the trajectory never drifts from the twin."""
+        problem, twin = sphere(2), _twin(72)
+        server = _serve(tmp_path)
+        with ChaosProxy(server.port, seed=CHAOS_SEED) as proxy:
+            client = CampaignClient(port=proxy.port, timeout=2.0,
+                                    retries=8, backoff=0.02)
+
+            def restart():
+                nonlocal server
+                _kill(server)
+                server = _serve(tmp_path)
+                proxy.set_upstream(server.port)
+
+            cid = client.create("EasyBO-2", "sphere2",
+                                config=dict(rng=72, **CONFIG))
+            restart()
+            while True:
+                x = client.ask(cid)[0]
+                np.testing.assert_array_equal(x, twin.ask())
+                restart()
+                result = problem.evaluate(x)
+                reply = client.tell(cid, x, result)
+                twin.tell(x, result)
+                if reply["done"]:
+                    break
+                restart()
+            assert twin.done
+            status = client.status(cid)
+            assert status["state"] == "finished"
+            assert status["issued"] == CONFIG["max_evals"]
+            assert client.n_reconnects > 0
+            client.close()
+        server.stop()

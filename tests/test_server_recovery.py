@@ -1,0 +1,436 @@
+"""Server crash recovery and idempotent RPC: kill -9, restart, retry.
+
+These tests exercise the robustness tentpole end to end, in-process:
+``CampaignServer.abort()`` is the kill -9 stand-in (it drops every socket
+with *zero* suspend/journal bookkeeping — exactly the on-disk state a
+SIGKILL leaves), and a second server started on the same ``journal_dir``
+must recover from the manifest alone.  Determinism is checked the same way
+as in ``test_campaign_server.py``: a local "twin" campaign with the same
+seed must see byte-identical points through kills, restarts, and retried
+requests.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.circuits.benchmarks import sphere
+from repro.core import make_campaign
+from repro.core.journal import JournalError
+from repro.distributed import (
+    CampaignClient,
+    CampaignServerError,
+    serve,
+)
+from repro.distributed.manifest import (
+    ServerManifest,
+    manifest_state,
+    read_manifest,
+)
+from repro.distributed.protocol import result_to_dict
+from repro.distributed.transport import connect
+from repro.obs import MetricsRegistry, Observability
+
+CONFIG = dict(n_init=3, max_evals=6, acq_candidates=32, acq_restarts=1)
+
+
+def _serve(journal_dir):
+    return serve(journal_dir=journal_dir, max_workers=4,
+                 obs=Observability(metrics=MetricsRegistry()),
+                 background=True)
+
+
+def _kill(server):
+    """kill -9: no suspends, no journal writes, sockets just vanish."""
+    server.abort()
+    server._thread.join(timeout=5.0)
+    assert not server._thread.is_alive()
+
+
+def _twin(seed):
+    return make_campaign("EasyBO-2", sphere(2), rng=seed, **CONFIG)
+
+
+def _drive(client, cid, twin, problem, rounds):
+    """``rounds`` ask/tell iterations, asserting bit-exactness vs the twin."""
+    for _ in range(rounds):
+        x = client.ask(cid)[0]
+        np.testing.assert_array_equal(x, twin.ask())
+        result = problem.evaluate(x)
+        client.tell(cid, x, result)
+        twin.tell(x, result)
+
+
+def _finish(client, cid, twin, problem):
+    while True:
+        try:
+            x = client.ask(cid)[0]
+        except CampaignServerError:
+            break
+        np.testing.assert_array_equal(x, twin.ask())
+        result = problem.evaluate(x)
+        reply = client.tell(cid, x, result)
+        twin.tell(x, result)
+        if reply["done"]:
+            break
+
+
+class TestRestartRecovery:
+    def test_kill9_mid_campaign_restart_is_bit_exact(self, tmp_path):
+        """Kill -9 with a point in flight; the restarted server answers
+        status/ask/tell as if nothing happened."""
+        problem, twin = sphere(2), _twin(41)
+        old = _serve(tmp_path)
+        client = CampaignClient(port=old.port)
+        cid = client.create("EasyBO-2", "sphere2",
+                            config=dict(rng=41, **CONFIG))
+        _drive(client, cid, twin, problem, rounds=2)
+        in_flight = client.ask(cid)[0]  # asked, never told
+        np.testing.assert_array_equal(in_flight, twin.ask())
+        # kill -9 while the client is still connected: no suspend is ever
+        # journaled, the campaign dies "active".
+        _kill(old)
+        client.close()
+
+        new = _serve(tmp_path)
+        try:
+            assert new.recoveries == 1
+            with CampaignClient(port=new.port) as client:
+                status = client.status(cid)
+                assert status["state"] == "active"
+                assert status["issued"] == 3
+                assert status["n_pending"] == 1
+                result = problem.evaluate(in_flight)
+                client.tell(cid, in_flight, result)
+                twin.tell(in_flight, result)
+                _finish(client, cid, twin, problem)
+                assert client.status(cid)["state"] == "finished"
+                assert twin.done
+        finally:
+            new.stop()
+
+    def test_clean_stop_then_retry_revives_transparently(self, tmp_path):
+        """A clean shutdown suspends campaigns as auto-resumable: after a
+        restart, a retried ask revives the campaign without the client ever
+        issuing an explicit resume."""
+        problem, twin = sphere(2), _twin(42)
+        old = _serve(tmp_path)
+        with CampaignClient(port=old.port) as client:
+            cid = client.create("EasyBO-2", "sphere2",
+                                config=dict(rng=42, **CONFIG))
+            _drive(client, cid, twin, problem, rounds=2)
+        old.stop()
+        old._thread.join(timeout=5.0)
+
+        new = _serve(tmp_path)
+        try:
+            with CampaignClient(port=new.port) as client:
+                assert client.status(cid)["state"] == "suspended"
+                _finish(client, cid, twin, problem)  # first ask auto-revives
+                assert client.status(cid)["state"] == "finished"
+        finally:
+            new.stop()
+
+    def test_explicit_suspend_stays_suspended_across_restart(self, tmp_path):
+        """A suspend the client *asked for* is not auto-revived: after a
+        restart, ask still refuses until an explicit resume."""
+        problem, twin = sphere(2), _twin(43)
+        old = _serve(tmp_path)
+        with CampaignClient(port=old.port) as client:
+            cid = client.create("EasyBO-2", "sphere2",
+                                config=dict(rng=43, **CONFIG))
+            _drive(client, cid, twin, problem, rounds=1)
+            assert client.suspend(cid) == "suspended"
+        _kill(old)
+
+        new = _serve(tmp_path)
+        try:
+            with CampaignClient(port=new.port) as client:
+                assert client.status(cid)["state"] == "suspended"
+                with pytest.raises(CampaignServerError, match="active"):
+                    client.ask(cid)
+                client.resume(cid)
+                _finish(client, cid, twin, problem)
+        finally:
+            new.stop()
+
+    def test_finished_campaigns_stay_finished(self, tmp_path):
+        problem, twin = sphere(2), _twin(44)
+        old = _serve(tmp_path)
+        with CampaignClient(port=old.port) as client:
+            cid = client.create("EasyBO-2", "sphere2",
+                                config=dict(rng=44, **CONFIG))
+            _finish(client, cid, twin, problem)
+        _kill(old)
+
+        new = _serve(tmp_path)
+        try:
+            assert new.recoveries == 0
+            with CampaignClient(port=new.port) as client:
+                status = client.status(cid)
+                assert status["state"] == "finished"
+                assert status["done"] is True
+                # New ids keep climbing: no reuse of a recovered id space.
+                other = client.create("LCB", "sphere2",
+                                      config=dict(rng=45, **CONFIG))
+                assert other != cid
+        finally:
+            new.stop()
+
+    def test_server_evaluated_campaign_recovers_and_finishes(self, tmp_path):
+        """Kill -9 under a server-evaluated campaign: the restarted server
+        re-leases workers, resubmits the in-flight points, and drives the
+        campaign to completion on its own."""
+        old = _serve(tmp_path)
+        client = CampaignClient(port=old.port)
+        cid = client.create(
+            "EasyBO-2", "sphere2",
+            config=dict(rng=46, n_init=3, max_evals=10,
+                        acq_candidates=32, acq_restarts=1),
+            evaluate=True, n_workers=2,
+        )
+        deadline = time.monotonic() + 10.0
+        while client.status(cid)["issued"] < 4:
+            assert time.monotonic() < deadline
+            time.sleep(0.02)
+        _kill(old)
+        client.close()
+
+        new = _serve(tmp_path)
+        try:
+            assert new.recoveries == 1
+            with CampaignClient(port=new.port) as client:
+                assert client.metrics()["workers_leased"] == 2
+                deadline = time.monotonic() + 20.0
+                while client.status(cid)["state"] != "finished":
+                    assert time.monotonic() < deadline
+                    time.sleep(0.02)
+                assert client.status(cid)["issued"] == 10
+        finally:
+            new.stop()
+
+    def test_recovery_metrics_surface(self, tmp_path):
+        old = _serve(tmp_path)
+        client = CampaignClient(port=old.port)
+        cid = client.create("LCB", "sphere2", config=dict(rng=47, **CONFIG))
+        client.ask(cid)
+        _kill(old)
+        client.close()
+
+        new = _serve(tmp_path)
+        try:
+            with CampaignClient(port=new.port) as client:
+                metrics = client.metrics()
+                assert metrics["recoveries"] == 1
+                assert metrics["uptime_seconds"] > 0.0
+                assert metrics["rpc_retries"] == 0
+                assert "server.recoveries" in metrics["registry"]["counters"]
+        finally:
+            new.stop()
+
+
+class TestIdempotentRPC:
+    """Raw-frame tests: drive the wire protocol directly so the tests pick
+    the request ids (the client generates fresh ones per logical call)."""
+
+    def _rpc(self, conn, seq, verb, **payload):
+        conn.send({"verb": verb, "seq": seq, **payload})
+        reply = conn.recv(timeout=10.0)
+        assert reply is not None and reply["seq"] == seq
+        return reply
+
+    def test_retried_ask_replays_same_points(self, tmp_path):
+        server = _serve(tmp_path)
+        try:
+            conn = connect("127.0.0.1", server.port)
+            create = self._rpc(conn, 0, "create", request_id="rid-create",
+                               label="LCB", problem="sphere2",
+                               config=dict(rng=51, **CONFIG))
+            cid = create["campaign"]
+            first = self._rpc(conn, 1, "ask", request_id="rid-ask",
+                              campaign=cid)
+            retry = self._rpc(conn, 2, "ask", request_id="rid-ask",
+                              attempt=1, campaign=cid)
+            assert retry["replayed"] is True
+            assert retry["points"] == first["points"]
+            # One logical ask -> one issued point, not two.
+            status = self._rpc(conn, 3, "status", campaign=cid)["status"]
+            assert status["issued"] == len(first["points"])
+            assert status["n_pending"] == len(first["points"])
+            conn.close()
+        finally:
+            server.stop()
+
+    def test_retried_tell_not_double_counted(self, tmp_path):
+        problem = sphere(2)
+        server = _serve(tmp_path)
+        try:
+            conn = connect("127.0.0.1", server.port)
+            cid = self._rpc(conn, 0, "create", label="LCB", problem="sphere2",
+                            config=dict(rng=52, **CONFIG))["campaign"]
+            x = self._rpc(conn, 1, "ask", request_id="rid-a",
+                          campaign=cid)["points"][0]
+            result = result_to_dict(problem.evaluate(np.asarray(x)))
+            first = self._rpc(conn, 2, "tell", request_id="rid-t",
+                              campaign=cid, x=x, result=result)
+            retry = self._rpc(conn, 3, "tell", request_id="rid-t", attempt=1,
+                              campaign=cid, x=x, result=result)
+            assert retry["replayed"] is True
+            assert retry["action"] == first["action"]
+            assert retry["done"] == first["done"]
+            status = self._rpc(conn, 4, "status", campaign=cid)["status"]
+            assert status["n_observations"] == 1
+            assert status["n_pending"] == 0
+            conn.close()
+        finally:
+            server.stop()
+
+    def test_retried_create_returns_same_campaign(self, tmp_path):
+        server = _serve(tmp_path)
+        try:
+            conn = connect("127.0.0.1", server.port)
+            first = self._rpc(conn, 0, "create", request_id="rid-c",
+                              label="LCB", problem="sphere2",
+                              config=dict(rng=53, **CONFIG))
+            retry = self._rpc(conn, 1, "create", request_id="rid-c",
+                              attempt=1, label="LCB", problem="sphere2",
+                              config=dict(rng=53, **CONFIG))
+            assert retry["replayed"] is True
+            assert retry["campaign"] == first["campaign"]
+            campaigns = self._rpc(conn, 2, "list")["campaigns"]
+            assert len(campaigns) == 1
+            conn.close()
+        finally:
+            server.stop()
+
+    def test_retried_ask_replays_across_restart(self, tmp_path):
+        """The reply cache is journaled, not in-memory: a retry that lands
+        on a *restarted* server still replays the original points."""
+        old = _serve(tmp_path)
+        conn = connect("127.0.0.1", old.port)
+        create = self._rpc(conn, 0, "create", request_id="rid-c",
+                           label="LCB", problem="sphere2",
+                           config=dict(rng=54, **CONFIG))
+        cid = create["campaign"]
+        first = self._rpc(conn, 1, "ask", request_id="rid-a", campaign=cid)
+        _kill(old)  # before the client disconnects: the campaign dies live
+        conn.close()
+
+        new = _serve(tmp_path)
+        try:
+            conn = connect("127.0.0.1", new.port)
+            retried_create = self._rpc(conn, 0, "create", request_id="rid-c",
+                                       attempt=1, label="LCB",
+                                       problem="sphere2",
+                                       config=dict(rng=54, **CONFIG))
+            assert retried_create["replayed"] is True
+            assert retried_create["campaign"] == cid
+            retry = self._rpc(conn, 1, "ask", request_id="rid-a", attempt=1,
+                              campaign=cid)
+            assert retry["replayed"] is True
+            assert retry["points"] == first["points"]
+            metrics = self._rpc(conn, 2, "metrics")["metrics"]
+            assert metrics["rpc_replayed_replies"] == 2
+            assert metrics["rpc_retries"] == 2
+            conn.close()
+        finally:
+            new.stop()
+
+
+class TestDegradedRecovery:
+    def _two_campaigns(self, tmp_path):
+        server = _serve(tmp_path)
+        client = CampaignClient(port=server.port)
+        cids = [
+            client.create("LCB", "sphere2", config=dict(rng=s, **CONFIG))
+            for s in (61, 62)
+        ]
+        for cid in cids:
+            client.ask(cid)
+        _kill(server)  # both campaigns die live (no suspend journaled)
+        client.close()
+        return cids
+
+    def test_manifest_torn_tail_is_truncated_and_recovery_proceeds(
+            self, tmp_path):
+        cids = self._two_campaigns(tmp_path)
+        manifest = tmp_path / "server.manifest"
+        with open(manifest, "ab") as f:
+            f.write(b"J1 000000ff deadbeef {\"type\": \"torn")  # no newline
+        server = _serve(tmp_path)
+        try:
+            assert server.recoveries == 2
+            with CampaignClient(port=server.port) as client:
+                states = {c["campaign"]: c["state"] for c in client.list()}
+                assert all(states[cid] == "active" for cid in cids)
+            # The torn tail was truncated in place, so the *next* append
+            # produces a manifest every reader parses cleanly.
+            assert read_manifest(manifest)[-1].get("event") != "torn"
+        finally:
+            server.stop()
+
+    def test_corrupt_journal_degrades_that_campaign_only(self, tmp_path):
+        cids = self._two_campaigns(tmp_path)
+        victim = tmp_path / f"{cids[0]}.journal"
+        data = victim.read_bytes()
+        victim.write_bytes(b"\x00" * 16 + data[16:])  # first frame destroyed
+        server = _serve(tmp_path)
+        try:
+            assert server.recoveries == 1
+            with CampaignClient(port=server.port) as client:
+                broken = client.status(cids[0])
+                assert broken["state"] == "failed"
+                assert "unrecoverable journal" in broken["error"]
+                with pytest.raises(CampaignServerError, match="failed"):
+                    client.ask(cids[0])
+                # The healthy tenant is untouched and drivable.
+                assert client.status(cids[1])["state"] == "active"
+                assert len(client.ask(cids[1])) == 1
+        finally:
+            server.stop()
+
+    def test_missing_journal_degrades_that_campaign_only(self, tmp_path):
+        cids = self._two_campaigns(tmp_path)
+        (tmp_path / f"{cids[0]}.journal").unlink()
+        server = _serve(tmp_path)
+        try:
+            assert server.recoveries == 1
+            with CampaignClient(port=server.port) as client:
+                assert client.status(cids[0])["state"] == "failed"
+                assert client.status(cids[1])["state"] == "active"
+        finally:
+            server.stop()
+
+
+class TestManifest:
+    def test_state_folding_carries_creation_fields_forward(self, tmp_path):
+        path = tmp_path / "m.manifest"
+        with ServerManifest(path) as manifest:
+            manifest.record("created", "c0000", label="LCB", problem="sphere2",
+                            config={"rng": 1}, n_workers=2)
+            manifest.record("started", "c0000")
+            manifest.record("suspended", "c0000", error="client disconnected",
+                            auto=True)
+            manifest.record("created", "c0001", label="EasyBO-2",
+                            problem="sphere2", config={"rng": 2})
+        state = manifest_state(read_manifest(path))
+        assert state["c0000"]["state"] == "suspended"
+        assert state["c0000"]["label"] == "LCB"  # sticky through suspend
+        assert state["c0000"]["config"] == {"rng": 1}
+        assert state["c0000"]["auto"] is True
+        assert state["c0001"]["state"] == "created"
+
+    def test_missing_manifest_reads_as_first_boot(self, tmp_path):
+        assert read_manifest(tmp_path / "absent.manifest") == []
+
+    def test_newer_manifest_version_refuses_to_misparse(self, tmp_path):
+        path = tmp_path / "m.manifest"
+        from repro.core.journal import JournalWriter
+
+        with JournalWriter(path) as writer:
+            writer.append({"type": "manifest_start", "manifest_version": 99})
+        with pytest.raises(JournalError, match="newer"):
+            read_manifest(path)
