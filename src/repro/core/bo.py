@@ -73,6 +73,12 @@ class BODriverBase:
         (default 1 = every event, the paper's schedule).  Raising K is
         where the incremental path's O(n^3) -> O(n^2) per-event win comes
         from.
+    surrogate / max_exact_n / n_inducing:
+        Posterior representation: ``"exact"``, ``"sparse"``, or ``"auto"``
+        (default — exact until ``max_exact_n`` observations, then the
+        budgeted inducing-point posterior with ``n_inducing`` points; see
+        docs/surrogate_scaling.md).  ``None`` for the thresholds keeps the
+        session defaults.
     journal:
         Crash-safety sink: a path (a :class:`~repro.core.journal.JournalWriter`
         is opened on it) or any object with an ``append(record)`` method.
@@ -117,6 +123,9 @@ class BODriverBase:
         acq_restarts: int = 4,
         failure_policy: FailurePolicy | None = None,
         surrogate_update: str = "incremental",
+        surrogate: str = "auto",
+        max_exact_n: int | None = None,
+        n_inducing: int | None = None,
         refit_every: int = 1,
         journal=None,
         checkpoint_every: int = 0,
@@ -154,6 +163,9 @@ class BODriverBase:
             acq_candidates=self.acq_candidates,
             acq_restarts=self.acq_restarts,
             surrogate_update=surrogate_update,
+            surrogate=surrogate,
+            max_exact_n=max_exact_n,
+            n_inducing=n_inducing,
             refit_every=refit_every,
             obs=self.obs,
             algorithm=self.algorithm_name,
@@ -273,6 +285,9 @@ class BODriverBase:
             "acq_candidates": self.acq_candidates,
             "acq_restarts": self.acq_restarts,
             "surrogate_update": self.session.surrogate_update,
+            "surrogate": self.session.surrogate,
+            "max_exact_n": self.session.max_exact_n,
+            "n_inducing": self.session.n_inducing,
             "refit_every": self.session.refit_every,
             "checkpoint_every": self.checkpoint_every,
             "failure_policy": dataclasses.asdict(self.failure_policy),
@@ -437,6 +452,7 @@ class BODriverBase:
             pool_telemetry=telemetry,
             metrics=metrics_snapshot,
             pending_policy=self.pending_policy,
+            surrogate=self.session.surrogate,
         )
         self._journal_event(
             {

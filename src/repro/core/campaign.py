@@ -424,6 +424,9 @@ class Campaign:
         acq_candidates: int = 2048,
         acq_restarts: int = 4,
         surrogate_update: str = "incremental",
+        surrogate: str = "auto",
+        max_exact_n: int | None = None,
+        n_inducing: int | None = None,
         refit_every: int = 1,
         obs=None,
         session: SurrogateSession | None = None,
@@ -446,12 +449,19 @@ class Campaign:
         self.acq_restarts = int(acq_restarts)
         self.obs = obs if obs is not None else NULL_OBS
         self.algorithm = algorithm
+        surrogate_kwargs = {}
+        if max_exact_n is not None:
+            surrogate_kwargs["max_exact_n"] = int(max_exact_n)
+        if n_inducing is not None:
+            surrogate_kwargs["n_inducing"] = int(n_inducing)
         self.session = session or SurrogateSession(
             problem.bounds,
             rng=self.rng,
             surrogate_update=surrogate_update,
+            surrogate=surrogate,
             refit_every=refit_every,
             obs=self.obs,
+            **surrogate_kwargs,
         )
         self.design: np.ndarray | None = None
         self.issued = 0
@@ -950,6 +960,9 @@ def make_campaign(label: str, problem: Problem, **kwargs) -> Campaign:
         "acq_candidates": campaign.acq_candidates,
         "acq_restarts": campaign.acq_restarts,
         "surrogate_update": campaign.session.surrogate_update,
+        "surrogate": campaign.session.surrogate,
+        "max_exact_n": campaign.session.max_exact_n,
+        "n_inducing": campaign.session.n_inducing,
         "refit_every": campaign.session.refit_every,
         "failure_policy": {
             k: getattr(campaign.failure_policy, k)

@@ -32,9 +32,12 @@ __all__ = ["run_to_dict", "run_from_dict", "save_runs", "load_runs"]
 #: :class:`~repro.obs.MetricsRegistry` snapshot); older files load with it
 #: ``None``.  Version 7 added the optional ``pending_policy`` field (which
 #: asynchronous pending-point policy the run used, see
-#: :mod:`repro.core.pending`); older files load with it ``None``.
-_FORMAT_VERSION = 7
-_READABLE_VERSIONS = frozenset({1, 2, 3, 4, 5, 6, 7})
+#: :mod:`repro.core.pending`); older files load with it ``None``.  Version 8
+#: added the optional ``surrogate`` field (which posterior configuration the
+#: run used: ``"exact"``, ``"sparse"``, or ``"auto"``, see
+#: :mod:`repro.gp.sparse`); older files load with it ``None``.
+_FORMAT_VERSION = 8
+_READABLE_VERSIONS = frozenset({1, 2, 3, 4, 5, 6, 7, 8})
 
 
 def _check_version(version, what: str) -> None:
@@ -75,6 +78,7 @@ def run_to_dict(run: RunResult) -> dict:
         ),
         "metrics": run.metrics,
         "pending_policy": run.pending_policy,
+        "surrogate": run.surrogate,
         "n_workers": run.trace.n_workers,
         "records": [r.as_dict() for r in run.trace.records],
     }
@@ -107,6 +111,7 @@ def run_from_dict(data: dict) -> RunResult:
         pool_telemetry=telemetry,
         metrics=data.get("metrics"),
         pending_policy=data.get("pending_policy"),
+        surrogate=data.get("surrogate"),
     )
 
 

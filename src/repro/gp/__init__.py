@@ -10,14 +10,26 @@ Public surface:
 """
 
 from repro.gp.diagnostics import LooResult, leave_one_out
-from repro.gp.gp import GaussianProcess
+from repro.gp.gp import ExactCholeskyState, GaussianProcess, PosteriorState
 from repro.gp.hyperopt import HyperparameterBounds, fit_hyperparameters
 from repro.gp.kernels import Kernel, Matern52, SquaredExponential
 from repro.gp.mean import ConstantMean, MeanFunction, ZeroMean
+from repro.gp.sparse import (
+    SparseGaussianProcess,
+    SparseHallucinatedView,
+    SparseInducingState,
+    select_inducing,
+)
 from repro.gp.standardize import BoxTransform, OutputStandardizer
 
 __all__ = [
     "GaussianProcess",
+    "PosteriorState",
+    "ExactCholeskyState",
+    "SparseGaussianProcess",
+    "SparseHallucinatedView",
+    "SparseInducingState",
+    "select_inducing",
     "HyperparameterBounds",
     "fit_hyperparameters",
     "LooResult",

@@ -78,6 +78,25 @@ class Kernel(abc.ABC):
         X = check_matrix(X, "X", cols=self.dim)
         return np.full(X.shape[0], self.variance)
 
+    def cross(
+        self, X: np.ndarray, Z: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Covariance block ``k(X, Z)``, optionally into a caller buffer.
+
+        The allocation-lean variant of :meth:`__call__` for hot loops: with
+        ``out`` (shape ``(len(X), len(Z))``) subclasses may compute the block
+        fully in place.  Results agree with ``self(X, Z)`` to floating-point
+        round-off but are *not* guaranteed bit-identical (the in-place
+        evaluation may associate sums differently), so the exact-GP predict
+        path — whose trajectories are pinned byte-for-byte by the golden
+        tests — must keep using :meth:`__call__`.
+        """
+        K = self(X, Z)
+        if out is None:
+            return K
+        np.copyto(out, K)
+        return out
+
     def _scaled_sqdist(self, X: np.ndarray, Z: np.ndarray) -> np.ndarray:
         """Pairwise squared distances after dividing by the lengthscales."""
         Xs = X / self.lengthscales
@@ -114,6 +133,30 @@ class SquaredExponential(Kernel):
 
     def _from_sqdist(self, sqdist: np.ndarray) -> np.ndarray:
         return self.variance * np.exp(-0.5 * sqdist)
+
+    def cross(
+        self, X: np.ndarray, Z: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """In-place SE block: one GEMM into ``out`` plus elementwise passes."""
+        X = check_matrix(X, "X", cols=self.dim)
+        Z = check_matrix(Z, "Z", cols=self.dim)
+        if out is None:
+            out = np.empty((X.shape[0], Z.shape[0]))
+        elif out.shape != (X.shape[0], Z.shape[0]):
+            raise ValueError(
+                f"out must have shape {(X.shape[0], Z.shape[0])}, got {out.shape}"
+            )
+        Xs = X / self.lengthscales
+        Zs = Z / self.lengthscales
+        np.dot(Xs, Zs.T, out=out)
+        out *= -2.0
+        out += np.sum(Xs**2, axis=1)[:, None]
+        out += np.sum(Zs**2, axis=1)[None, :]
+        np.maximum(out, 0.0, out=out)
+        out *= -0.5
+        np.exp(out, out=out)
+        out *= self.variance
+        return out
 
     def gradients(self, X: np.ndarray) -> list[np.ndarray]:
         X = check_matrix(X, "X", cols=self.dim)

@@ -24,7 +24,9 @@ class SurrogateStats:
     O(n^3) rebuilds at frozen hyperparameters (the "full" update mode and
     every PD-loss fallback); ``n_incremental_updates`` counts rank-k factor
     appends; ``n_fallbacks`` counts automatic falls from the incremental to
-    the full path; the hallucination counters split pending-point posteriors
+    the full path; ``n_mode_switches`` counts exact<->sparse posterior
+    transitions (the ``surrogate="auto"`` threshold crossing); the
+    hallucination counters split pending-point posteriors
     between the factored :class:`~repro.core.surrogate.HallucinatedView` and
     the rebuild-per-point legacy path.  ``refit_seconds`` and
     ``hallucination_seconds`` hold per-event wall-clock seconds.
@@ -35,6 +37,7 @@ class SurrogateStats:
     n_refactorizations: int = 0
     n_incremental_updates: int = 0
     n_fallbacks: int = 0
+    n_mode_switches: int = 0
     n_hallucinated_views: int = 0
     n_hallucinated_rebuilds: int = 0
     refit_seconds: list = dataclasses.field(default_factory=list)

@@ -1,4 +1,4 @@
-"""Regenerate the golden persistence fixtures (``runs_v1.json`` .. ``runs_v7.json``).
+"""Regenerate the golden persistence fixtures (``runs_v1.json`` .. ``runs_v8.json``).
 
 Each fixture is a hand-built, byte-stable runs file in one historical
 format version, so ``load_runs`` is pinned against every version it claims
@@ -16,15 +16,21 @@ The payloads are version-additive, mirroring the real history:
 * v5 — optional ``pool_telemetry`` block.
 * v6 — optional ``metrics`` block (MetricsRegistry snapshot).
 * v7 — optional ``pending_policy`` label (async pending-point policy).
+* v8 — optional ``surrogate`` label (posterior configuration: exact /
+  sparse / auto) and the ``n_mode_switches`` surrogate-stats counter.
 
 Run ``python tests/golden/persistence/regenerate.py`` after an intentional
-format change; never edit the JSON files by hand.
+format change; never edit the JSON files by hand.  ``--only <fixture>``
+restricts the refresh to one file (e.g. ``--only runs_v8``) and ``--check``
+verifies the committed files against the generator without writing.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import pathlib
+import sys
 
 HERE = pathlib.Path(__file__).parent
 
@@ -142,6 +148,10 @@ def build_run(version: int) -> dict:
         run["metrics"] = dict(_METRICS)
     if version >= 7:
         run["pending_policy"] = "hallucinate"
+    if version >= 8:
+        # v8 writers also gained the n_mode_switches stats counter.
+        run["surrogate_stats"] = dict(_SURROGATE_STATS, n_mode_switches=1)
+        run["surrogate"] = "auto"
     return run
 
 
@@ -155,12 +165,54 @@ def render(version: int) -> str:
     return json.dumps(build_payload(version), indent=2, sort_keys=True) + "\n"
 
 
-def main() -> None:
-    for version in range(1, 8):
+ALL_VERSIONS = tuple(range(1, 9))
+
+
+def _parse_only(only: str) -> int:
+    """Accept ``8``, ``v8``, ``runs_v8`` or ``runs_v8.json``."""
+    token = only.removesuffix(".json").removeprefix("runs_").removeprefix("v")
+    try:
+        version = int(token)
+    except ValueError:
+        raise SystemExit(f"unknown fixture {only!r}; expected e.g. runs_v8")
+    if version not in ALL_VERSIONS:
+        raise SystemExit(
+            f"unknown fixture version {version}; have {list(ALL_VERSIONS)}"
+        )
+    return version
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--only", default=None, metavar="FIXTURE",
+        help="refresh/check a single fixture (e.g. runs_v8)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="verify committed fixtures against the generator; write nothing",
+    )
+    args = parser.parse_args(argv)
+    versions = ALL_VERSIONS if args.only is None else (_parse_only(args.only),)
+    drifted = []
+    for version in versions:
         path = HERE / f"runs_v{version}.json"
-        path.write_text(render(version), encoding="utf-8")
-        print(f"wrote {path}")
+        expected = render(version)
+        if args.check:
+            actual = path.read_text(encoding="utf-8") if path.is_file() else None
+            if actual != expected:
+                drifted.append(path.name)
+                print(f"DRIFT {path}")
+            else:
+                print(f"ok    {path}")
+        else:
+            path.write_text(expected, encoding="utf-8")
+            print(f"wrote {path}")
+    if drifted:
+        print(f"{len(drifted)} fixture(s) drifted: {', '.join(drifted)}")
+        return 1
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

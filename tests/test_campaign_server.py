@@ -21,6 +21,8 @@ from repro.distributed import CampaignClient, CampaignServerError, serve
 from repro.distributed.protocol import PROTOCOL_VERSION
 from repro.obs import MetricsRegistry, Observability
 
+pytestmark = pytest.mark.server
+
 CONFIG = dict(n_init=3, max_evals=6, acq_candidates=32, acq_restarts=1)
 
 

@@ -32,6 +32,8 @@ from repro.distributed import (
 from repro.distributed.transport import FrameCorruptionError, FramedConnection
 from repro.obs import MetricsRegistry, Observability
 
+pytestmark = pytest.mark.chaos
+
 CONFIG = dict(n_init=3, max_evals=6, acq_candidates=32, acq_restarts=1)
 
 CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))

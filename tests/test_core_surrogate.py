@@ -152,6 +152,125 @@ class TestIncrementalSchedule:
         assert np.all(np.isfinite(mu)) and np.all(sigma > 0)
 
 
+class TestSurrogateKinds:
+    """The surrogate= seam: exact vs sparse posterior, auto switching."""
+
+    def _session(self, **kwargs):
+        rng = np.random.default_rng(9)
+        session = SurrogateSession(BOUNDS, rng=rng, **kwargs)
+        X = rng.uniform(BOUNDS[:, 0], BOUNDS[:, 1], size=(10, 2))
+        session.add_batch(X, np.sin(X[:, 0]) + X[:, 1])
+        return session
+
+    def test_invalid_kind_and_budgets_rejected(self):
+        with pytest.raises(ValueError):
+            SurrogateSession(BOUNDS, surrogate="approximate")
+        with pytest.raises(ValueError):
+            SurrogateSession(BOUNDS, max_exact_n=0)
+        with pytest.raises(ValueError):
+            SurrogateSession(BOUNDS, n_inducing=0)
+
+    def test_exact_kind_never_switches(self):
+        from repro.gp import GaussianProcess
+
+        session = self._session(surrogate="exact", max_exact_n=2)
+        session.refit()
+        assert type(session.model) is GaussianProcess
+        assert session.active_surrogate == "exact"
+        assert session.stats.n_mode_switches == 0
+
+    def test_sparse_kind_fits_sparse_model(self):
+        from repro.gp.sparse import SparseGaussianProcess
+
+        session = self._session(surrogate="sparse", n_inducing=6)
+        session.refit()
+        assert isinstance(session.model, SparseGaussianProcess)
+        assert session.active_surrogate == "sparse"
+        mu, sigma = session.predict_physical(session.X[:3])
+        assert np.all(np.isfinite(mu)) and np.all(sigma > 0)
+
+    def test_auto_switches_past_max_exact_n(self):
+        from repro.obs import MetricsRegistry, Observability
+        from repro.gp import GaussianProcess
+        from repro.gp.sparse import SparseGaussianProcess
+
+        metrics = MetricsRegistry()
+        session = self._session(
+            surrogate="auto",
+            max_exact_n=12,
+            n_inducing=8,
+            obs=Observability(metrics=metrics),
+        )
+        session.refit()
+        assert type(session.model) is GaussianProcess
+        rng = np.random.default_rng(10)
+        for i in range(5):
+            session.add(rng.uniform(BOUNDS[:, 0], BOUNDS[:, 1]), float(i))
+            session.refit()
+        # 10 seed points + 5 adds crosses max_exact_n=12 exactly once.
+        assert isinstance(session.model, SparseGaussianProcess)
+        assert session.active_surrogate == "sparse"
+        assert session.stats.n_mode_switches == 1
+        assert metrics.counter("surrogate.mode_switches") == 1
+
+    def test_sparse_pending_returns_sparse_view(self):
+        from repro.gp.sparse import SparseHallucinatedView
+
+        session = self._session(surrogate="sparse", n_inducing=6)
+        session.refit()
+        x_pending = np.array([[7.7, 0.3]])
+        _, sigma_before = session.predict_physical(x_pending)
+        view = session.model_with_pending(x_pending)
+        assert isinstance(view, SparseHallucinatedView)
+        _, sigma_after = session.predict_physical(x_pending, model=view)
+        assert sigma_after[0] < sigma_before[0]
+        assert session.stats.n_hallucinated_views == 1
+
+    def test_sparse_snapshot_roundtrip_restores_kind(self):
+        from repro.gp.sparse import SparseGaussianProcess
+
+        session = self._session(surrogate="sparse", n_inducing=6)
+        session.refit()
+        snap = session.snapshot()
+        assert snap["model"]["kind"] == "sparse"
+        clone = SurrogateSession(
+            BOUNDS, rng=0, surrogate="sparse", n_inducing=6
+        )
+        clone.add_batch(session.X, session.y)
+        clone.restore_snapshot(snap)
+        assert isinstance(clone.model, SparseGaussianProcess)
+        np.testing.assert_allclose(
+            clone.predict_physical(session.X[:4])[0],
+            session.predict_physical(session.X[:4])[0],
+            atol=1e-8,
+        )
+
+    def test_fallback_emits_metric(self, monkeypatch):
+        # Regression: the PD-loss fallback used to be visible only through
+        # run-end stats; it must now tick surrogate.fallback_rebuilds so
+        # operators can watch the incremental path degrade live.
+        from repro.obs import MetricsRegistry, Observability
+        from repro.gp.gp import GaussianProcess
+
+        metrics = MetricsRegistry()
+        session = self._session(
+            surrogate="exact",
+            surrogate_update="incremental",
+            refit_every=100,
+            obs=Observability(metrics=metrics),
+        )
+        session.refit()
+
+        def boom(self, X_new, y_new, **kwargs):
+            raise np.linalg.LinAlgError("simulated PD loss")
+
+        monkeypatch.setattr(GaussianProcess, "update", boom)
+        session.add([3.3, -0.4], 0.7)
+        assert session.refit() is not None
+        assert metrics.counter("surrogate.fallback_rebuilds") == 1
+        assert session.stats.n_fallbacks == 1
+
+
 class TestPending:
     def test_hallucination_collapses_sigma(self):
         session = make_session()

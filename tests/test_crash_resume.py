@@ -42,6 +42,8 @@ from tests.golden.regenerate import (
     trajectory_payload,
 )
 
+pytestmark = pytest.mark.chaos
+
 CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
 
 
@@ -339,7 +341,7 @@ class TestPersistenceV4:
     def test_round_trip_preserves_rng_state(self):
         result = run_scenario("lcb-branin")
         data = run_to_dict(result)
-        assert data["version"] == 7
+        assert data["version"] == 8
         clone = run_from_dict(json.loads(json.dumps(data)))
         assert clone.rng_state == result.rng_state
         assert clone.best_fom == result.best_fom
@@ -347,10 +349,12 @@ class TestPersistenceV4:
     def test_v2_through_v6_files_still_load(self):
         result = run_scenario("lcb-branin")
         data = run_to_dict(result)
-        for version in (2, 3, 4, 5, 6):
+        for version in (2, 3, 4, 5, 6, 7):
             old = json.loads(json.dumps(data))
             old["version"] = version
-            old.pop("pending_policy", None)
+            old.pop("surrogate", None)
+            if version < 7:
+                old.pop("pending_policy", None)
             if version < 6:
                 old.pop("metrics", None)
             if version < 5:
@@ -360,7 +364,9 @@ class TestPersistenceV4:
             if version < 3:
                 old.pop("surrogate_stats", None)
             clone = run_from_dict(old)
-            assert clone.pending_policy is None
+            assert clone.surrogate is None
+            if version < 7:
+                assert clone.pending_policy is None
             if version < 6:
                 assert clone.metrics is None
             if version < 5:

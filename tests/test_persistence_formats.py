@@ -1,7 +1,7 @@
 """Golden-fixture coverage of every readable persistence format version.
 
 ``tests/golden/persistence/`` holds one hand-built runs file per historical
-format (v1 .. v6, written by ``regenerate.py``).  These tests pin three
+format (v1 .. v8, written by ``regenerate.py``).  These tests pin three
 contracts:
 
 * ``load_runs`` reads **every** version it claims to
@@ -74,6 +74,7 @@ def test_golden_fixture_loads(version):
     assert (run.rng_state is not None) == (version >= 4)
     assert (run.pool_telemetry is not None) == (version >= 5)
     assert (run.metrics is not None) == (version >= 6)
+    assert (run.surrogate is not None) == (version >= 8)
 
     if version >= 3:
         assert run.surrogate_stats.n_refits == 2
@@ -91,6 +92,14 @@ def test_golden_fixture_loads(version):
         assert counters["driver.retries"] == run.n_retries
         hist = run.metrics["histograms"]["pool.queue_wait_seconds"]
         assert hist["count"] == 4
+    if version >= 7:
+        assert run.pending_policy == "hallucinate"
+    if version >= 3:
+        # n_mode_switches arrived with v8 writers; older files load with the
+        # dataclass default of 0.
+        assert run.surrogate_stats.n_mode_switches == (1 if version >= 8 else 0)
+    if version >= 8:
+        assert run.surrogate == "auto"
 
 
 def test_fixtures_are_byte_exact():

@@ -13,6 +13,8 @@ from hypothesis import strategies as st
 from repro.core.problem import FunctionProblem
 from repro.sched.workers import VirtualWorkerPool
 
+pytestmark = pytest.mark.property
+
 
 def pools_for(durations, batch):
     """Run the same job list synchronously and asynchronously."""

@@ -34,6 +34,8 @@ from repro.distributed.protocol import result_to_dict
 from repro.distributed.transport import connect
 from repro.obs import MetricsRegistry, Observability
 
+pytestmark = pytest.mark.server
+
 CONFIG = dict(n_init=3, max_evals=6, acq_candidates=32, acq_restarts=1)
 
 

@@ -17,6 +17,8 @@ from hypothesis import strategies as st
 
 from repro.spice import Circuit, ac_analysis, dc_operating_point
 
+pytestmark = pytest.mark.property
+
 
 def random_resistor_ladder(rng, n_nodes: int) -> Circuit:
     """A random connected resistive network over nodes n0..n{k-1} + ground."""
